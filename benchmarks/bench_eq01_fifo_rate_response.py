@@ -1,0 +1,30 @@
+"""Equation (1) — the wired FIFO baseline.
+
+Validates the reference model the paper contrasts against: long trains
+through the Lindley FIFO hop with Poisson cross-traffic must match
+``ro = min(ri, C ri/(ri + C - A))`` within a few percent, with the knee
+at the available bandwidth A (unlike the CSMA/CA link, whose knee is at
+B).
+"""
+
+import numpy as np
+
+from repro.analysis.baseline import eq1_fifo_rate_response
+
+from conftest import scaled
+
+
+def test_eq01_fifo_rate_response(benchmark, record_result):
+    result = benchmark.pedantic(
+        eq1_fifo_rate_response,
+        kwargs=dict(
+            probe_rates_bps=np.arange(1e6, 12.01e6, 1e6),
+            capacity_bps=10e6,
+            cross_rate_bps=4e6,
+            n_packets=400,
+            repetitions=scaled(40),
+            seed=201,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,29 @@
+"""Figure 1 — steady-state rate response with contending cross-traffic.
+
+Paper setting: C ~ 6.5 Mb/s, one Poisson cross flow at 4.5 Mb/s
+(A ~ 2 Mb/s), fair share B ~ 3.4 Mb/s.  Expected shape: the probe curve
+rides the diagonal to ~B and flattens there (no knee at A); the cross
+flow's throughput starts dropping once the probe passes A.
+"""
+
+import numpy as np
+
+from repro.analysis.steady_state import fig1_rate_response
+
+from conftest import scaled
+
+
+def test_fig01_steady_state_rate_response(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig1_rate_response,
+        kwargs=dict(
+            probe_rates_bps=np.arange(0.5e6, 10.01e6, 0.5e6),
+            cross_rate_bps=4.5e6,
+            duration=4.0,
+            warmup=0.5,
+            repetitions=scaled(3, minimum=1),
+            seed=101,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_result(result)

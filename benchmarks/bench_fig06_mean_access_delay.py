@@ -1,0 +1,27 @@
+"""Figure 6 — mean access delay vs. probe packet number.
+
+Paper setting: 5 Mb/s probe, 4 Mb/s Poisson cross-traffic (NS2, 25 000
+repetitions; scaled down here).  Expected shape: the first packets see
+a clearly lower mean access delay that climbs to a steady plateau
+within a few tens of packets.
+"""
+
+from repro.analysis.transient import fig6_mean_access_delay
+
+from conftest import scaled
+
+
+def test_fig06_mean_access_delay(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig6_mean_access_delay,
+        kwargs=dict(
+            probe_rate_bps=5e6,
+            cross_rate_bps=4e6,
+            n_packets=250,
+            repetitions=scaled(400),
+            plot_limit=150,
+            seed=106,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,27 @@
+"""Figure 8 — KS test vs. packet index + contending-queue build-up.
+
+Paper setting: 8 Mb/s probe, 2 Mb/s contending cross-traffic.
+Expected shape: the KS distance starts far above the 95% threshold and
+settles within tens of packets; the contending station's mean queue
+grows over the same window (from ~0.2-0.4 to ~1+ packets).
+"""
+
+from repro.analysis.transient import fig8_ks_and_queue
+
+from conftest import scaled
+
+
+def test_fig08_ks_transient(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig8_ks_and_queue,
+        kwargs=dict(
+            probe_rate_bps=8e6,
+            cross_rate_bps=2e6,
+            n_packets=250,
+            repetitions=scaled(400),
+            plot_limit=100,
+            seed=108,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,29 @@
+"""Figure 13 — rate response from 3/10/50-packet trains (no FIFO
+cross-traffic).
+
+Expected shape: all curves follow the diagonal at low rates; near the
+achievable throughput the short-train curves dip below the steady
+curve; at high rates they overestimate it, the more so the shorter the
+train (train-3 > train-10 > train-50 > steady).
+"""
+
+import numpy as np
+
+from repro.analysis.trains import fig13_short_trains
+
+from conftest import scaled
+
+
+def test_fig13_short_trains(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig13_short_trains,
+        kwargs=dict(
+            probe_rates_bps=np.arange(0.5e6, 10.01e6, 0.5e6),
+            train_lengths=(3, 10, 50),
+            cross_rate_bps=3e6,
+            repetitions=scaled(80),
+            seed=113,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_result(result)

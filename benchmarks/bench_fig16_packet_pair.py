@@ -1,0 +1,27 @@
+"""Figure 16 — packet-pair inference vs. the actual achievable
+throughput, across contending cross-traffic rates.
+
+Capacity is constant (~6.2 Mb/s; the paper's testbed gives 6.5).
+Expected shape: with no cross-traffic the pair reports the capacity;
+with contention it tracks — and overestimates — the achievable
+throughput and never points back at the capacity.
+"""
+
+import numpy as np
+
+from repro.analysis.trains import fig16_packet_pair
+
+from conftest import scaled
+
+
+def test_fig16_packet_pair(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig16_packet_pair,
+        kwargs=dict(
+            cross_rates_bps=np.arange(0.0, 6.01e6, 0.5e6),
+            pair_repetitions=scaled(400),
+            seed=116,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,29 @@
+"""Figure 17 — MSER-2-truncated 20-packet trains.
+
+Expected shape: the raw 20-packet curve overestimates the steady-state
+response at high rates; removing the packets MSER-2 flags as transient
+pulls the curve toward the steady state without sending any extra
+packets.
+"""
+
+import numpy as np
+
+from repro.analysis.trains import fig17_mser
+
+from conftest import scaled
+
+
+def test_fig17_mser(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig17_mser,
+        kwargs=dict(
+            probe_rates_bps=np.arange(1e6, 10.01e6, 1e6),
+            n_packets=20,
+            mser_batch=2,
+            cross_rate_bps=3e6,
+            repetitions=scaled(150),
+            seed=117,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the substrates themselves.
+
+Not figure reproductions — these track the raw speed of the pieces the
+experiments are built on, so performance regressions in the simulator
+show up in CI: event-engine scheduling throughput, DCF packets
+simulated per second, and the Lindley recursion.
+"""
+
+import numpy as np
+
+from repro.mac.scenario import StationSpec, WlanScenario
+from repro.queueing.lindley import lindley_recursion
+from repro.sim.engine import Simulator
+from repro.traffic.generators import PoissonGenerator
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule + fire 20k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule_after(1e-4, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 20_000
+
+
+def test_dcf_packet_throughput(benchmark):
+    """Simulate ~3k packet exchanges with two contending stations."""
+
+    scenario = WlanScenario()
+    specs = [
+        StationSpec("a", generator=PoissonGenerator(3e6, 1500)),
+        StationSpec("b", generator=PoissonGenerator(3e6, 1500)),
+    ]
+
+    def run():
+        result = scenario.run(specs, horizon=6.0, seed=1)
+        return result.successes
+
+    successes = benchmark(run)
+    assert successes > 2500
+
+
+def test_lindley_recursion_throughput(benchmark):
+    """Push 100k packets through the Lindley recursion."""
+
+    rng = np.random.default_rng(0)
+    arrivals = np.sort(rng.uniform(0, 100.0, 100_000))
+    services = rng.exponential(1e-3, 100_000)
+
+    def run():
+        starts, departures = lindley_recursion(arrivals, services)
+        return float(departures[-1])
+
+    assert benchmark(run) > 0

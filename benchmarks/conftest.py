@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's figures at a scaled-down
+repetition count (see EXPERIMENTS.md), prints the series the paper
+plots, writes them to ``benchmarks/results/<experiment>.txt`` and
+asserts the figure's qualitative shape checks.
+
+``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies the repetition
+counts: set it to 4 or 10 for publication-grade smoothness, or to 0.3
+for a quick pass.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Repetition multiplier from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(base: int, minimum: int = 5) -> int:
+    """Scale a repetition count, clamped from below."""
+    return max(minimum, int(round(base * bench_scale())))
+
+
+@pytest.fixture
+def record_result():
+    """Print an ExperimentResult and persist its table."""
+
+    def _record(result):
+        table = result.table()
+        print()
+        print(table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment}.txt"
+        path.write_text(table + "\n")
+        assert result.all_checks_pass, (
+            f"{result.experiment} shape checks failed: "
+            f"{result.failed_checks}\n{table}")
+        return result
+
+    return _record

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Packet-pair routing metrics in wireless mesh networks (section 7.3).
+
+The wireless-mesh routing literature (e.g. WCETT) uses packet-pair
+dispersion to weigh links.  The paper warns that on CSMA/CA links the
+pair measures (an overestimate of) the *achievable throughput*, which
+moves with the neighbours' load — not the capacity.  This example
+quantifies the routing consequence: two links with identical capacity
+but different contention look vastly different to a pair-based metric,
+and the "best" link flips as cross-traffic changes.
+
+Run:  python examples/mesh_routing_metric.py
+"""
+
+import numpy as np
+
+from repro.analytic.bianchi import BianchiModel
+from repro.analytic.metrics import fluid_achievable_throughput
+from repro.testbed import Prober, ProbeSessionConfig, SimulatedWlanChannel
+from repro.traffic import PoissonGenerator
+
+
+def pair_metric(cross_rate_bps: float, repetitions: int = 200,
+                seed: int = 0) -> float:
+    """What a packet-pair-based routing metric sees on one link."""
+    cross = ([("neighbour", PoissonGenerator(cross_rate_bps, 1500))]
+             if cross_rate_bps > 0 else [])
+    prober = Prober(SimulatedWlanChannel(cross),
+                    ProbeSessionConfig(repetitions=repetitions,
+                                       ideal_clocks=True))
+    return prober.packet_pair_estimate(seed=seed)
+
+
+def main() -> None:
+    bianchi = BianchiModel()
+    capacity = bianchi.capacity()
+    fair_share = bianchi.fair_share(2)
+    print("Two mesh links, identical PHY and capacity "
+          f"({capacity / 1e6:.2f} Mb/s), different neighbourhood load.\n")
+
+    loads = [(0.0, 3.5e6), (1.0e6, 2.0e6), (3.0e6, 0.5e6)]
+    print(f"{'link-A cross':>13} {'link-B cross':>13} "
+          f"{'pair(A)':>9} {'pair(B)':>9} {'chosen':>7} "
+          f"{'actual B(A)':>12} {'actual B(B)':>12} {'right?':>7}")
+    for k, (cross_a, cross_b) in enumerate(loads):
+        pair_a = pair_metric(cross_a, seed=10 + k)
+        pair_b = pair_metric(cross_b, seed=20 + k)
+        actual_a = fluid_achievable_throughput(capacity, cross_a, fair_share)
+        actual_b = fluid_achievable_throughput(capacity, cross_b, fair_share)
+        chosen = "A" if pair_a >= pair_b else "B"
+        correct = "A" if actual_a >= actual_b else "B"
+        print(f"{cross_a / 1e6:10.1f} Mb {cross_b / 1e6:10.1f} Mb "
+              f"{pair_a / 1e6:8.2f} {pair_b / 1e6:8.2f} {chosen:>7} "
+              f"{actual_a / 1e6:11.2f} {actual_b / 1e6:11.2f} "
+              f"{'yes' if chosen == correct else 'NO':>7}")
+
+    print("\nTakeaways:")
+    print("  * the pair never reports the (identical) capacity once a")
+    print("    neighbour is active - it tracks the achievable throughput;")
+    print("  * it consistently OVERestimates it (transient acceleration),")
+    print("    so absolute link weights are optimistic;")
+    print("  * rankings usually survive, but the margin between links is")
+    print("    distorted - exactly the bias the paper derives in sec. 6.")
+
+
+if __name__ == "__main__":
+    main()

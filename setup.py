@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs fail; this classic setup.py lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``pip install -e .`` on modern toolchains) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""repro — reproduction of "Impact of Transient CSMA/CA Access Delays on
+Active Bandwidth Measurements" (Portoles-Comeras et al., IMC 2009).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim` — discrete-event engine;
+* :mod:`repro.mac` — IEEE 802.11 DCF (CSMA/CA) link simulator;
+* :mod:`repro.queueing` — wired FIFO hop (Lindley recursion, workload
+  processes) — the paper's Matlab queueing simulator;
+* :mod:`repro.traffic` — cross-traffic generators and probing trains;
+* :mod:`repro.analytic` — Bianchi DCF model, steady-state rate-response
+  curves, transient dispersion bounds;
+* :mod:`repro.stats` — KS test, MSER-m warm-up heuristics, descriptive
+  statistics;
+* :mod:`repro.core` — the paper's contribution as a library: dispersion
+  measurements, estimators, transient-state analysis, bias correction;
+* :mod:`repro.testbed` — emulated testbed (prober API with timestamp
+  error models);
+* :mod:`repro.analysis` — one experiment runner per figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,96 @@
+"""Structured experiment results.
+
+An :class:`ExperimentResult` holds everything a figure reproduction
+produces: the x-axis, the named y-series the paper plots, a dictionary
+of *shape checks* (the qualitative assertions DESIGN.md lists for the
+figure — who wins, where the knee falls), and free-form metadata
+(parameters, repetition counts).  The benchmark harness prints
+``result.table()`` and asserts ``result.all_checks_pass``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one figure reproduction."""
+
+    experiment: str
+    title: str
+    x_label: str
+    x: np.ndarray
+    series: "Dict[str, np.ndarray]"
+    meta: Dict[str, object] = field(default_factory=dict)
+    checks: Dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        for name, values in list(self.series.items()):
+            values = np.asarray(values, dtype=float)
+            if values.shape != self.x.shape:
+                raise ValueError(
+                    f"series {name!r} has shape {values.shape}, "
+                    f"x has {self.x.shape}")
+            self.series[name] = values
+
+    # ------------------------------------------------------------------
+
+    def add_check(self, name: str, passed: bool) -> None:
+        """Record a qualitative shape check."""
+        self.checks[name] = bool(passed)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every recorded shape check holds."""
+        return all(self.checks.values())
+
+    @property
+    def failed_checks(self) -> List[str]:
+        """Names of failing checks."""
+        return [name for name, ok in self.checks.items() if not ok]
+
+    # ------------------------------------------------------------------
+
+    def table(self, float_format: str = "{:>14.5g}") -> str:
+        """Render the series as an aligned text table (bench output)."""
+        names = list(self.series)
+        header = float_format.replace("14.5g", "14") \
+            if "14.5g" in float_format else "{:>14}"
+        lines = [f"== {self.experiment}: {self.title} =="]
+        if self.meta:
+            rendered = ", ".join(f"{k}={v}" for k, v in self.meta.items())
+            lines.append(f"   [{rendered}]")
+        lines.append("  ".join([header.format(self.x_label[:14])]
+                               + [header.format(n[:14]) for n in names]))
+        for i in range(len(self.x)):
+            row = [float_format.format(self.x[i])]
+            row += [float_format.format(self.series[n][i]) for n in names]
+            lines.append("  ".join(row))
+        if self.checks:
+            lines.append("  checks: " + ", ".join(
+                f"{name}={'PASS' if ok else 'FAIL'}"
+                for name, ok in self.checks.items()))
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line status string."""
+        status = "PASS" if self.all_checks_pass else (
+            "FAIL: " + ", ".join(self.failed_checks))
+        return f"{self.experiment}: {self.title} [{status}]"
+
+
+def monotone_nonincreasing(values: np.ndarray, slack: float = 0.0) -> bool:
+    """Shape-check helper: the series never rises by more than ``slack``."""
+    values = np.asarray(values, dtype=float)
+    return bool(np.all(np.diff(values) <= slack))
+
+
+def monotone_nondecreasing(values: np.ndarray, slack: float = 0.0) -> bool:
+    """Shape-check helper: the series never drops by more than ``slack``."""
+    values = np.asarray(values, dtype=float)
+    return bool(np.all(np.diff(values) >= -slack))

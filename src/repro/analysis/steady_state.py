@@ -1,0 +1,220 @@
+"""Steady-state rate-response experiments (figures 1 and 4).
+
+Both figures probe the link with effectively infinite trains (the paper
+uses >10000 packets and evaluates in steady state), so the runners here
+drive the probing flow as a long CBR flow and measure throughputs over
+a window that skips the warm-up, which is equivalent and cheaper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.results import ExperimentResult
+from repro.analytic.bianchi import BianchiModel
+from repro.analytic.rate_response import complete_rate_response
+from repro.mac.params import PhyParams
+from repro.mac.scenario import StationSpec, WlanScenario
+from repro.traffic.generators import CBRGenerator, PoissonGenerator
+
+
+def _probe_cbr(rate_bps: float, size_bytes: int) -> CBRGenerator:
+    generator = CBRGenerator(rate_bps, size_bytes, flow="probe")
+    return generator
+
+
+def steady_state_throughputs(probe_rate_bps: float,
+                             cross_rate_bps: float,
+                             fifo_rate_bps: float = 0.0,
+                             phy: Optional[PhyParams] = None,
+                             size_bytes: int = 1500,
+                             duration: float = 4.0,
+                             warmup: float = 0.5,
+                             seed: int = 0) -> Dict[str, float]:
+    """Throughputs of probe / contending / FIFO flows in steady state.
+
+    The probe flow is CBR at ``probe_rate_bps`` from the probe station;
+    ``fifo_rate_bps`` of Poisson cross-traffic shares that station's
+    queue; ``cross_rate_bps`` of Poisson traffic contends from a second
+    station.  Throughputs are measured over ``(warmup, duration]``.
+    """
+    if duration <= warmup:
+        raise ValueError("duration must exceed warmup")
+    # FIFO cross-traffic shares the probe station's transmission queue:
+    # the probe flow goes in as explicit arrivals, the FIFO flow as the
+    # same station's generator.
+    probe_arrivals = list(_probe_cbr(probe_rate_bps, size_bytes)
+                          .generate(duration, np.random.default_rng(seed)))
+    fifo_generator = (PoissonGenerator(fifo_rate_bps, size_bytes, flow="fifo")
+                      if fifo_rate_bps > 0 else None)
+    specs = [StationSpec("probe", generator=fifo_generator,
+                         arrivals=probe_arrivals)]
+    if cross_rate_bps > 0:
+        specs.append(StationSpec(
+            "cross", generator=PoissonGenerator(cross_rate_bps, size_bytes,
+                                                flow="cross")))
+    scenario = WlanScenario(phy)
+    result = scenario.run(specs, horizon=duration, seed=seed,
+                          until=duration)
+    probe_station = result.station("probe")
+    out = {
+        "probe": probe_station.throughput_bps(warmup, duration, flow="probe"),
+        "fifo": (probe_station.throughput_bps(warmup, duration, flow="fifo")
+                 if fifo_rate_bps > 0 else 0.0),
+        "cross": (result.station("cross").throughput_bps(warmup, duration)
+                  if cross_rate_bps > 0 else 0.0),
+    }
+    return out
+
+
+def fig1_rate_response(probe_rates_bps: Optional[Sequence[float]] = None,
+                       cross_rate_bps: float = 4.5e6,
+                       size_bytes: int = 1500,
+                       duration: float = 4.0,
+                       warmup: float = 0.5,
+                       repetitions: int = 3,
+                       phy: Optional[PhyParams] = None,
+                       seed: int = 0) -> ExperimentResult:
+    """Figure 1: steady-state rate response with contending cross-traffic.
+
+    The paper's setting has C ~ 6.5 Mb/s, one contending flow leaving
+    A ~ 2 Mb/s available, and a fair share B ~ 3.4 Mb/s.  The probe
+    curve must track the diagonal until ~B and then flatten at B — with
+    *no* deviation at A — while the cross flow's throughput starts
+    dropping once the probe rate passes A.
+    """
+    if probe_rates_bps is None:
+        probe_rates_bps = np.arange(0.5e6, 10.01e6, 0.5e6)
+    rates = np.asarray(sorted(probe_rates_bps), dtype=float)
+    bianchi = BianchiModel(phy, size_bytes)
+    capacity = bianchi.capacity()
+    fair_share = bianchi.fair_share(2)
+    probe_out = np.zeros(len(rates))
+    cross_out = np.zeros(len(rates))
+    for k, rate in enumerate(rates):
+        samples_probe = []
+        samples_cross = []
+        for rep in range(repetitions):
+            out = steady_state_throughputs(
+                rate, cross_rate_bps, 0.0, phy, size_bytes,
+                duration, warmup, seed=seed + 1000 * rep + k)
+            samples_probe.append(out["probe"])
+            samples_cross.append(out["cross"])
+        probe_out[k] = float(np.mean(samples_probe))
+        cross_out[k] = float(np.mean(samples_cross))
+
+    available = max(0.0, capacity - cross_rate_bps)
+    result = ExperimentResult(
+        experiment="fig1",
+        title="Steady-state rate response vs. contending cross-traffic",
+        x_label="ri_bps",
+        x=rates,
+        series={"probe_bps": probe_out, "cross_bps": cross_out},
+        meta={
+            "cross_rate_bps": cross_rate_bps,
+            "capacity_bps": round(capacity),
+            "available_bps": round(available),
+            "fair_share_bps": round(fair_share),
+            "repetitions": repetitions,
+            "duration_s": duration,
+        },
+    )
+    # Shape checks (DESIGN.md, figure 1).
+    low = rates <= 0.85 * fair_share
+    result.add_check(
+        "diagonal-below-B",
+        bool(np.all(np.abs(probe_out[low] - rates[low])
+                    <= 0.1 * rates[low] + 5e4)))
+    high = rates >= 1.3 * fair_share
+    if np.any(high):
+        plateau = probe_out[high]
+        result.add_check(
+            "flattens-at-B",
+            bool(np.all(np.abs(plateau - fair_share) <= 0.2 * fair_share)))
+        result.add_check(
+            "plateau-below-capacity",
+            bool(np.all(plateau < 0.9 * capacity)))
+    near_a = (rates >= 0.8 * available) & (rates <= 1.2 * available)
+    if np.any(near_a):
+        result.add_check(
+            "no-deviation-at-A",
+            bool(np.all(np.abs(probe_out[near_a] - rates[near_a])
+                        <= 0.1 * rates[near_a] + 5e4)))
+    result.add_check("cross-decreases",
+                     cross_out[-1] < cross_out[0] - 0.1 * cross_out[0])
+    return result
+
+
+def fig4_complete_picture(probe_rates_bps: Optional[Sequence[float]] = None,
+                          cross_rate_bps: float = 3.0e6,
+                          fifo_rate_bps: float = 1.5e6,
+                          size_bytes: int = 1500,
+                          duration: float = 4.0,
+                          warmup: float = 0.5,
+                          repetitions: int = 3,
+                          phy: Optional[PhyParams] = None,
+                          seed: int = 0) -> ExperimentResult:
+    """Figure 4: the complete picture with FIFO + contending cross-traffic.
+
+    The probe curve deviates when probe + FIFO aggregate reaches the
+    station's fair share, then keeps growing toward Bf as the probe
+    crowds the FIFO cross-traffic out of the shared queue (whose
+    throughput decays correspondingly).
+    """
+    if probe_rates_bps is None:
+        probe_rates_bps = np.arange(0.5e6, 10.01e6, 0.5e6)
+    rates = np.asarray(sorted(probe_rates_bps), dtype=float)
+    bianchi = BianchiModel(phy, size_bytes)
+    fair_share = bianchi.fair_share(2)
+    probe_out = np.zeros(len(rates))
+    cross_out = np.zeros(len(rates))
+    fifo_out = np.zeros(len(rates))
+    for k, rate in enumerate(rates):
+        samples = {"probe": [], "cross": [], "fifo": []}
+        for rep in range(repetitions):
+            out = steady_state_throughputs(
+                rate, cross_rate_bps, fifo_rate_bps, phy, size_bytes,
+                duration, warmup, seed=seed + 1000 * rep + k)
+            for key in samples:
+                samples[key].append(out[key])
+        probe_out[k] = float(np.mean(samples["probe"]))
+        cross_out[k] = float(np.mean(samples["cross"]))
+        fifo_out[k] = float(np.mean(samples["fifo"]))
+
+    u_fifo = min(0.95, fifo_rate_bps / fair_share)
+    model = complete_rate_response(rates, fair_share, u_fifo)
+    result = ExperimentResult(
+        experiment="fig4",
+        title="Complete rate response (FIFO + contending cross-traffic)",
+        x_label="ri_bps",
+        x=rates,
+        series={"probe_bps": probe_out, "cross_bps": cross_out,
+                "fifo_bps": fifo_out, "model_eq4_bps": model},
+        meta={
+            "cross_rate_bps": cross_rate_bps,
+            "fifo_rate_bps": fifo_rate_bps,
+            "fair_share_bps": round(fair_share),
+            "u_fifo": round(u_fifo, 3),
+            "repetitions": repetitions,
+        },
+    )
+    b_complete = fair_share * (1 - u_fifo)
+    low = rates <= 0.8 * b_complete
+    if np.any(low):
+        result.add_check(
+            "diagonal-below-B",
+            bool(np.all(np.abs(probe_out[low] - rates[low])
+                        <= 0.1 * rates[low] + 5e4)))
+    result.add_check(
+        "fifo-decays", fifo_out[-1] < 0.75 * max(fifo_out[0], 1.0))
+    result.add_check(
+        "probe-keeps-growing-past-B",
+        probe_out[-1] > b_complete * 1.05)
+    result.add_check(
+        "probe-below-fair-share", probe_out[-1] <= fair_share * 1.15)
+    result.add_check(
+        "matches-eq4-at-high-rate",
+        abs(probe_out[-1] - model[-1]) <= 0.2 * model[-1])
+    return result

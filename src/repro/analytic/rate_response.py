@@ -1,0 +1,114 @@
+"""Steady-state rate-response curves.
+
+The rate response curve relates the input rate ``r_i`` of a probing
+flow to its output rate ``r_o`` through a hop:
+
+* :func:`fifo_rate_response` — the classical single-bit-carrier FIFO
+  model (equation (1));
+* :func:`csma_rate_response` — contention-only CSMA/CA link,
+  ``r_o = min(r_i, B)`` (equation (3), from Bredel & Fidler);
+* :func:`complete_rate_response` — the paper's complete model with both
+  FIFO and contending cross-traffic (equations (4)–(5));
+* :func:`dispersion_rate_response` — the same relation restated for the
+  expected output *gap* (equation (20)).
+
+All functions are vectorized over ``r_i`` / ``g_I``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fifo_rate_response(input_rate: np.ndarray, capacity: float,
+                       available_bandwidth: float) -> np.ndarray:
+    """Equation (1): r_o = min(r_i, C r_i / (r_i + C - A)).
+
+    ``capacity`` is C, ``available_bandwidth`` is A <= C.  Below A the
+    flow is undisturbed; above it the FIFO queue shares C between the
+    probe and the (fluid) cross-traffic proportionally to their rates.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    if not 0 <= available_bandwidth <= capacity:
+        raise ValueError("need 0 <= A <= C")
+    ri = np.asarray(input_rate, dtype=float)
+    if np.any(ri < 0):
+        raise ValueError("input rates must be non-negative")
+    shared = capacity * ri / (ri + capacity - available_bandwidth)
+    return np.minimum(ri, shared)
+
+
+def csma_rate_response(input_rate: np.ndarray,
+                       achievable_throughput: float) -> np.ndarray:
+    """Equation (3): r_o = min(r_i, B) for a contention-only link."""
+    if achievable_throughput <= 0:
+        raise ValueError(
+            f"B must be positive, got {achievable_throughput}")
+    ri = np.asarray(input_rate, dtype=float)
+    if np.any(ri < 0):
+        raise ValueError("input rates must be non-negative")
+    return np.minimum(ri, achievable_throughput)
+
+
+def complete_rate_response(input_rate: np.ndarray, fair_share: float,
+                           u_fifo: float) -> np.ndarray:
+    """Equations (4)-(5): both FIFO and contending cross-traffic.
+
+    ``fair_share`` is Bf — the achievable throughput the probe would
+    get with no FIFO cross-traffic; ``u_fifo`` is the mean fraction of
+    time the FIFO cross-traffic uses the system.  The achievable
+    throughput of the full system is ``B = Bf (1 - u_fifo)``; above it
+    the probe shares Bf with the FIFO cross-traffic::
+
+        r_o = r_i                              r_i <= B
+        r_o = Bf r_i / (r_i + u_fifo Bf)       r_i >= B
+    """
+    if fair_share <= 0:
+        raise ValueError(f"Bf must be positive, got {fair_share}")
+    if not 0 <= u_fifo < 1:
+        raise ValueError(f"u_fifo must be in [0, 1), got {u_fifo}")
+    ri = np.asarray(input_rate, dtype=float)
+    if np.any(ri < 0):
+        raise ValueError("input rates must be non-negative")
+    b = fair_share * (1 - u_fifo)
+    shared = np.divide(fair_share * ri, ri + u_fifo * fair_share,
+                       out=np.zeros_like(ri, dtype=float),
+                       where=(ri + u_fifo * fair_share) > 0)
+    return np.where(ri <= b, ri, shared)
+
+
+def achievable_throughput_complete(fair_share: float, u_fifo: float) -> float:
+    """Equation (5): B = Bf (1 - u_fifo)."""
+    if fair_share <= 0:
+        raise ValueError(f"Bf must be positive, got {fair_share}")
+    if not 0 <= u_fifo < 1:
+        raise ValueError(f"u_fifo must be in [0, 1), got {u_fifo}")
+    return fair_share * (1 - u_fifo)
+
+
+def dispersion_rate_response(input_gap: np.ndarray, size_bytes: int,
+                             fair_share: float, u_fifo: float) -> np.ndarray:
+    """Equation (20): the steady-state expected output gap.
+
+    For probing packets of ``size_bytes`` (L bits = 8 L bytes)::
+
+        E[g_O] = g_I                       g_I >= L / B
+        E[g_O] = L / Bf + u_fifo g_I       g_I <= L / B
+
+    with ``B = Bf (1 - u_fifo)``.
+    """
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive, got {size_bytes}")
+    if fair_share <= 0:
+        raise ValueError(f"Bf must be positive, got {fair_share}")
+    if not 0 <= u_fifo < 1:
+        raise ValueError(f"u_fifo must be in [0, 1), got {u_fifo}")
+    gi = np.asarray(input_gap, dtype=float)
+    if np.any(gi < 0):
+        raise ValueError("input gaps must be non-negative")
+    bits = size_bytes * 8
+    b = fair_share * (1 - u_fifo)
+    knee = bits / b
+    loaded = bits / fair_share + u_fifo * gi
+    return np.where(gi >= knee, gi, loaded)

@@ -1,0 +1,152 @@
+"""Command-line interface.
+
+Run any of the paper's experiments from a shell::
+
+    python -m repro list
+    python -m repro info
+    python -m repro run fig6 --scale 0.5 --seed 7
+    python -m repro run all --scale 0.25
+
+``run`` prints the experiment's series table (the same rows the paper's
+figure plots) and exits non-zero if any qualitative shape check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import analysis
+from repro.analytic.bianchi import BianchiModel
+from repro.mac.frames import AirtimeModel
+from repro.mac.params import PhyParams
+
+#: experiment name -> (runner, scalable kwargs with base values)
+REGISTRY: Dict[str, Tuple[Callable, Dict[str, int]]] = {
+    "fig1": (analysis.fig1_rate_response, {"repetitions": 3}),
+    "fig4": (analysis.fig4_complete_picture, {"repetitions": 3}),
+    "fig6": (analysis.fig6_mean_access_delay, {"repetitions": 400}),
+    "fig7": (analysis.fig7_delay_histograms, {"repetitions": 500}),
+    "fig8": (analysis.fig8_ks_and_queue, {"repetitions": 400}),
+    "fig9": (analysis.fig9_ks_complex, {"repetitions": 400}),
+    "fig10": (analysis.fig10_transient_duration, {"repetitions": 300}),
+    "fig13": (analysis.fig13_short_trains, {"repetitions": 80}),
+    "fig15": (analysis.fig15_short_trains_fifo, {"repetitions": 80}),
+    "fig16": (analysis.fig16_packet_pair, {"pair_repetitions": 400}),
+    "fig17": (analysis.fig17_mser, {"repetitions": 150}),
+    "eq1": (analysis.eq1_fifo_rate_response, {"repetitions": 40}),
+    "bounds": (analysis.bounds_consistency, {"repetitions": 300}),
+    "ablation-bianchi": (analysis.ablation_bianchi_calibration, {}),
+    "ablation-immediate-access": (analysis.ablation_immediate_access,
+                                  {"repetitions": 250}),
+    "ablation-ks": (analysis.ablation_ks_methods, {"repetitions": 300}),
+    "ablation-rts": (analysis.ablation_rts_cts, {"repetitions": 200}),
+    "ablation-truncation": (analysis.ablation_truncation_heuristics,
+                            {"repetitions": 150}),
+    "ext-tool-convergence": (analysis.tool_convergence_study,
+                             {"repetitions": 10}),
+    "ext-b-vs-n": (analysis.transient_b_vs_n, {"repetitions": 300}),
+    "ext-topp": (analysis.topp_on_wlan_study, {"repetitions": 8}),
+    "ext-multihop": (analysis.multihop_access_path_study,
+                     {"repetitions": 20}),
+}
+
+
+def scaled_kwargs(base: Dict[str, int], scale: float,
+                  seed: Optional[int]) -> Dict[str, object]:
+    """Apply the repetition scale and optional seed override."""
+    kwargs: Dict[str, object] = {
+        key: max(2, int(round(value * scale)))
+        for key, value in base.items()
+    }
+    if seed is not None:
+        kwargs["seed"] = seed
+    return kwargs
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """Print the experiment registry."""
+    print("Available experiments:")
+    for name, (runner, base) in REGISTRY.items():
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<26} {doc}")
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    """Print the link calibration summary."""
+    phy = PhyParams.dot11b()
+    airtime = AirtimeModel(phy)
+    bianchi = BianchiModel(phy, 1500)
+    print("802.11b DCF link (1500-byte packets, long preamble):")
+    print(f"  slot {phy.slot_time * 1e6:.0f} us, SIFS "
+          f"{phy.sifs * 1e6:.0f} us, DIFS {phy.difs * 1e6:.0f} us, "
+          f"CW {phy.cw_min}..{phy.cw_max}")
+    print(f"  DATA airtime {airtime.data_airtime(1500) * 1e6:.0f} us, "
+          f"ACK {airtime.ack_airtime() * 1e6:.0f} us")
+    print(f"  capacity C            {bianchi.capacity() / 1e6:6.3f} Mb/s")
+    for n in (2, 3, 4, 5):
+        print(f"  fair share, {n} stations "
+              f"{bianchi.fair_share(n) / 1e6:6.3f} Mb/s "
+              f"(collision fraction "
+              f"{bianchi.collision_fraction(n):.3f})")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment (or all) and print its table."""
+    names: List[str]
+    if args.experiment == "all":
+        names = list(REGISTRY)
+    elif args.experiment in REGISTRY:
+        names = [args.experiment]
+    else:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+    failed = []
+    for name in names:
+        runner, base = REGISTRY[name]
+        result = runner(**scaled_kwargs(base, args.scale, args.seed))
+        print(result.table())
+        print()
+        if not result.all_checks_pass:
+            failed.append(name)
+    if failed:
+        print(f"shape checks FAILED for: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Impact of Transient CSMA/CA Access "
+                    "Delays on Active Bandwidth Measurements' (IMC'09)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments") \
+        .set_defaults(func=cmd_list)
+    sub.add_parser("info", help="print link calibration summary") \
+        .set_defaults(func=cmd_info)
+    run = sub.add_parser("run", help="run an experiment")
+    run.add_argument("experiment",
+                     help="experiment name (see 'list'), or 'all'")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="repetition-count multiplier (default 1.0)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the experiment seed")
+    run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

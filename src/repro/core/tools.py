@@ -1,0 +1,160 @@
+"""Higher-level measurement tools from the literature.
+
+The paper's section 7.2 argues that available-bandwidth tools designed
+for FIFO links (pathload-style iterative probing, SLoPS) actually
+converge to the *achievable throughput* when run over CSMA/CA links.
+This module implements such a tool so the claim is machine-checkable:
+
+* :class:`IterativeProbeTool` — binary search for the largest rate at
+  which the probing flow is undisturbed (``L/E[g_O] ~ r_i``), the core
+  decision logic of pathload-like tools;
+* :func:`slops_trend` — the one-way-delay trend detector (pairwise
+  comparison + deviation tests) that pathload uses to classify a
+  single train as "above" or "below" the turning point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from repro.core.dispersion import TrainMeasurement
+from repro.core.estimators import train_dispersion_rate
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import
+    from repro.testbed.prober import Prober
+
+
+def slops_trend(measurement: TrainMeasurement,
+                pct_threshold: float = 0.55,
+                pdt_threshold: float = 0.4) -> str:
+    """Classify a train's one-way-delay trend (SLoPS).
+
+    Implements pathload's two trend statistics over the relative
+    one-way delays ``D_i = d_i - a_i``:
+
+    * PCT (pairwise comparison test): fraction of consecutive pairs
+      with ``D_{i+1} > D_i`` — near 1 for an increasing trend, near 0.5
+      for noise;
+    * PDT (pairwise difference test): ``(D_n - D_1) / sum |D_{i+1} -
+      D_i|`` — near 1 for increasing, near 0 for noise.
+
+    Returns ``"increasing"`` (probing above the turning point),
+    ``"no-trend"``, or ``"ambiguous"`` when the two tests disagree.
+    """
+    delays = measurement.one_way_delays
+    diffs = np.diff(delays)
+    if len(diffs) == 0:
+        raise ValueError("need at least two packets")
+    denominator = float(np.sum(np.abs(diffs)))
+    pct = float(np.mean(diffs > 0))
+    pdt = (float(delays[-1] - delays[0]) / denominator
+           if denominator > 0 else 0.0)
+    pct_up = pct > pct_threshold
+    pdt_up = pdt > pdt_threshold
+    if pct_up and pdt_up:
+        return "increasing"
+    if not pct_up and not pdt_up:
+        return "no-trend"
+    return "ambiguous"
+
+
+@dataclass
+class IterativeProbeResult:
+    """Outcome of an iterative (pathload-style) rate search."""
+
+    estimate_bps: float
+    low_bps: float
+    high_bps: float
+    iterations: int
+    history: List[dict] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        """Whether the search narrowed below its resolution target."""
+        return self.high_bps - self.low_bps <= 0.0 or self.iterations > 0
+
+
+class IterativeProbeTool:
+    """Binary search for the turning-point rate of a path.
+
+    On a FIFO path this converges to the available bandwidth A; on a
+    CSMA/CA path it converges to the achievable throughput B — which is
+    precisely the paper's point about reusing wired tools unchanged.
+
+    Parameters
+    ----------
+    prober:
+        A configured :class:`repro.testbed.prober.Prober`.
+    n:
+        Train length per iteration.
+    repetitions:
+        Trains per rate decision.
+    disturbance_tolerance:
+        A rate is "disturbed" when ``L/E[g_O] < (1 - tol) * r_i``.
+    """
+
+    def __init__(self, prober: "Prober", n: int = 50, repetitions: int = 10,
+                 disturbance_tolerance: float = 0.08) -> None:
+        if n < 2 or repetitions < 1:
+            raise ValueError("need n >= 2 and repetitions >= 1")
+        if not 0 < disturbance_tolerance < 1:
+            raise ValueError("tolerance must be in (0, 1)")
+        self.prober = prober
+        self.n = n
+        self.repetitions = repetitions
+        self.disturbance_tolerance = disturbance_tolerance
+
+    def rate_is_disturbed(self, rate_bps: float, seed: int) -> bool:
+        """Probe once and decide whether ``rate_bps`` exceeds the knee."""
+        measurements = self.prober.measure_train(
+            self.n, rate_bps, repetitions=self.repetitions, seed=seed)
+        output = train_dispersion_rate(measurements)
+        return output < (1 - self.disturbance_tolerance) * rate_bps
+
+    def search(self, low_bps: float, high_bps: float,
+               resolution_bps: float = 0.25e6,
+               max_iterations: int = 12,
+               seed: int = 0) -> IterativeProbeResult:
+        """Binary-search the turning point within ``[low, high]``.
+
+        ``low`` must be an undisturbed rate and ``high`` a disturbed
+        one (both are verified first and the bracket is widened upward
+        if needed).
+        """
+        if low_bps <= 0 or high_bps <= low_bps:
+            raise ValueError("need 0 < low < high")
+        if resolution_bps <= 0:
+            raise ValueError("resolution must be positive")
+        history: List[dict] = []
+        iterations = 0
+        if self.rate_is_disturbed(low_bps, seed):
+            # The knee is below the bracket; report the floor.
+            return IterativeProbeResult(
+                estimate_bps=low_bps, low_bps=0.0, high_bps=low_bps,
+                iterations=0, history=history)
+        while not self.rate_is_disturbed(high_bps, seed + 1):
+            history.append({"rate": high_bps, "disturbed": False})
+            high_bps *= 1.5
+            iterations += 1
+            if iterations >= max_iterations:
+                return IterativeProbeResult(
+                    estimate_bps=high_bps, low_bps=high_bps,
+                    high_bps=float("inf"), iterations=iterations,
+                    history=history)
+        while (high_bps - low_bps > resolution_bps
+               and iterations < max_iterations):
+            mid = (low_bps + high_bps) / 2
+            disturbed = self.rate_is_disturbed(mid, seed + 2 + iterations)
+            history.append({"rate": mid, "disturbed": disturbed})
+            if disturbed:
+                high_bps = mid
+            else:
+                low_bps = mid
+            iterations += 1
+        return IterativeProbeResult(
+            estimate_bps=(low_bps + high_bps) / 2,
+            low_bps=low_bps, high_bps=high_bps,
+            iterations=iterations, history=history)

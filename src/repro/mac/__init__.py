@@ -1,0 +1,43 @@
+"""IEEE 802.11 DCF (CSMA/CA) substrate.
+
+This package is the from-scratch replacement for the NS2 802.11 MAC/PHY
+used in the paper's validation setup.  It models:
+
+* PHY/MAC timing constants (:mod:`repro.mac.params`) — slot, SIFS, DIFS,
+  PLCP preamble, data/basic rates, contention window limits;
+* frame airtimes (:mod:`repro.mac.frames`);
+* binary exponential backoff (:mod:`repro.mac.backoff`);
+* a shared medium with contention, collisions and ACKs
+  (:mod:`repro.mac.medium`);
+* stations with infinite FIFO transmission queues
+  (:mod:`repro.mac.station`), producing the per-packet
+  arrival/HOL/departure records the paper's analysis consumes;
+* ready-made single-BSS scenarios (:mod:`repro.mac.scenario`).
+
+The paper's conventions are kept throughout: the *access delay* ``mu_i``
+of a packet is the time from reaching the head of the transmission
+queue until it is completely transmitted (scheduling + transmission
+time, section 3.1).
+"""
+
+from repro.mac.params import PhyParams
+from repro.mac.frames import AirtimeModel
+from repro.mac.backoff import BackoffState
+from repro.mac.medium import Medium
+from repro.mac.station import Station
+from repro.mac.scenario import (
+    ScenarioResult,
+    StationSpec,
+    WlanScenario,
+)
+
+__all__ = [
+    "AirtimeModel",
+    "BackoffState",
+    "Medium",
+    "PhyParams",
+    "ScenarioResult",
+    "Station",
+    "StationSpec",
+    "WlanScenario",
+]

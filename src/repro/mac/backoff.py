@@ -1,0 +1,71 @@
+"""Binary exponential backoff state machine.
+
+Tracks a station's contention-window stage and remaining backoff slots.
+The contention window after ``k`` failed attempts is
+``min(cw_max, (cw_min + 1) * 2**k - 1)``; the counter is drawn uniformly
+from ``[0, CW]`` inclusive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mac.params import PhyParams
+
+
+class BackoffState:
+    """Per-station backoff bookkeeping.
+
+    The medium decrements :attr:`remaining` as idle slots elapse; the
+    station transmits when it reaches zero.  ``remaining is None`` means
+    no backoff is pending (a fresh head-of-line packet that is allowed
+    to attempt immediate access).
+    """
+
+    def __init__(self, phy: PhyParams, rng: np.random.Generator) -> None:
+        self.phy = phy
+        self.rng = rng
+        self.stage = 0
+        self.remaining: Optional[int] = None
+
+    def current_cw(self) -> int:
+        """Contention window at the current retry stage."""
+        cw = (self.phy.cw_min + 1) * (2 ** self.stage) - 1
+        return min(self.phy.cw_max, cw)
+
+    def draw(self) -> int:
+        """Draw a fresh counter uniformly from [0, CW] and store it."""
+        self.remaining = int(self.rng.integers(0, self.current_cw() + 1))
+        return self.remaining
+
+    def ensure_drawn(self) -> int:
+        """Draw a counter only if none is pending; return the counter."""
+        if self.remaining is None:
+            return self.draw()
+        return self.remaining
+
+    def consume(self, slots: int) -> None:
+        """Account for ``slots`` elapsed idle slots of countdown."""
+        if self.remaining is None:
+            raise ValueError("no backoff pending")
+        if slots < 0 or slots > self.remaining:
+            raise ValueError(
+                f"cannot consume {slots} slots from {self.remaining}")
+        self.remaining -= slots
+
+    def on_collision(self) -> None:
+        """Failed attempt: double CW (capped) and draw a new counter."""
+        self.stage = min(self.stage + 1, self.phy.max_backoff_stage)
+        self.draw()
+
+    def on_success(self) -> None:
+        """Successful attempt: reset the stage, clear the counter."""
+        self.stage = 0
+        self.remaining = None
+
+    def reset(self) -> None:
+        """Forget everything (packet dropped or queue emptied)."""
+        self.stage = 0
+        self.remaining = None

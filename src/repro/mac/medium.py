@@ -1,0 +1,257 @@
+"""Shared wireless medium with DCF contention resolution.
+
+The medium implements CSMA/CA "slot-jump" scheduling: instead of
+ticking every 20 us slot, it computes, for each contending station, the
+earliest instant at which that station's backoff countdown would reach
+zero, and schedules a single *access resolution* event at the minimum of
+those instants.  Arrivals that change the contention set cancel and
+reschedule that event.  This is exact for the protocol modelled here
+and keeps the simulation cost proportional to the number of packets,
+not the number of slots.
+
+Protocol rules (802.11 DCF, basic access, no RTS/CTS, no channel
+errors):
+
+* A station whose packet reaches the head of an empty queue while the
+  medium has been idle for at least DIFS transmits immediately, without
+  backoff.  This rule is what "accelerates" the first packets of a
+  probing train and produces the transient access-delay regime the
+  paper studies.
+* Otherwise the station draws a backoff counter uniformly from
+  ``[0, CW]`` and counts it down, one slot at a time, after the medium
+  has been idle for DIFS; the countdown freezes while the medium is
+  busy and resumes after the next DIFS.
+* If several stations reach zero in the same slot they collide; each
+  doubles its contention window (up to CWmax), draws a new counter and
+  retries.  With ``retry_limit=None`` (the default, matching the
+  paper's loss-free setup) frames are never discarded.
+* A successful exchange occupies the medium for DATA + SIFS + ACK; a
+  collision occupies it for the longest colliding DATA plus an ACK
+  timeout of the same length.
+
+The *departure* timestamp recorded for a packet is the end of its DATA
+frame — the instant a receiver-side driver timestamp would see — while
+the medium stays busy until the ACK completes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.mac.frames import AirtimeModel
+from repro.mac.params import PhyParams
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mac.station import Station
+
+#: Tolerance for comparing event times (1 ns, far below the 20 us slot).
+TIME_EPS = 1e-9
+
+#: Event priorities: medium-idle transitions run before completions,
+#: which run before arrivals (0), which run before access resolution.
+PRIORITY_IDLE = -2
+PRIORITY_COMPLETE = -1
+PRIORITY_ARRIVAL = 0
+PRIORITY_ACCESS = 1
+
+
+class Medium:
+    """The shared channel coordinating DCF access among stations."""
+
+    def __init__(self, sim: Simulator, phy: Optional[PhyParams] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 retry_limit: Optional[int] = None,
+                 immediate_access: bool = True,
+                 rts_threshold: Optional[int] = None) -> None:
+        self.sim = sim
+        self.phy = phy if phy is not None else PhyParams.dot11b()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.airtime = AirtimeModel(self.phy)
+        self.retry_limit = retry_limit
+        #: 802.11 allows a station whose packet arrives to an idle
+        #: medium (idle for >= DIFS) to transmit without backoff; this
+        #: is the mechanism that accelerates the first probing packets.
+        #: Setting it to False forces a backoff on every access — the
+        #: ablation bench shows the transient shrinking accordingly.
+        self.immediate_access = immediate_access
+        #: Packets of at least this many bytes are protected by an
+        #: RTS/CTS handshake (``None`` disables RTS entirely, which is
+        #: the paper's NS2 configuration).
+        self.rts_threshold = rts_threshold
+        self.stations: List["Station"] = []
+        # The medium starts idle "since forever": the first packet of a
+        # run sees an idle-for-longer-than-DIFS channel.
+        self.busy_until = sim.now
+        self.idle_start = -math.inf
+        self._access_event: Optional[Event] = None
+        self.successes = 0
+        self.collisions = 0
+
+    # ------------------------------------------------------------------
+    # Registration and state queries
+    # ------------------------------------------------------------------
+
+    def add_station(self, station: "Station") -> None:
+        """Register a station on this channel."""
+        self.stations.append(station)
+
+    @property
+    def is_busy(self) -> bool:
+        """Whether a transmission (or ACK exchange) is in progress."""
+        return self.sim.now < self.busy_until - TIME_EPS
+
+    def _contenders(self) -> List["Station"]:
+        return [s for s in self.stations if s.hol is not None]
+
+    # ------------------------------------------------------------------
+    # Contention bookkeeping
+    # ------------------------------------------------------------------
+
+    def on_new_hol(self, station: "Station") -> None:
+        """A packet just reached the head of ``station``'s queue."""
+        now = self.sim.now
+        if self.is_busy:
+            # Defer: draw the backoff now, countdown starts after the
+            # busy period plus DIFS (handled in _on_idle).
+            station.backoff.ensure_drawn()
+            station.count_start = None
+            return
+        idle_elapsed = now - self.idle_start
+        if self.immediate_access and idle_elapsed >= self.phy.difs - TIME_EPS:
+            # Medium idle for at least DIFS: immediate access.
+            station.backoff.remaining = 0
+            station.count_start = now
+        else:
+            # Regular backoff: counted from the end of the DIFS window,
+            # or from now if DIFS has already elapsed (which only
+            # happens with immediate_access disabled).
+            station.backoff.ensure_drawn()
+            station.count_start = max(now, self.idle_start + self.phy.difs)
+        self._reschedule()
+
+    def _earliest_tx(self, station: "Station") -> float:
+        """When ``station``'s countdown reaches zero in this idle period."""
+        assert station.count_start is not None
+        assert station.backoff.remaining is not None
+        return station.count_start + station.backoff.remaining * self.phy.slot_time
+
+    def _reschedule(self) -> None:
+        """Recompute and (re)schedule the next access-resolution event."""
+        if self.is_busy:
+            return
+        ready = [s for s in self._contenders() if s.count_start is not None]
+        if not ready:
+            if self._access_event is not None and self._access_event.pending:
+                self._access_event.cancel()
+            self._access_event = None
+            return
+        t_star = max(min(self._earliest_tx(s) for s in ready), self.sim.now)
+        if self._access_event is not None and self._access_event.pending:
+            if abs(self._access_event.time - t_star) <= TIME_EPS:
+                return
+            self._access_event.cancel()
+        self._access_event = self.sim.schedule(
+            t_star, self._resolve_access, priority=PRIORITY_ACCESS)
+
+    # ------------------------------------------------------------------
+    # Access resolution: transmission, collision, completion
+    # ------------------------------------------------------------------
+
+    def _resolve_access(self) -> None:
+        now = self.sim.now
+        self._access_event = None
+        ready = [s for s in self._contenders() if s.count_start is not None]
+        winners = [s for s in ready if self._earliest_tx(s) <= now + TIME_EPS]
+        if not winners:
+            # An arrival at exactly this instant may have rescheduled;
+            # recompute defensively.
+            self._reschedule()
+            return
+
+        # Freeze the countdown of every losing contender.
+        slot = self.phy.slot_time
+        for station in ready:
+            if station in winners:
+                continue
+            remaining = station.backoff.remaining
+            elapsed = int(math.floor((now - station.count_start) / slot + TIME_EPS))
+            elapsed = max(0, min(elapsed, remaining - 1))
+            station.backoff.consume(elapsed)
+            station.count_start = None
+
+        if len(winners) == 1:
+            busy_end = self._start_success(winners[0], now)
+        else:
+            busy_end = self._start_collision(winners, now)
+
+        self.busy_until = busy_end
+        self.sim.schedule(busy_end, self._on_idle, priority=PRIORITY_IDLE)
+
+    def _uses_rts(self, size_bytes: int) -> bool:
+        return (self.rts_threshold is not None
+                and size_bytes >= self.rts_threshold)
+
+    def _start_success(self, station: "Station", now: float) -> float:
+        record = station.hol
+        data_start = now
+        if self._uses_rts(record.packet.size_bytes):
+            data_start += self.airtime.rts_preamble_duration()
+        data_end = (data_start
+                    + self.airtime.data_airtime(record.packet.size_bytes))
+        record.departure = data_end
+        record.retries = station.attempts
+        station.attempts = 0
+        station.backoff.on_success()
+        station.count_start = None
+        self.successes += 1
+        self.sim.schedule(data_end, station.complete_hol,
+                          priority=PRIORITY_COMPLETE)
+        return data_end + self.phy.sifs + self.airtime.ack_airtime()
+
+    def _start_collision(self, winners: List["Station"], now: float) -> float:
+        # Each collider occupies the medium with its contention frame:
+        # the RTS for protected packets, the full DATA frame otherwise;
+        # the busy period lasts until the longest one plus the
+        # ACK/CTS timeout.
+        frame_times = []
+        for station in winners:
+            size = station.hol.packet.size_bytes
+            if self._uses_rts(size):
+                frame_times.append(self.airtime.rts_airtime())
+            else:
+                frame_times.append(self.airtime.data_airtime(size))
+        busy_end = (now + max(frame_times) + self.phy.sifs
+                    + self.airtime.ack_airtime())
+        self.collisions += 1
+        for station in winners:
+            station.attempts += 1
+            if (self.retry_limit is not None
+                    and station.attempts > self.retry_limit):
+                record = station.hol
+                record.dropped = True
+                record.retries = station.attempts
+                station.attempts = 0
+                station.backoff.reset()
+                station.count_start = None
+                self.sim.schedule(busy_end, station.complete_hol,
+                                  priority=PRIORITY_COMPLETE)
+            else:
+                station.backoff.on_collision()
+                station.count_start = None
+        return busy_end
+
+    def _on_idle(self) -> None:
+        """The busy period ended: restart every frozen countdown."""
+        now = self.sim.now
+        if now < self.busy_until - TIME_EPS:  # pragma: no cover - defensive
+            return
+        self.idle_start = now
+        count_start = now + self.phy.difs
+        for station in self._contenders():
+            station.backoff.ensure_drawn()
+            station.count_start = count_start
+        self._reschedule()

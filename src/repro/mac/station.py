@@ -1,0 +1,110 @@
+"""A wireless station: infinite FIFO transmission queue + DCF MAC.
+
+Stations record the full life cycle of every packet they are handed
+(:class:`repro.traffic.packets.PacketRecord`): arrival at the queue,
+promotion to head-of-line (HOL), and departure (end of the DATA frame).
+These records are the sample paths on which the paper's analysis —
+access delays ``mu_i``, system delays ``Z_i``, output dispersions — is
+computed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mac.medium import Medium
+from repro.sim.engine import Simulator
+from repro.traffic.packets import Packet, PacketRecord
+
+
+class Station:
+    """A sender contending for the channel through a ``Medium``.
+
+    Parameters
+    ----------
+    name:
+        Identifier used by scenario results.
+    sim / medium:
+        The event engine and the shared channel.
+    rng:
+        Source of backoff randomness; defaults to the medium's
+        generator so a single seed drives the whole run.
+    log_queue:
+        When true, every backlog change is appended to
+        :attr:`queue_log` as ``(time, backlog)`` — used to reproduce the
+        contending-queue trace of figure 8.
+    """
+
+    def __init__(self, name: str, sim: Simulator, medium: Medium,
+                 rng: Optional[np.random.Generator] = None,
+                 log_queue: bool = False) -> None:
+        from repro.mac.backoff import BackoffState
+
+        self.name = name
+        self.sim = sim
+        self.medium = medium
+        self.backoff = BackoffState(medium.phy, rng or medium.rng)
+        self.queue: Deque[PacketRecord] = deque()
+        self.hol: Optional[PacketRecord] = None
+        #: When the current countdown started in this idle period
+        #: (None while frozen / medium busy).
+        self.count_start: Optional[float] = None
+        #: Failed attempts for the current HOL packet.
+        self.attempts = 0
+        self.records: List[PacketRecord] = []
+        self.log_queue = log_queue
+        self.queue_log: List[Tuple[float, int]] = []
+        medium.add_station(self)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Packets in the station: queued plus in service (HOL)."""
+        return len(self.queue) + (1 if self.hol is not None else 0)
+
+    def enqueue(self, packet: Packet) -> PacketRecord:
+        """Hand a packet to the station at the current simulation time."""
+        record = PacketRecord(packet, arrival=self.sim.now)
+        self.records.append(record)
+        if self.hol is None:
+            self._promote(record)
+        else:
+            self.queue.append(record)
+        self._log()
+        return record
+
+    def _promote(self, record: PacketRecord) -> None:
+        self.hol = record
+        record.hol = self.sim.now
+        self.medium.on_new_hol(self)
+
+    def complete_hol(self) -> None:
+        """The HOL packet finished (transmitted or dropped); advance."""
+        self.hol = None
+        if self.queue:
+            self._promote(self.queue.popleft())
+        self._log()
+
+    def _log(self) -> None:
+        if self.log_queue:
+            self.queue_log.append((self.sim.now, self.backlog))
+
+    # ------------------------------------------------------------------
+
+    def completed_records(self, flow: Optional[str] = None) -> List[PacketRecord]:
+        """Records of fully transmitted packets, optionally by flow."""
+        return [r for r in self.records
+                if r.completed and (flow is None or r.packet.flow == flow)]
+
+    def access_delays(self, flow: Optional[str] = None) -> np.ndarray:
+        """The mu_i sample (HOL to end of DATA) in arrival order."""
+        return np.array([r.access_delay for r in self.completed_records(flow)],
+                        dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Station({self.name!r}, backlog={self.backlog}, "
+                f"records={len(self.records)})")

@@ -1,0 +1,25 @@
+"""Multi-hop network paths.
+
+The paper takes a strictly network-layer view precisely so its results
+apply to end-to-end paths whose last mile is a CSMA/CA link (the
+broadband-access scenario of its reference [3]).  This package builds
+such paths: a chain of hops — wired FIFO links and/or DCF wireless
+links, each with its own local cross-traffic and propagation delay —
+that probing trains traverse hop by hop.
+
+:class:`repro.path.network.SimulatedPathChannel` adapts a path to the
+:class:`repro.testbed.channel.Channel` interface, so every tool in
+:mod:`repro.core` (rate scans, packet pairs, TOPP, chirps, MSER
+correction) runs end-to-end unchanged.
+"""
+
+from repro.path.hops import PathHop, WiredHop, WlanHop
+from repro.path.network import NetworkPath, SimulatedPathChannel
+
+__all__ = [
+    "NetworkPath",
+    "PathHop",
+    "SimulatedPathChannel",
+    "WiredHop",
+    "WlanHop",
+]

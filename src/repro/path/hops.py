@@ -1,0 +1,141 @@
+"""Path hops: wired FIFO links and DCF wireless links.
+
+A hop consumes the probing packets' arrival instants (absolute path
+time), merges them with its *local* cross-traffic (redrawn per
+repetition — the usual one-hop-persistent cross-traffic assumption of
+the multi-hop probing literature), and returns the departure instants
+plus the hop's propagation delay.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mac.params import PhyParams
+from repro.mac.scenario import StationSpec, WlanScenario
+from repro.queueing.fifo import FifoHop
+from repro.traffic.packets import Packet
+
+
+class PathHop(abc.ABC):
+    """One store-and-forward element of a network path."""
+
+    #: Propagation delay added after the hop's transmission, seconds.
+    prop_delay: float = 0.0
+
+    @abc.abstractmethod
+    def carry(self, arrivals: Sequence[Tuple[float, Packet]],
+              rng: np.random.Generator) -> np.ndarray:
+        """Forward ``arrivals`` (time-ordered) and return departures.
+
+        The returned array aligns with ``arrivals`` (FIFO order is
+        preserved by both hop types) and includes ``prop_delay``.
+        """
+
+    @abc.abstractmethod
+    def nominal_capacity_bps(self, size_bytes: int) -> float:
+        """The hop's capacity for ``size_bytes`` packets (planning aid)."""
+
+
+class WiredHop(PathHop):
+    """A constant-rate FIFO link with optional local cross-traffic."""
+
+    def __init__(self, capacity_bps: float,
+                 cross_generator: Optional[object] = None,
+                 prop_delay: float = 0.0,
+                 warmup: float = 0.1) -> None:
+        if prop_delay < 0 or warmup < 0:
+            raise ValueError("prop_delay and warmup must be non-negative")
+        self.hop = FifoHop(capacity_bps)
+        self.cross_generator = cross_generator
+        self.prop_delay = float(prop_delay)
+        self.warmup = float(warmup)
+
+    def nominal_capacity_bps(self, size_bytes: int) -> float:
+        return self.hop.capacity_bps
+
+    def carry(self, arrivals: Sequence[Tuple[float, Packet]],
+              rng: np.random.Generator) -> np.ndarray:
+        if len(arrivals) == 0:
+            return np.array([])
+        first = arrivals[0][0]
+        last = arrivals[-1][0]
+        merged: List[Tuple[float, Packet]] = list(arrivals)
+        if self.cross_generator is not None:
+            window_start = max(0.0, first - self.warmup)
+            # Enough horizon for the probe span plus queue drain.
+            horizon = (last - window_start
+                       + self.warmup + 0.1)
+            merged.extend(self.cross_generator.generate(
+                horizon, rng, start=window_start))
+        result = self.hop.run(merged)
+        by_uid = {r.packet.uid: r.departure for r in result.records}
+        return np.array([by_uid[p.uid] + self.prop_delay
+                         for _, p in arrivals])
+
+
+class WlanHop(PathHop):
+    """A DCF wireless link with contending (and FIFO) cross-traffic.
+
+    The probing packets enter the wireless sender's transmission queue;
+    ``cross_stations`` contend from other stations and ``fifo_cross``
+    shares the sender's queue — exactly the paper's figure-3 model, now
+    embedded in a longer path.
+    """
+
+    def __init__(self, cross_stations: Sequence[Tuple[str, object]] = (),
+                 fifo_cross: Optional[object] = None,
+                 phy: Optional[PhyParams] = None,
+                 prop_delay: float = 0.0,
+                 warmup: float = 0.2,
+                 drain_rate_floor: float = 1e6,
+                 retry_limit: Optional[int] = None,
+                 rts_threshold: Optional[int] = None) -> None:
+        if prop_delay < 0 or warmup < 0:
+            raise ValueError("prop_delay and warmup must be non-negative")
+        if drain_rate_floor <= 0:
+            raise ValueError("drain_rate_floor must be positive")
+        self.cross_stations = list(cross_stations)
+        self.fifo_cross = fifo_cross
+        self.phy = phy if phy is not None else PhyParams.dot11b()
+        self.prop_delay = float(prop_delay)
+        self.warmup = float(warmup)
+        self.drain_rate_floor = drain_rate_floor
+        self._scenario = WlanScenario(self.phy, retry_limit=retry_limit,
+                                      rts_threshold=rts_threshold)
+
+    def nominal_capacity_bps(self, size_bytes: int) -> float:
+        from repro.mac.frames import AirtimeModel
+        return AirtimeModel(self.phy).link_capacity(size_bytes)
+
+    def carry(self, arrivals: Sequence[Tuple[float, Packet]],
+              rng: np.random.Generator) -> np.ndarray:
+        if len(arrivals) == 0:
+            return np.array([])
+        first = arrivals[0][0]
+        last = arrivals[-1][0]
+        # Shift the hop's local clock so cross-traffic can warm up
+        # before the first probe packet arrives.
+        offset = max(0.0, first - self.warmup)
+        local_arrivals = [(t - offset, p) for t, p in arrivals]
+        total_bytes = sum(p.size_bytes for _, p in arrivals)
+        drain = total_bytes * 8 / self.drain_rate_floor
+        horizon = (last - offset) + drain + 0.1
+        specs = [StationSpec("probe", generator=self.fifo_cross,
+                             arrivals=local_arrivals)]
+        for name, generator in self.cross_stations:
+            specs.append(StationSpec(name, generator=generator))
+        result = self._scenario.run(
+            specs, horizon=horizon, seed=int(rng.integers(0, 2 ** 31)))
+        records = result.station("probe").records
+        by_uid = {r.packet.uid: r for r in records}
+        departures = []
+        for _, packet in arrivals:
+            record = by_uid[packet.uid]
+            if not record.completed:
+                raise RuntimeError("probe packet lost on wireless hop")
+            departures.append(record.departure + offset + self.prop_delay)
+        return np.array(departures)

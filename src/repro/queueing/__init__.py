@@ -1,0 +1,36 @@
+"""Wired FIFO hop and trace-driven queueing substrate.
+
+This package replaces two pieces of the paper's validation setup:
+
+* the reference *wired* FIFO link whose rate-response curve (equation
+  (1)) the paper contrasts against — :class:`repro.queueing.fifo.FifoHop`;
+* the Matlab queueing simulator that "convolves a series of packet
+  arrivals with a series of service times" —
+  :class:`repro.queueing.trace.TraceDrivenQueue`, built on the Lindley
+  recursion.
+
+It also implements the sample-path processes of section 5.1: the
+hop-workload process ``W(t)``, the FIFO utilization ``u_fifo``, and the
+intrusion residual ``R_i``.
+"""
+
+from repro.queueing.lindley import BusyPeriods, lindley_recursion
+from repro.queueing.workload import (
+    WorkloadProcess,
+    intrusion_residual_recursive,
+    residual_bounds,
+)
+from repro.queueing.fifo import FifoHop, FifoResult
+from repro.queueing.trace import TraceDrivenQueue, TraceQueueResult
+
+__all__ = [
+    "BusyPeriods",
+    "FifoHop",
+    "FifoResult",
+    "TraceDrivenQueue",
+    "TraceQueueResult",
+    "WorkloadProcess",
+    "intrusion_residual_recursive",
+    "lindley_recursion",
+    "residual_bounds",
+]

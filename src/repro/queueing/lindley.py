@@ -1,0 +1,113 @@
+"""Lindley recursion and busy-period machinery for a FIFO server.
+
+For a work-conserving FIFO single server fed with arrivals ``a_i`` and
+per-packet service times ``s_i``::
+
+    start_i     = max(a_i, d_{i-1})
+    d_i         = start_i + s_i
+
+Everything else in this package (workload processes, utilizations,
+intrusion residuals) is derived from these sample paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+def lindley_recursion(arrivals: np.ndarray,
+                      services: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute FIFO service starts and departures.
+
+    Parameters
+    ----------
+    arrivals:
+        Non-decreasing arrival instants.
+    services:
+        Positive service times, one per arrival.
+
+    Returns
+    -------
+    (starts, departures):
+        Arrays of the same length.
+    """
+    arrivals = np.asarray(arrivals, dtype=float)
+    services = np.asarray(services, dtype=float)
+    if arrivals.shape != services.shape:
+        raise ValueError(
+            f"shape mismatch: {arrivals.shape} vs {services.shape}")
+    if arrivals.ndim != 1:
+        raise ValueError("expected 1-D arrays")
+    if np.any(np.diff(arrivals) < 0):
+        raise ValueError("arrivals must be non-decreasing")
+    if np.any(services < 0):
+        raise ValueError("service times must be non-negative")
+    n = len(arrivals)
+    starts = np.empty(n)
+    departures = np.empty(n)
+    previous_departure = -np.inf
+    for i in range(n):
+        start = arrivals[i] if arrivals[i] > previous_departure \
+            else previous_departure
+        starts[i] = start
+        previous_departure = start + services[i]
+        departures[i] = previous_departure
+    return starts, departures
+
+
+@dataclass
+class BusyPeriods:
+    """Merged busy intervals of a FIFO server sample path.
+
+    Built from ``(starts, departures)`` of the Lindley recursion
+    together with the arrivals (a busy period starts at an arrival that
+    finds the server idle).
+    """
+
+    intervals: List[Tuple[float, float]]
+
+    @classmethod
+    def from_sample_path(cls, arrivals: np.ndarray, starts: np.ndarray,
+                         departures: np.ndarray) -> "BusyPeriods":
+        """Merge per-packet service spans into maximal busy intervals."""
+        arrivals = np.asarray(arrivals, dtype=float)
+        departures = np.asarray(departures, dtype=float)
+        intervals: List[Tuple[float, float]] = []
+        for i in range(len(arrivals)):
+            begin, end = arrivals[i], departures[i]
+            if intervals and begin <= intervals[-1][1] + 1e-15:
+                last_begin, last_end = intervals[-1]
+                intervals[-1] = (last_begin, max(last_end, end))
+            else:
+                intervals.append((begin, end))
+        return cls(intervals)
+
+    def busy_time(self, t0: float, t1: float) -> float:
+        """Total busy time within ``(t0, t1]``."""
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got ({t0}, {t1})")
+        total = 0.0
+        for begin, end in self.intervals:
+            lo = max(begin, t0)
+            hi = min(end, t1)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def utilization(self, t0: float, t1: float) -> float:
+        """Busy fraction of ``(t0, t1]`` — the paper's u_fifo(t0, t1)."""
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got ({t0}, {t1})")
+        return self.busy_time(t0, t1) / (t1 - t0)
+
+    def contains(self, t: float) -> bool:
+        """Whether the server is busy at time ``t`` (right-continuous)."""
+        for begin, end in self.intervals:
+            if begin <= t < end:
+                return True
+            if begin > t:
+                break
+        return False

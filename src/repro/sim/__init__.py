@@ -1,0 +1,14 @@
+"""Discrete-event simulation substrate.
+
+This package provides the event engine on top of which the IEEE 802.11
+DCF model (:mod:`repro.mac`) and the trace-driven queueing models
+(:mod:`repro.queueing`) are built.  It plays the role that NS2 played in
+the paper's validation setup.
+
+The engine is deliberately small and explicit: a binary-heap scheduler
+with cancellable events and a monotonically non-decreasing clock.
+"""
+
+from repro.sim.engine import Event, EventCancelled, Simulator, SimulationError
+
+__all__ = ["Event", "EventCancelled", "Simulator", "SimulationError"]

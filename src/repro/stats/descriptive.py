@@ -1,0 +1,88 @@
+"""Descriptive statistics used by the figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy import stats as sps
+
+
+@dataclass
+class SummaryStats:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.n < 2:
+            return float("nan")
+        return self.std / np.sqrt(self.n)
+
+
+def summarize(sample: np.ndarray) -> SummaryStats:
+    """Compute a :class:`SummaryStats` for ``sample``."""
+    sample = np.asarray(sample, dtype=float)
+    if len(sample) == 0:
+        raise ValueError("empty sample")
+    return SummaryStats(
+        n=len(sample),
+        mean=float(np.mean(sample)),
+        std=float(np.std(sample, ddof=1)) if len(sample) > 1 else 0.0,
+        minimum=float(np.min(sample)),
+        median=float(np.median(sample)),
+        maximum=float(np.max(sample)),
+    )
+
+
+def mean_confidence_interval(sample: np.ndarray,
+                             confidence: float = 0.95) -> Tuple[float, float, float]:
+    """Mean and Student-t confidence interval ``(mean, lo, hi)``."""
+    sample = np.asarray(sample, dtype=float)
+    n = len(sample)
+    if n < 2:
+        raise ValueError("need at least two observations")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(np.mean(sample))
+    sem = float(np.std(sample, ddof=1) / np.sqrt(n))
+    half = float(sps.t.ppf((1 + confidence) / 2, n - 1)) * sem
+    return mean, mean - half, mean + half
+
+
+def bootstrap_ci(sample: np.ndarray, statistic=np.mean,
+                 confidence: float = 0.95, n_boot: int = 1000,
+                 seed: int = 0) -> Tuple[float, float, float]:
+    """Percentile-bootstrap confidence interval ``(point, lo, hi)``."""
+    sample = np.asarray(sample, dtype=float)
+    if len(sample) == 0:
+        raise ValueError("empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    point = float(statistic(sample))
+    replicates = np.empty(n_boot)
+    for k in range(n_boot):
+        replicates[k] = statistic(rng.choice(sample, size=len(sample)))
+    lo, hi = np.percentile(replicates,
+                           [(1 - confidence) / 2 * 100,
+                            (1 + confidence) / 2 * 100])
+    return point, float(lo), float(hi)
+
+
+def histogram(sample: np.ndarray, bins: int = 50,
+              range_: Tuple[float, float] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Counts histogram ``(counts, bin_edges)`` (figure 7 style)."""
+    sample = np.asarray(sample, dtype=float)
+    if len(sample) == 0:
+        raise ValueError("empty sample")
+    counts, edges = np.histogram(sample, bins=bins, range=range_)
+    return counts, edges

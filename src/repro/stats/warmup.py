@@ -1,0 +1,206 @@
+"""Warm-up (initial transient) truncation heuristics.
+
+Section 7.4 of the paper recasts short-train bandwidth measurement as a
+*simulation warm-up* problem and applies the MSER-m heuristic to the
+inter-arrival (dispersion) samples of a probing train, discarding the
+samples MSER flags as transient.  This module implements:
+
+* :func:`mser` / :func:`mser_m` — the Marginal Standard Error Rule with
+  optional batching (MSER-2 is what figure 17 uses);
+* :func:`fixed_truncation` and :func:`crossing_mean_rule` — classical
+  alternatives used by the ablation benches;
+* :func:`batch_means` — utility batching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TruncationResult:
+    """Outcome of a warm-up truncation heuristic.
+
+    ``truncate_before`` is the index (in the *original* sample) of the
+    first observation considered to be in steady state; ``truncated``
+    is the retained tail.
+    """
+
+    truncate_before: int
+    truncated: np.ndarray
+    scores: np.ndarray
+
+    @property
+    def retained_fraction(self) -> float:
+        """Fraction of the sample kept after truncation."""
+        total = self.truncate_before + len(self.truncated)
+        return len(self.truncated) / total if total else 0.0
+
+
+def batch_means(sample: np.ndarray, m: int) -> np.ndarray:
+    """Non-overlapping batch means of size ``m`` (tail dropped)."""
+    sample = np.asarray(sample, dtype=float)
+    if m < 1:
+        raise ValueError(f"batch size must be >= 1, got {m}")
+    n_batches = len(sample) // m
+    if n_batches == 0:
+        return np.array([])
+    return sample[:n_batches * m].reshape(n_batches, m).mean(axis=1)
+
+
+def mser(sample: np.ndarray, max_cut_fraction: float = 0.75) -> TruncationResult:
+    """Marginal Standard Error Rule (MSER) truncation.
+
+    For each candidate truncation point ``d`` the MSER statistic is::
+
+        MSER(d) = Var(X_{d+1..n}) / (n - d)
+
+    (up to a constant, the squared standard error of the truncated
+    mean); the selected ``d`` minimizes it.  Following standard
+    practice the search is restricted to the first
+    ``max_cut_fraction`` of the sample so the statistic is not
+    minimized by a spuriously tiny tail.
+    """
+    sample = np.asarray(sample, dtype=float)
+    n = len(sample)
+    if n < 2:
+        raise ValueError("need at least two observations")
+    if not 0 < max_cut_fraction <= 1:
+        raise ValueError(
+            f"max_cut_fraction must be in (0, 1], got {max_cut_fraction}")
+    max_cut = max(1, int(np.floor(n * max_cut_fraction)))
+    # Suffix sums let every candidate be scored in O(1).
+    suffix_sum = np.cumsum(sample[::-1])[::-1]
+    suffix_sq = np.cumsum((sample ** 2)[::-1])[::-1]
+    scores = np.full(n, np.inf)
+    for d in range(0, max_cut):
+        kept = n - d
+        if kept < 2:
+            break
+        mean = suffix_sum[d] / kept
+        var = suffix_sq[d] / kept - mean ** 2
+        scores[d] = max(var, 0.0) / kept
+    best = int(np.argmin(scores[:max_cut]))
+    return TruncationResult(truncate_before=best, truncated=sample[best:],
+                            scores=scores)
+
+
+def mser_m(sample: np.ndarray, m: int = 2,
+           max_cut_fraction: float = 0.75) -> TruncationResult:
+    """MSER applied to batch means of size ``m`` (MSER-m).
+
+    The paper's figure 17 uses MSER-2 on the inter-arrival times of a
+    20-packet train.  The returned ``truncate_before`` is expressed in
+    *original-sample* units (batch index times ``m``).
+    """
+    sample = np.asarray(sample, dtype=float)
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    batched = batch_means(sample, m)
+    if len(batched) < 2:
+        raise ValueError(
+            f"sample of {len(sample)} too short for MSER-{m}")
+    batch_result = mser(batched, max_cut_fraction=max_cut_fraction)
+    cut = batch_result.truncate_before * m
+    return TruncationResult(truncate_before=cut, truncated=sample[cut:],
+                            scores=batch_result.scores)
+
+
+def fixed_truncation(sample: np.ndarray, cut: int) -> TruncationResult:
+    """Discard the first ``cut`` observations unconditionally."""
+    sample = np.asarray(sample, dtype=float)
+    if cut < 0 or cut >= len(sample):
+        raise ValueError(
+            f"cut must be in [0, {len(sample) - 1}], got {cut}")
+    return TruncationResult(truncate_before=cut, truncated=sample[cut:],
+                            scores=np.array([]))
+
+
+def geweke_statistic(sample: np.ndarray, first_fraction: float = 0.1,
+                     last_fraction: float = 0.5) -> float:
+    """Geweke's convergence diagnostic (z-score of early vs. late mean).
+
+    Compares the mean of the first ``first_fraction`` of the sequence
+    with the mean of the last ``last_fraction``; under stationarity the
+    statistic is approximately standard normal, so |z| > 2 flags an
+    initial transient.  Variances are estimated per segment (the
+    independent-replications use case of this package; for a single
+    autocorrelated path, batch the sample first).
+    """
+    sample = np.asarray(sample, dtype=float)
+    if len(sample) < 10:
+        raise ValueError("need at least 10 observations")
+    if not 0 < first_fraction < 1 or not 0 < last_fraction < 1:
+        raise ValueError("fractions must be in (0, 1)")
+    if first_fraction + last_fraction > 1:
+        raise ValueError("segments must not overlap")
+    n = len(sample)
+    head = sample[:max(2, int(n * first_fraction))]
+    tail = sample[n - max(2, int(n * last_fraction)):]
+    var = np.var(head, ddof=1) / len(head) + np.var(tail, ddof=1) / len(tail)
+    if var <= 0:
+        return 0.0
+    return float((head.mean() - tail.mean()) / np.sqrt(var))
+
+
+def geweke_truncation(sample: np.ndarray, z_threshold: float = 2.0,
+                      step_fraction: float = 0.05) -> TruncationResult:
+    """Truncate until the Geweke statistic passes.
+
+    Repeatedly drops a ``step_fraction`` slice off the front until
+    ``|z| <= z_threshold`` (or at most half the sample is gone) — the
+    classical iterative use of the diagnostic.
+    """
+    sample = np.asarray(sample, dtype=float)
+    if len(sample) < 20:
+        raise ValueError("need at least 20 observations")
+    if z_threshold <= 0:
+        raise ValueError("z_threshold must be positive")
+    if not 0 < step_fraction < 0.5:
+        raise ValueError("step_fraction must be in (0, 0.5)")
+    step = max(1, int(len(sample) * step_fraction))
+    cut = 0
+    scores = []
+    while cut <= len(sample) // 2:
+        z = geweke_statistic(sample[cut:])
+        scores.append(z)
+        if abs(z) <= z_threshold:
+            break
+        cut += step
+    cut = min(cut, len(sample) // 2)
+    return TruncationResult(truncate_before=cut, truncated=sample[cut:],
+                            scores=np.array(scores))
+
+
+def crossing_mean_rule(sample: np.ndarray,
+                       crossings_required: int = 1) -> TruncationResult:
+    """Welch-style crossing-of-the-mean rule.
+
+    Truncates at the first index where the running sequence has crossed
+    the grand mean ``crossings_required`` times — a cheap classical
+    heuristic included for the truncation ablation bench.
+    """
+    sample = np.asarray(sample, dtype=float)
+    if len(sample) < 2:
+        raise ValueError("need at least two observations")
+    if crossings_required < 1:
+        raise ValueError(
+            f"crossings_required must be >= 1, got {crossings_required}")
+    grand_mean = sample.mean()
+    above = sample[0] > grand_mean
+    crossings = 0
+    cut = 0
+    for i in range(1, len(sample)):
+        now_above = sample[i] > grand_mean
+        if now_above != above:
+            crossings += 1
+            above = now_above
+            if crossings >= crossings_required:
+                cut = i
+                break
+    else:
+        cut = 0  # never crossed enough: keep everything
+    return TruncationResult(truncate_before=cut, truncated=sample[cut:],
+                            scores=np.array([]))

@@ -1,0 +1,228 @@
+"""Channel backends for the prober.
+
+A :class:`Channel` accepts a probing train and returns the true send
+and receive instants of its packets after crossing the network under
+test.  A live implementation would craft the packets with scapy (or
+MGEN, as the paper did) and capture driver timestamps; this repository
+ships two simulated backends:
+
+* :class:`SimulatedWlanChannel` — a DCF (CSMA/CA) link with contending
+  cross-traffic stations and optional FIFO cross-traffic sharing the
+  probe sender's queue: the paper's figure 2/3 system;
+* :class:`SimulatedFifoChannel` — the wired FIFO baseline of
+  equation (1).
+
+Each :meth:`Channel.send_train` call is an independent *repetition*:
+cross-traffic is redrawn, the system is warmed up, and the probing
+train is injected — matching the paper's Poisson-spaced repetitions
+that "assure complete interaction with the system".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mac.params import PhyParams
+from repro.mac.scenario import ScenarioResult, StationSpec, WlanScenario
+from repro.queueing.fifo import FifoHop
+from repro.traffic.probe import ProbeTrain, TrainSequence
+
+
+@dataclass
+class RawTrainResult:
+    """True (error-free) timestamps of one train crossing the channel.
+
+    ``access_delays`` (WLAN channels only) carries the per-packet
+    ``mu_i``; live channels cannot observe it, but the simulator
+    exposes it for validation studies.
+    """
+
+    send_times: np.ndarray
+    recv_times: np.ndarray
+    size_bytes: int
+    access_delays: Optional[np.ndarray] = None
+    scenario: Optional[ScenarioResult] = None
+
+
+class Channel(abc.ABC):
+    """Anything that can carry a probing train."""
+
+    @abc.abstractmethod
+    def send_train(self, train: ProbeTrain, seed: int) -> RawTrainResult:
+        """Send one train through a fresh repetition of the channel."""
+
+    def send_trains(self, train: ProbeTrain, repetitions: int,
+                    seed: int = 0) -> List[RawTrainResult]:
+        """Send ``repetitions`` independent trains (seeds derived)."""
+        if repetitions < 1:
+            raise ValueError(
+                f"repetitions must be >= 1, got {repetitions}")
+        seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+        return [self.send_train(train, int(s)) for s in seeds]
+
+
+class SimulatedWlanChannel(Channel):
+    """A DCF link driven by :class:`repro.mac.scenario.WlanScenario`.
+
+    Parameters
+    ----------
+    cross_stations:
+        ``(name, generator)`` pairs — one contending station each.  The
+        same generator object is reused across repetitions; randomness
+        comes from the per-repetition seed.
+    fifo_cross:
+        Optional generator whose packets share the probe station's
+        transmission queue (the paper's FIFO cross-traffic).
+    warmup:
+        Cross-traffic runs alone for this long before the train starts,
+        so the train meets the system in *its* steady state (the
+        transient under study is the probing flow's, not the system's).
+    start_jitter:
+        The train start is additionally delayed by Uniform(0, jitter)
+        to avoid phase-locking with CBR cross-traffic.
+    drain_rate_floor:
+        Sizing hint for how long cross-traffic keeps flowing while the
+        probe queue drains: the horizon covers the train duration plus
+        ``n * L / drain_rate_floor``.
+    """
+
+    def __init__(self, cross_stations: Sequence[Tuple[str, object]],
+                 fifo_cross: Optional[object] = None,
+                 phy: Optional[PhyParams] = None,
+                 warmup: float = 0.25,
+                 start_jitter: float = 0.01,
+                 drain_rate_floor: float = 1e6,
+                 retry_limit: Optional[int] = None,
+                 log_cross_queues: bool = False,
+                 immediate_access: bool = True,
+                 rts_threshold: Optional[int] = None) -> None:
+        if warmup < 0 or start_jitter < 0:
+            raise ValueError("warmup and start_jitter must be non-negative")
+        if drain_rate_floor <= 0:
+            raise ValueError("drain_rate_floor must be positive")
+        self.cross_stations = list(cross_stations)
+        self.fifo_cross = fifo_cross
+        self.phy = phy if phy is not None else PhyParams.dot11b()
+        self.warmup = warmup
+        self.start_jitter = start_jitter
+        self.drain_rate_floor = drain_rate_floor
+        self.retry_limit = retry_limit
+        self.log_cross_queues = log_cross_queues
+        self.immediate_access = immediate_access
+        self.rts_threshold = rts_threshold
+        self._scenario = WlanScenario(self.phy, retry_limit=retry_limit,
+                                      immediate_access=immediate_access,
+                                      rts_threshold=rts_threshold)
+
+    def horizon_for(self, train: ProbeTrain) -> float:
+        """Cross-traffic horizon covering warmup, train and drain."""
+        drain = train.n * train.size_bytes * 8 / self.drain_rate_floor
+        return self.warmup + self.start_jitter + train.duration + drain
+
+    def send_train(self, train: ProbeTrain, seed: int) -> RawTrainResult:
+        rng = np.random.default_rng(seed)
+        start = self.warmup + (rng.uniform(0, self.start_jitter)
+                               if self.start_jitter > 0 else 0.0)
+        horizon = self.horizon_for(train)
+        probe_arrivals = train.packets(start=start)
+        specs = [StationSpec("probe", generator=self.fifo_cross,
+                             arrivals=probe_arrivals)]
+        for name, generator in self.cross_stations:
+            specs.append(StationSpec(name, generator=generator,
+                                     log_queue=self.log_cross_queues))
+        # Derive an independent stream for the scenario itself so the
+        # start jitter draw does not shift the traffic sample paths.
+        result = self._scenario.run(specs, horizon=horizon,
+                                    seed=int(rng.integers(0, 2 ** 31)))
+        probe = result.station("probe").completed("probe")
+        if len(probe) != train.n:
+            raise RuntimeError(
+                f"{train.n - len(probe)} probe packets were lost")
+        return RawTrainResult(
+            send_times=np.array([r.arrival for r in probe]),
+            recv_times=np.array([r.departure for r in probe]),
+            size_bytes=train.size_bytes,
+            access_delays=np.array([r.access_delay for r in probe]),
+            scenario=result,
+        )
+
+    def send_train_sequence(self, sequence: TrainSequence,
+                            seed: int) -> List[RawTrainResult]:
+        """Send ``m`` Poisson-spaced trains through ONE live system.
+
+        This is the paper's literal measurement procedure (section
+        5.1.2): all trains of the sequence share a single simulation —
+        the cross-traffic is *not* redrawn between trains, only the
+        Poisson inter-train spacing lets the system forget the previous
+        train.  Compare with :meth:`send_trains`, which runs fully
+        independent repetitions (cheaper, same limiting averages).
+        """
+        rng = np.random.default_rng(seed)
+        train = sequence.train
+        starts = sequence.start_times(rng, start=self.warmup)
+        probe_arrivals = []
+        for train_start in starts:
+            probe_arrivals.extend(train.packets(float(train_start)))
+        drain = train.n * train.size_bytes * 8 / self.drain_rate_floor
+        horizon = float(starts[-1]) + train.duration + drain
+        specs = [StationSpec("probe", generator=self.fifo_cross,
+                             arrivals=probe_arrivals)]
+        for name, generator in self.cross_stations:
+            specs.append(StationSpec(name, generator=generator,
+                                     log_queue=self.log_cross_queues))
+        result = self._scenario.run(specs, horizon=horizon,
+                                    seed=int(rng.integers(0, 2 ** 31)))
+        probe = result.station("probe").completed("probe")
+        if len(probe) != len(probe_arrivals):
+            raise RuntimeError("probe packets were lost")
+        out: List[RawTrainResult] = []
+        for k in range(sequence.m):
+            chunk = probe[k * train.n:(k + 1) * train.n]
+            out.append(RawTrainResult(
+                send_times=np.array([r.arrival for r in chunk]),
+                recv_times=np.array([r.departure for r in chunk]),
+                size_bytes=train.size_bytes,
+                access_delays=np.array([r.access_delay for r in chunk]),
+            ))
+        return out
+
+
+class SimulatedFifoChannel(Channel):
+    """The wired single-queue baseline of equation (1)."""
+
+    def __init__(self, capacity_bps: float,
+                 cross_generator: Optional[object] = None,
+                 warmup: float = 0.25,
+                 start_jitter: float = 0.01,
+                 drain_rate_floor: float = 1e6) -> None:
+        if warmup < 0 or start_jitter < 0:
+            raise ValueError("warmup and start_jitter must be non-negative")
+        if drain_rate_floor <= 0:
+            raise ValueError("drain_rate_floor must be positive")
+        self.hop = FifoHop(capacity_bps)
+        self.cross_generator = cross_generator
+        self.warmup = warmup
+        self.start_jitter = start_jitter
+        self.drain_rate_floor = drain_rate_floor
+
+    def send_train(self, train: ProbeTrain, seed: int) -> RawTrainResult:
+        rng = np.random.default_rng(seed)
+        start = self.warmup + (rng.uniform(0, self.start_jitter)
+                               if self.start_jitter > 0 else 0.0)
+        drain = train.n * train.size_bytes * 8 / self.drain_rate_floor
+        horizon = start + train.duration + drain
+        arrivals = list(train.packets(start=start))
+        if self.cross_generator is not None:
+            arrivals.extend(self.cross_generator.generate(horizon, rng))
+        result = self.hop.run(arrivals)
+        probe = result.by_flow("probe")
+        return RawTrainResult(
+            send_times=np.array([r.arrival for r in probe]),
+            recv_times=np.array([r.departure for r in probe]),
+            size_bytes=train.size_bytes,
+            access_delays=np.array([r.access_delay for r in probe]),
+        )

@@ -1,0 +1,169 @@
+"""The probing tool.
+
+:class:`Prober` is the user-facing measurement tool of this repository:
+point it at a :class:`repro.testbed.channel.Channel`, and it performs
+the measurements the paper analyzes — packet-pair capacity probes, rate
+scans, achievable-throughput estimation (equation (2)), and
+MSER-corrected short-train measurements (section 7.4) — through
+sender/receiver clocks with realistic error models.
+
+The prober never looks below the network layer: everything it returns
+is computed from timestamps, exactly like the tools whose behaviour the
+paper explains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.correction import mser_corrected_rate
+from repro.core.dispersion import TrainMeasurement
+from repro.core.estimators import (
+    RateResponseCurve,
+    packet_pair_capacity,
+    rate_response_from_measurements,
+    train_dispersion_rate,
+)
+from repro.testbed.channel import Channel, RawTrainResult
+from repro.testbed.clocks import ClockModel, ntp_synced_pair
+from repro.traffic.probe import PacketPair, ProbeTrain
+
+
+@dataclass
+class ProbeSessionConfig:
+    """Measurement-session parameters.
+
+    Attributes
+    ----------
+    size_bytes:
+        Probe packet size L.
+    repetitions:
+        Trains sent per measurement point (the paper's ``m``).
+    clock_seed:
+        Seed for the clock error models.
+    ideal_clocks:
+        Disable timestamp errors entirely (simulator ground truth).
+    """
+
+    size_bytes: int = 1500
+    repetitions: int = 40
+    clock_seed: int = 1234
+    ideal_clocks: bool = False
+
+
+class Prober:
+    """Active bandwidth measurement over a channel."""
+
+    def __init__(self, channel: Channel,
+                 config: Optional[ProbeSessionConfig] = None) -> None:
+        self.channel = channel
+        self.config = config if config is not None else ProbeSessionConfig()
+        self._clock_rng = np.random.default_rng(self.config.clock_seed)
+        if self.config.ideal_clocks:
+            self.sender_clock = ClockModel()
+            self.receiver_clock = ClockModel()
+        else:
+            self.sender_clock, self.receiver_clock = ntp_synced_pair(
+                self._clock_rng)
+
+    # ------------------------------------------------------------------
+
+    def _stamp(self, raw: RawTrainResult) -> TrainMeasurement:
+        """Apply the clock error models to a raw channel result."""
+        return TrainMeasurement(
+            send_times=self.sender_clock.timestamps(raw.send_times,
+                                                    self._clock_rng),
+            recv_times=self.receiver_clock.timestamps(raw.recv_times,
+                                                      self._clock_rng),
+            size_bytes=raw.size_bytes,
+        )
+
+    def measure_train(self, n: int, rate_bps: float,
+                      repetitions: Optional[int] = None,
+                      seed: int = 0) -> List[TrainMeasurement]:
+        """Send ``repetitions`` trains of ``n`` packets at ``rate_bps``."""
+        train = ProbeTrain.at_rate(n, rate_bps, self.config.size_bytes)
+        reps = repetitions if repetitions is not None else self.config.repetitions
+        raws = self.channel.send_trains(train, reps, seed=seed)
+        return [self._stamp(raw) for raw in raws]
+
+    def measure_pairs(self, repetitions: Optional[int] = None,
+                      seed: int = 0) -> List[TrainMeasurement]:
+        """Send back-to-back packet pairs."""
+        pair = PacketPair(self.config.size_bytes)
+        reps = repetitions if repetitions is not None else self.config.repetitions
+        raws = self.channel.send_trains(pair, reps, seed=seed)
+        return [self._stamp(raw) for raw in raws]
+
+    def measure_sequence(self, n: int, rate_bps: float, m: int,
+                         mean_spacing: float = 0.2, guard: float = 0.05,
+                         seed: int = 0) -> List[TrainMeasurement]:
+        """Send ``m`` Poisson-spaced trains through ONE live system.
+
+        The paper's literal measurement procedure (section 5.1.2);
+        requires a channel exposing ``send_train_sequence`` (the
+        simulated WLAN backend does).
+        """
+        from repro.traffic.probe import TrainSequence
+        send = getattr(self.channel, "send_train_sequence", None)
+        if send is None:
+            raise TypeError(
+                f"{type(self.channel).__name__} does not support "
+                "train sequences")
+        train = ProbeTrain.at_rate(n, rate_bps, self.config.size_bytes)
+        sequence = TrainSequence(train, m=m, mean_spacing=mean_spacing,
+                                 guard=guard)
+        return [self._stamp(raw) for raw in send(sequence, seed)]
+
+    def measure_chirps(self, chirp, repetitions: Optional[int] = None,
+                       seed: int = 0) -> List[TrainMeasurement]:
+        """Send pathChirp-style chirps (any train-shaped object works:
+        the channel only needs ``n``, ``duration``, ``size_bytes`` and
+        ``packets(start)``)."""
+        reps = repetitions if repetitions is not None else self.config.repetitions
+        raws = self.channel.send_trains(chirp, reps, seed=seed)
+        return [self._stamp(raw) for raw in raws]
+
+    # ------------------------------------------------------------------
+    # The measurements of the paper
+    # ------------------------------------------------------------------
+
+    def packet_pair_estimate(self, repetitions: Optional[int] = None,
+                             seed: int = 0) -> float:
+        """Packet-pair 'capacity' estimate (figure 16's inference)."""
+        return packet_pair_capacity(self.measure_pairs(repetitions, seed))
+
+    def dispersion_rate(self, n: int, rate_bps: float,
+                        repetitions: Optional[int] = None,
+                        seed: int = 0) -> float:
+        """``L / E[g_O]`` at one probing rate."""
+        return train_dispersion_rate(
+            self.measure_train(n, rate_bps, repetitions, seed))
+
+    def rate_scan(self, rates_bps: Sequence[float], n: int,
+                  repetitions: Optional[int] = None,
+                  seed: int = 0) -> RateResponseCurve:
+        """Measure a rate-response curve over ``rates_bps``."""
+        by_rate: Dict[float, List[TrainMeasurement]] = {}
+        for k, rate in enumerate(sorted(rates_bps)):
+            by_rate[rate] = self.measure_train(
+                n, rate, repetitions, seed=seed + 7919 * k)
+        return rate_response_from_measurements(by_rate)
+
+    def achievable_throughput(self, rates_bps: Sequence[float], n: int,
+                              repetitions: Optional[int] = None,
+                              tolerance: float = 0.05,
+                              seed: int = 0) -> float:
+        """Equation (2): B from a measured rate scan."""
+        return self.rate_scan(rates_bps, n, repetitions, seed) \
+            .achievable_throughput(tolerance)
+
+    def mser_corrected_rate(self, n: int, rate_bps: float, m: int = 2,
+                            repetitions: Optional[int] = None,
+                            seed: int = 0) -> float:
+        """MSER-m-truncated dispersion rate (the paper's correction)."""
+        return mser_corrected_rate(
+            self.measure_train(n, rate_bps, repetitions, seed), m=m)

@@ -1,0 +1,39 @@
+"""Traffic generation substrate.
+
+Plays the role of the MGEN toolset in the paper's testbed: it produces
+the packet workloads that feed the DCF and FIFO-hop simulators —
+Poisson and CBR cross-traffic, and the probing trains used by the
+measurement tools (periodic trains, packet pairs, and Poisson-spaced
+sequences of trains).
+"""
+
+from repro.traffic.packets import Packet, PacketRecord
+from repro.traffic.generators import (
+    ArrivalSchedule,
+    CBRGenerator,
+    OnOffGenerator,
+    PoissonGenerator,
+    TraceGenerator,
+)
+from repro.traffic.probe import (
+    PacketPair,
+    ProbeTrain,
+    TrainSequence,
+    gap_for_rate,
+    rate_for_gap,
+)
+
+__all__ = [
+    "ArrivalSchedule",
+    "CBRGenerator",
+    "OnOffGenerator",
+    "PacketPair",
+    "Packet",
+    "PacketRecord",
+    "PoissonGenerator",
+    "ProbeTrain",
+    "TraceGenerator",
+    "TrainSequence",
+    "gap_for_rate",
+    "rate_for_gap",
+]

@@ -1,0 +1,144 @@
+"""Probing-train construction.
+
+The paper's measurement process (section 5.1.2) sends ``m`` probing
+sequences of ``n`` packets each.  Within a sequence packets are periodic
+with input gap ``g_I``; sequences are separated with Poisson spacing "in
+order to assure complete interaction with the system".
+
+:class:`ProbeTrain` describes a single sequence, :class:`PacketPair` is
+the n=2 special case sent back-to-back (an "infinite rate" probe in the
+paper's terms), and :class:`TrainSequence` lays out ``m`` trains over
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.traffic.packets import Packet
+
+
+def gap_for_rate(rate_bps: float, size_bytes: int) -> float:
+    """Input gap g_I (seconds) so that L/g_I equals ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive, got {size_bytes}")
+    return size_bytes * 8 / rate_bps
+
+
+def rate_for_gap(gap: float, size_bytes: int) -> float:
+    """Input rate r_i = L/g_I in bit/s for a given gap."""
+    if gap <= 0:
+        raise ValueError(f"gap must be positive, got {gap}")
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive, got {size_bytes}")
+    return size_bytes * 8 / gap
+
+
+@dataclass(frozen=True)
+class ProbeTrain:
+    """A periodic probing sequence of ``n`` packets with input gap ``g_I``.
+
+    Attributes
+    ----------
+    n:
+        Number of packets in the train (the paper uses 2–10000).
+    gap:
+        Input gap g_I between consecutive packets, in seconds.
+    size_bytes:
+        Probe packet size L (network layer).
+    """
+
+    n: int
+    gap: float
+    size_bytes: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"a train needs at least 2 packets, got {self.n}")
+        if self.gap < 0:
+            raise ValueError(f"gap must be non-negative, got {self.gap}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {self.size_bytes}")
+
+    @classmethod
+    def at_rate(cls, n: int, rate_bps: float, size_bytes: int = 1500) -> "ProbeTrain":
+        """Build a train probing at ``rate_bps`` (g_I = L / r_i)."""
+        return cls(n=n, gap=gap_for_rate(rate_bps, size_bytes),
+                   size_bytes=size_bytes)
+
+    @property
+    def rate_bps(self) -> float:
+        """Input rate r_i = L/g_I (infinite for back-to-back trains)."""
+        if self.gap == 0:
+            return float("inf")
+        return rate_for_gap(self.gap, self.size_bytes)
+
+    @property
+    def duration(self) -> float:
+        """Time between the first and last packet arrival."""
+        return (self.n - 1) * self.gap
+
+    def arrival_times(self, start: float = 0.0) -> np.ndarray:
+        """The arrival instants a_i = start + (i-1) * g_I."""
+        return start + np.arange(self.n) * self.gap
+
+    def packets(self, start: float = 0.0) -> List[Tuple[float, Packet]]:
+        """Materialize the train as (time, packet) pairs, seq = 0..n-1."""
+        return [
+            (float(t), Packet(self.size_bytes, flow="probe", seq=i,
+                              created_at=float(t)))
+            for i, t in enumerate(self.arrival_times(start))
+        ]
+
+
+class PacketPair(ProbeTrain):
+    """A back-to-back packet pair (the paper's "probe of infinite rate")."""
+
+    def __init__(self, size_bytes: int = 1500) -> None:
+        super().__init__(n=2, gap=0.0, size_bytes=size_bytes)
+
+
+@dataclass(frozen=True)
+class TrainSequence:
+    """``m`` repetitions of a train with Poisson inter-train spacing.
+
+    The inter-train gap is drawn as ``guard + Exp(mean_spacing)`` so
+    consecutive trains never overlap and the system "forgets" the
+    previous train before a new one starts (matching the measurement
+    procedure in section 5.1.2).
+    """
+
+    train: ProbeTrain
+    m: int
+    mean_spacing: float
+    guard: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError(f"need at least one train, got {self.m}")
+        if self.mean_spacing <= 0:
+            raise ValueError(
+                f"mean spacing must be positive, got {self.mean_spacing}")
+        if self.guard < 0:
+            raise ValueError(f"guard must be non-negative, got {self.guard}")
+
+    def start_times(self, rng: np.random.Generator,
+                    start: float = 0.0) -> np.ndarray:
+        """Draw the m train start instants."""
+        gaps = self.guard + rng.exponential(self.mean_spacing, size=self.m)
+        gaps[0] = 0.0
+        starts = start + np.cumsum(gaps + self.train.duration) - self.train.duration
+        return starts
+
+    def packets(self, rng: np.random.Generator,
+                start: float = 0.0) -> List[Tuple[float, Packet]]:
+        """Materialize all m trains; seq restarts at 0 for each train."""
+        out: List[Tuple[float, Packet]] = []
+        for train_start in self.start_times(rng, start):
+            out.extend(self.train.packets(float(train_start)))
+        return out

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.mac.params import PhyParams
+from repro.mac.scenario import StationSpec, WlanScenario
+from repro.traffic.generators import CBRGenerator, PoissonGenerator
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def phy():
+    """Default 802.11b PHY parameters."""
+    return PhyParams.dot11b()
+
+
+@pytest.fixture
+def scenario(phy):
+    """A default WLAN scenario builder."""
+    return WlanScenario(phy)
+
+
+@pytest.fixture
+def saturated_pair_result(scenario):
+    """Two saturated stations contending for 1.5 simulated seconds."""
+    specs = [
+        StationSpec("a", generator=CBRGenerator(9e6, 1500)),
+        StationSpec("b", generator=CBRGenerator(9e6, 1500)),
+    ]
+    return scenario.run(specs, horizon=1.5, seed=7, until=1.5)
+
+
+@pytest.fixture
+def probe_vs_poisson_result(scenario):
+    """A 2 Mb/s probe against 3 Mb/s Poisson cross-traffic."""
+    specs = [
+        StationSpec("probe", generator=CBRGenerator(2e6, 1500, flow="probe")),
+        StationSpec("cross", generator=PoissonGenerator(3e6, 1500)),
+    ]
+    return scenario.run(specs, horizon=1.5, seed=11, until=1.5)

@@ -1,0 +1,83 @@
+"""Smoke tests for the ablation and extension runners.
+
+Tiny parameters; structural assertions only.  The full-size versions
+with shape checks run in the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ablations import (
+    ablation_bianchi_calibration,
+    ablation_immediate_access,
+    ablation_ks_methods,
+    ablation_rts_cts,
+    ablation_truncation_heuristics,
+)
+from repro.analysis.extensions import (
+    tool_convergence_study,
+    transient_b_vs_n,
+)
+
+
+class TestAblationRunners:
+    def test_bianchi_calibration(self):
+        result = ablation_bianchi_calibration(
+            station_counts=(1, 2), duration=1.5, warmup=0.3, seed=1)
+        assert result.all_checks_pass
+        assert np.all(result.series["simulated_bps"] > 1e6)
+
+    def test_immediate_access(self):
+        result = ablation_immediate_access(
+            n_packets=50, repetitions=60, seed=2)
+        assert "dcf_mean_delay_s" in result.series
+        assert result.checks["rule-creates-acceleration"]
+
+    def test_ks_methods(self):
+        result = ablation_ks_methods(n_packets=50, repetitions=80, seed=3)
+        assert result.checks["interpolated-has-floor"]
+
+    def test_rts_cts(self):
+        result = ablation_rts_cts(n_packets=50, repetitions=60, seed=4)
+        assert result.checks["rts-adds-overhead"]
+        assert result.checks["transient-survives-rts"]
+
+    def test_truncation_heuristics(self):
+        result = ablation_truncation_heuristics(repetitions=50, seed=5)
+        assert result.meta["methods"] == "raw,mser2,mser1,fixed"
+        assert result.checks["raw-overestimates"]
+
+
+class TestExtensionRunners:
+    def test_transient_b_vs_n(self):
+        result = transient_b_vs_n(
+            train_lengths=(2, 5, 20, 60), repetitions=80, seed=6)
+        b = result.series["B_n_bps"]
+        assert b[0] > b[-1]
+        assert result.checks["short-trains-exceed-steady"]
+
+    def test_transient_b_vs_n_validation(self):
+        with pytest.raises(ValueError):
+            transient_b_vs_n(train_lengths=(1, 5), repetitions=5)
+
+    def test_tool_convergence(self):
+        result = tool_convergence_study(
+            cross_rates_bps=[4e6], n_packets=40, repetitions=5, seed=7)
+        estimate = result.series["tool_estimate_bps"][0]
+        available = result.series["available_A_bps"][0]
+        assert estimate > available
+
+    def test_topp_on_wlan(self):
+        from repro.analysis.extensions import topp_on_wlan_study
+        result = topp_on_wlan_study(
+            cross_rates_bps=[4e6], n_packets=150, repetitions=5, seed=8)
+        capacity = result.meta["capacity_bps"]
+        assert result.series["topp_capacity_bps"][0] < 0.8 * capacity
+
+    def test_multihop_access_path(self):
+        from repro.analysis.extensions import multihop_access_path_study
+        result = multihop_access_path_study(
+            probe_rates_bps=np.array([1e6, 3e6, 5e6]),
+            n_packets=30, repetitions=6, seed=9)
+        assert "path_L_over_Ego_bps" in result.series
+        assert result.meta["pair_estimate_bps"] < 0.2 * 100e6

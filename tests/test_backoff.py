@@ -1,0 +1,128 @@
+"""Tests for the binary exponential backoff state machine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mac.backoff import BackoffState
+from repro.mac.params import PhyParams
+
+
+@pytest.fixture
+def backoff(rng):
+    return BackoffState(PhyParams.dot11b(), rng)
+
+
+class TestContentionWindow:
+    def test_initial_cw(self, backoff):
+        assert backoff.current_cw() == 31
+
+    def test_doubling(self, backoff):
+        expected = [31, 63, 127, 255, 511, 1023]
+        for cw in expected:
+            assert backoff.current_cw() == cw
+            backoff.stage += 1
+
+    def test_capped_at_cw_max(self, backoff):
+        backoff.stage = 50
+        assert backoff.current_cw() == 1023
+
+
+class TestDraw:
+    def test_draw_within_window(self, backoff):
+        for _ in range(200):
+            value = backoff.draw()
+            assert 0 <= value <= 31
+
+    def test_draw_uniform_mean(self, rng):
+        backoff = BackoffState(PhyParams.dot11b(), rng)
+        draws = [backoff.draw() for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(15.5, abs=0.7)
+
+    def test_draw_covers_extremes(self, rng):
+        backoff = BackoffState(PhyParams.dot11b(), rng)
+        draws = {backoff.draw() for _ in range(2000)}
+        assert 0 in draws and 31 in draws
+
+    def test_ensure_drawn_idempotent(self, backoff):
+        first = backoff.ensure_drawn()
+        assert backoff.ensure_drawn() == first
+
+    def test_ensure_drawn_draws_when_none(self, backoff):
+        assert backoff.remaining is None
+        backoff.ensure_drawn()
+        assert backoff.remaining is not None
+
+
+class TestConsume:
+    def test_consume_decrements(self, backoff):
+        backoff.remaining = 10
+        backoff.consume(3)
+        assert backoff.remaining == 7
+
+    def test_consume_to_zero(self, backoff):
+        backoff.remaining = 5
+        backoff.consume(5)
+        assert backoff.remaining == 0
+
+    def test_consume_without_pending_raises(self, backoff):
+        with pytest.raises(ValueError):
+            backoff.consume(1)
+
+    def test_consume_too_many_raises(self, backoff):
+        backoff.remaining = 2
+        with pytest.raises(ValueError):
+            backoff.consume(3)
+
+    def test_consume_negative_raises(self, backoff):
+        backoff.remaining = 2
+        with pytest.raises(ValueError):
+            backoff.consume(-1)
+
+
+class TestStageTransitions:
+    def test_collision_increases_stage_and_redraws(self, backoff):
+        backoff.draw()
+        backoff.on_collision()
+        assert backoff.stage == 1
+        assert 0 <= backoff.remaining <= 63
+
+    def test_collision_stage_capped(self, backoff):
+        for _ in range(20):
+            backoff.on_collision()
+        assert backoff.stage == PhyParams.dot11b().max_backoff_stage
+
+    def test_success_resets(self, backoff):
+        backoff.on_collision()
+        backoff.on_success()
+        assert backoff.stage == 0
+        assert backoff.remaining is None
+
+    def test_reset(self, backoff):
+        backoff.stage = 3
+        backoff.remaining = 7
+        backoff.reset()
+        assert backoff.stage == 0
+        assert backoff.remaining is None
+
+
+class TestBackoffProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(collisions=st.integers(min_value=0, max_value=12),
+           seed=st.integers(min_value=0, max_value=2**31))
+    def test_draw_always_within_current_window(self, collisions, seed):
+        backoff = BackoffState(PhyParams.dot11b(),
+                               np.random.default_rng(seed))
+        backoff.ensure_drawn()
+        for _ in range(collisions):
+            backoff.on_collision()
+        assert 0 <= backoff.remaining <= backoff.current_cw()
+
+    @settings(max_examples=30, deadline=None)
+    @given(stage=st.integers(min_value=0, max_value=10))
+    def test_cw_formula(self, stage):
+        backoff = BackoffState(PhyParams.dot11b(),
+                               np.random.default_rng(0))
+        backoff.stage = stage
+        expected = min(1023, 32 * 2 ** stage - 1)
+        assert backoff.current_cw() == expected

@@ -1,0 +1,139 @@
+"""Tests for the simulated channel backends."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.channel import SimulatedFifoChannel, SimulatedWlanChannel
+from repro.traffic.generators import PoissonGenerator
+from repro.traffic.probe import PacketPair, ProbeTrain
+
+
+@pytest.fixture
+def wlan_channel():
+    return SimulatedWlanChannel([("cross", PoissonGenerator(2e6, 1500))],
+                                warmup=0.1)
+
+
+class TestSimulatedWlanChannel:
+    def test_returns_all_packets(self, wlan_channel):
+        train = ProbeTrain.at_rate(10, 4e6)
+        raw = wlan_channel.send_train(train, seed=1)
+        assert len(raw.send_times) == 10
+        assert len(raw.recv_times) == 10
+        assert len(raw.access_delays) == 10
+
+    def test_send_times_match_train_gaps(self, wlan_channel):
+        train = ProbeTrain.at_rate(5, 2e6)
+        raw = wlan_channel.send_train(train, seed=2)
+        assert np.allclose(np.diff(raw.send_times), train.gap)
+
+    def test_recv_after_send(self, wlan_channel):
+        raw = wlan_channel.send_train(ProbeTrain.at_rate(5, 2e6), seed=3)
+        assert np.all(raw.recv_times > raw.send_times)
+
+    def test_same_seed_reproducible(self, wlan_channel):
+        train = ProbeTrain.at_rate(5, 2e6)
+        a = wlan_channel.send_train(train, seed=4)
+        b = wlan_channel.send_train(train, seed=4)
+        assert np.array_equal(a.recv_times, b.recv_times)
+
+    def test_different_seeds_differ(self, wlan_channel):
+        train = ProbeTrain.at_rate(5, 2e6)
+        a = wlan_channel.send_train(train, seed=5)
+        b = wlan_channel.send_train(train, seed=6)
+        assert not np.array_equal(a.recv_times, b.recv_times)
+
+    def test_send_trains_independent(self, wlan_channel):
+        raws = wlan_channel.send_trains(ProbeTrain.at_rate(3, 2e6), 5,
+                                        seed=7)
+        assert len(raws) == 5
+        starts = {r.send_times[0] for r in raws}
+        assert len(starts) == 5  # per-repetition start jitter
+
+    def test_repetitions_validation(self, wlan_channel):
+        with pytest.raises(ValueError):
+            wlan_channel.send_trains(ProbeTrain.at_rate(3, 2e6), 0)
+
+    def test_fifo_cross_traffic_slows_probe(self):
+        plain = SimulatedWlanChannel([], warmup=0.1, start_jitter=0.0)
+        loaded = SimulatedWlanChannel(
+            [], fifo_cross=PoissonGenerator(2e6, 1500, flow="fifo"),
+            warmup=0.1, start_jitter=0.0)
+        train = ProbeTrain.at_rate(30, 6e6)
+        gap_plain = np.mean([
+            (r.recv_times[-1] - r.recv_times[0]) / (train.n - 1)
+            for r in plain.send_trains(train, 10, seed=8)])
+        gap_loaded = np.mean([
+            (r.recv_times[-1] - r.recv_times[0]) / (train.n - 1)
+            for r in loaded.send_trains(train, 10, seed=8)])
+        assert gap_loaded > gap_plain
+
+    def test_horizon_covers_drain(self, wlan_channel):
+        train = ProbeTrain.at_rate(100, 8e6)
+        horizon = wlan_channel.horizon_for(train)
+        assert horizon > wlan_channel.warmup + train.duration
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedWlanChannel([], warmup=-1.0)
+        with pytest.raises(ValueError):
+            SimulatedWlanChannel([], drain_rate_floor=0.0)
+
+    def test_queue_logging_exposed(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, 1500))],
+            warmup=0.1, log_cross_queues=True)
+        raw = channel.send_train(ProbeTrain.at_rate(5, 4e6), seed=9)
+        sizes = raw.scenario.station("cross").queue_size_at(raw.send_times)
+        assert len(sizes) == 5
+
+    def test_immediate_access_ablation_slows_first_packet(self):
+        kwargs = dict(warmup=0.1, start_jitter=0.0)
+        on = SimulatedWlanChannel([], immediate_access=True, **kwargs)
+        off = SimulatedWlanChannel([], immediate_access=False, **kwargs)
+        train = ProbeTrain.at_rate(2, 1e6)
+        first_on = np.mean([r.access_delays[0] for r in
+                            on.send_trains(train, 20, seed=10)])
+        first_off = np.mean([r.access_delays[0] for r in
+                             off.send_trains(train, 20, seed=10)])
+        assert first_on < first_off
+
+
+class TestSimulatedFifoChannel:
+    def test_empty_link_train_undisturbed(self):
+        channel = SimulatedFifoChannel(10e6, start_jitter=0.0)
+        train = ProbeTrain.at_rate(10, 2e6)
+        raw = channel.send_train(train, seed=1)
+        gaps = np.diff(raw.recv_times)
+        assert np.allclose(gaps, train.gap)
+
+    def test_pair_dispersion_equals_service_time(self):
+        channel = SimulatedFifoChannel(10e6)
+        raw = channel.send_train(PacketPair(), seed=2)
+        assert raw.recv_times[1] - raw.recv_times[0] == pytest.approx(
+            1500 * 8 / 10e6)
+
+    def test_cross_traffic_inflates_gaps(self):
+        empty = SimulatedFifoChannel(10e6, start_jitter=0.0)
+        loaded = SimulatedFifoChannel(
+            10e6, cross_generator=PoissonGenerator(6e6, 1500),
+            start_jitter=0.0)
+        train = ProbeTrain.at_rate(50, 8e6)
+        gap_empty = np.mean([
+            (r.recv_times[-1] - r.recv_times[0]) / 49
+            for r in empty.send_trains(train, 5, seed=3)])
+        gap_loaded = np.mean([
+            (r.recv_times[-1] - r.recv_times[0]) / 49
+            for r in loaded.send_trains(train, 5, seed=3)])
+        assert gap_loaded > gap_empty
+
+    def test_access_delay_is_service_time(self):
+        channel = SimulatedFifoChannel(10e6)
+        raw = channel.send_train(ProbeTrain.at_rate(5, 1e6), seed=4)
+        assert np.allclose(raw.access_delays, 1500 * 8 / 10e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedFifoChannel(10e6, warmup=-1)
+        with pytest.raises(ValueError):
+            SimulatedFifoChannel(10e6, drain_rate_floor=-1)

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import REGISTRY, build_parser, main, scaled_kwargs
+
+
+class TestRegistry:
+    def test_every_paper_figure_registered(self):
+        for figure in ("fig1", "fig4", "fig6", "fig7", "fig8", "fig9",
+                       "fig10", "fig13", "fig15", "fig16", "fig17"):
+            assert figure in REGISTRY
+
+    def test_baselines_and_ablations_registered(self):
+        for name in ("eq1", "bounds", "ablation-bianchi",
+                     "ablation-rts", "ext-b-vs-n"):
+            assert name in REGISTRY
+
+    def test_runners_callable(self):
+        for runner, _base in REGISTRY.values():
+            assert callable(runner)
+
+
+class TestScaledKwargs:
+    def test_scaling(self):
+        kwargs = scaled_kwargs({"repetitions": 100}, 0.5, None)
+        assert kwargs == {"repetitions": 50}
+
+    def test_floor_of_two(self):
+        kwargs = scaled_kwargs({"repetitions": 10}, 0.01, None)
+        assert kwargs["repetitions"] == 2
+
+    def test_seed_override(self):
+        kwargs = scaled_kwargs({}, 1.0, 42)
+        assert kwargs == {"seed": 42}
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "fig17" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity C" in out
+        assert "fair share" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_small_experiment(self, capsys):
+        code = main(["run", "fig6", "--scale", "0.05", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "mean_access_de" in out
+        assert code in (0, 1)  # tiny scale may fail shape checks
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

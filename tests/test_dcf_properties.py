@@ -1,0 +1,142 @@
+"""Property-based fuzzing of the DCF simulator.
+
+Random station counts, packet sizes, arrival patterns and seeds; the
+protocol invariants must hold on every generated scenario:
+
+* conservation — with no retry limit every packet departs exactly once;
+* per-station FIFO — departures follow arrivals in order, and the HOL
+  instant obeys the Lindley recursion;
+* medium exclusivity — successful DATA frames never overlap on air;
+* access-delay floor — no packet beats its own airtime (plus the RTS
+  handshake when protected);
+* determinism — identical seeds give identical sample paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mac.frames import AirtimeModel
+from repro.mac.params import PhyParams
+from repro.mac.scenario import StationSpec, WlanScenario
+from repro.traffic.packets import Packet
+
+PHY = PhyParams.dot11b()
+AIRTIME = AirtimeModel(PHY)
+
+
+def random_scenario(n_stations, packets_per_station, size_choices, span,
+                    seed, retry_limit=None, rts_threshold=None):
+    rng = np.random.default_rng(seed)
+    specs = []
+    for i in range(n_stations):
+        times = np.sort(rng.uniform(0.0, span, packets_per_station))
+        sizes = rng.choice(size_choices, packets_per_station)
+        arrivals = [(float(t), Packet(int(s)))
+                    for t, s in zip(times, sizes)]
+        specs.append(StationSpec(f"s{i}", arrivals=arrivals))
+    scenario = WlanScenario(PHY, retry_limit=retry_limit,
+                            rts_threshold=rts_threshold)
+    return scenario.run(specs, horizon=span + 0.01, seed=seed)
+
+
+scenario_params = dict(
+    n_stations=st.integers(min_value=1, max_value=4),
+    packets_per_station=st.integers(min_value=1, max_value=25),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+
+
+class TestDcfInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(**scenario_params)
+    def test_conservation(self, n_stations, packets_per_station, seed):
+        result = random_scenario(n_stations, packets_per_station,
+                                 [40, 576, 1500], 0.2, seed)
+        for i in range(n_stations):
+            records = result.station(f"s{i}").records
+            assert len(records) == packets_per_station
+            assert all(r.completed for r in records)
+
+    @settings(max_examples=20, deadline=None)
+    @given(**scenario_params)
+    def test_per_station_fifo_and_lindley(self, n_stations,
+                                          packets_per_station, seed):
+        result = random_scenario(n_stations, packets_per_station,
+                                 [1500], 0.15, seed)
+        for i in range(n_stations):
+            records = result.station(f"s{i}").records
+            previous_departure = -np.inf
+            for record in records:
+                assert record.hol == pytest.approx(
+                    max(record.arrival, previous_departure))
+                assert record.departure > record.hol
+                previous_departure = record.departure
+
+    @settings(max_examples=20, deadline=None)
+    @given(**scenario_params)
+    def test_medium_exclusivity(self, n_stations, packets_per_station,
+                                seed):
+        result = random_scenario(n_stations, packets_per_station,
+                                 [40, 1500], 0.15, seed)
+        intervals = []
+        for i in range(n_stations):
+            for record in result.station(f"s{i}").completed():
+                airtime = AIRTIME.data_airtime(record.packet.size_bytes)
+                intervals.append((record.departure - airtime,
+                                  record.departure))
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(**scenario_params)
+    def test_access_delay_floor(self, n_stations, packets_per_station,
+                                seed):
+        result = random_scenario(n_stations, packets_per_station,
+                                 [40, 576, 1500], 0.15, seed)
+        for i in range(n_stations):
+            for record in result.station(f"s{i}").completed():
+                floor = AIRTIME.data_airtime(record.packet.size_bytes)
+                assert record.access_delay >= floor - 1e-12
+
+    @settings(max_examples=10, deadline=None)
+    @given(**scenario_params)
+    def test_determinism(self, n_stations, packets_per_station, seed):
+        a = random_scenario(n_stations, packets_per_station, [1500],
+                            0.1, seed)
+        b = random_scenario(n_stations, packets_per_station, [1500],
+                            0.1, seed)
+        for i in range(n_stations):
+            da = [r.departure for r in a.station(f"s{i}").records]
+            db = [r.departure for r in b.station(f"s{i}").records]
+            assert da == db
+
+    @settings(max_examples=12, deadline=None)
+    @given(n_stations=st.integers(min_value=2, max_value=4),
+           packets_per_station=st.integers(min_value=2, max_value=15),
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_rts_conservation(self, n_stations, packets_per_station, seed):
+        result = random_scenario(n_stations, packets_per_station,
+                                 [576, 1500], 0.15, seed,
+                                 rts_threshold=500)
+        for i in range(n_stations):
+            records = result.station(f"s{i}").records
+            assert all(r.completed for r in records)
+            for record in records:
+                floor = (AIRTIME.data_airtime(record.packet.size_bytes)
+                         + AIRTIME.rts_preamble_duration())
+                assert record.access_delay >= floor - 1e-12
+
+    @settings(max_examples=12, deadline=None)
+    @given(n_stations=st.integers(min_value=2, max_value=4),
+           packets_per_station=st.integers(min_value=2, max_value=10),
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_retry_limit_drops_are_flagged(self, n_stations,
+                                           packets_per_station, seed):
+        result = random_scenario(n_stations, packets_per_station,
+                                 [1500], 0.02, seed, retry_limit=0)
+        for i in range(n_stations):
+            for record in result.station(f"s{i}").records:
+                # Every record either completed or is a flagged drop.
+                assert record.completed or record.dropped

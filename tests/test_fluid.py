@@ -1,0 +1,122 @@
+"""Tests for the fluid airtime model."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.bianchi import BianchiModel
+from repro.analytic.fluid import FluidAirtimeModel, StationOffer
+from repro.analytic.metrics import fluid_achievable_throughput
+
+
+@pytest.fixture
+def model():
+    return FluidAirtimeModel()
+
+
+class TestStationOffer:
+    def test_packet_rate(self):
+        offer = StationOffer(1.2e6, 1500)
+        assert offer.packet_rate == pytest.approx(100.0)
+
+    def test_backlogged_station(self):
+        assert StationOffer(float("inf")).packet_rate == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StationOffer(-1.0)
+        with pytest.raises(ValueError):
+            StationOffer(1e6, 0)
+
+
+class TestAchievedThroughputs:
+    def test_single_unsaturated_station(self, model):
+        achieved = model.achieved_throughputs([StationOffer(2e6)])
+        assert achieved[0] == pytest.approx(2e6)
+
+    def test_single_saturated_station_gets_capacity(self, model):
+        achieved = model.achieved_throughputs([StationOffer(float("inf"))])
+        bianchi_c = BianchiModel().capacity()
+        assert achieved[0] == pytest.approx(bianchi_c, rel=0.02)
+
+    def test_two_backlogged_stations_split_equally(self, model):
+        offers = [StationOffer(float("inf")), StationOffer(float("inf"))]
+        achieved = model.achieved_throughputs(offers)
+        assert achieved[0] == pytest.approx(achieved[1])
+        # Equal to half the capacity in the collision-free fluid view.
+        assert achieved[0] == pytest.approx(
+            model.achieved_throughputs([StationOffer(float("inf"))])[0] / 2,
+            rel=1e-6)
+
+    def test_unsaturated_stations_keep_their_rate(self, model):
+        offers = [StationOffer(float("inf")), StationOffer(1e6)]
+        achieved = model.achieved_throughputs(offers)
+        assert achieved[1] == pytest.approx(1e6)
+        assert achieved[0] > achieved[1]
+
+    def test_conservation_of_airtime(self, model):
+        offers = [StationOffer(float("inf")),
+                  StationOffer(2e6, 576),
+                  StationOffer(1e6, 40)]
+        assert model.utilization(offers) == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.achieved_throughputs([])
+
+    def test_small_packets_cost_more_airtime(self, model):
+        # Same bit rate in small packets consumes more channel time.
+        big = model.utilization([StationOffer(1e6, 1500)])
+        small = model.utilization([StationOffer(1e6, 100)])
+        assert small > 2 * big
+
+
+class TestAchievableThroughput:
+    def test_matches_two_station_fluid_formula(self, model):
+        """Consistency with the simple fluid line of figure 16."""
+        capacity = model.achieved_throughputs(
+            [StationOffer(float("inf"))])[0]
+        fair_share = model.achieved_throughputs(
+            [StationOffer(float("inf")), StationOffer(float("inf"))])[0]
+        for cross in (0.0, 1e6, 2e6, 4e6, 6e6):
+            expected = fluid_achievable_throughput(capacity, cross,
+                                                   fair_share)
+            predicted = model.achievable_throughput(
+                1500, [StationOffer(cross)] if cross > 0 else [])
+            assert predicted == pytest.approx(expected, rel=0.02)
+
+    def test_decreases_with_cross_load(self, model):
+        values = [model.achievable_throughput(1500, [StationOffer(r)])
+                  for r in (0.5e6, 2e6, 4e6)]
+        assert values[0] > values[1] > values[2]
+
+    def test_heterogeneous_fig9_mix(self, model):
+        """The figure-9 contender mix leaves little room for a probe."""
+        cross = [StationOffer(0.1e6, 40), StationOffer(0.5e6, 576),
+                 StationOffer(0.75e6, 1000), StationOffer(2.0e6, 1500)]
+        b = model.achievable_throughput(1500, cross)
+        # The mix consumes most airtime; B is far below the capacity
+        # yet positive.
+        capacity = model.achieved_throughputs(
+            [StationOffer(float("inf"))])[0]
+        assert 0 < b < 0.4 * capacity
+
+    def test_prediction_matches_simulator(self, model):
+        """Fluid B vs. measured saturated-probe throughput (fig-9 mix)."""
+        from repro.mac.scenario import StationSpec, WlanScenario
+        from repro.traffic.generators import CBRGenerator, PoissonGenerator
+        cross = [StationOffer(0.5e6, 576), StationOffer(2.0e6, 1500)]
+        predicted = model.achievable_throughput(1500, cross)
+        scenario = WlanScenario()
+        specs = [
+            StationSpec("probe", generator=CBRGenerator(9e6, 1500,
+                                                        flow="probe")),
+            StationSpec("c576", generator=PoissonGenerator(0.5e6, 576)),
+            StationSpec("c1500", generator=PoissonGenerator(2.0e6, 1500)),
+        ]
+        result = scenario.run(specs, horizon=4.0, seed=5, until=4.0)
+        measured = result.station("probe").throughput_bps(0.5, 4.0)
+        # Two opposing approximations: collisions are neglected (model
+        # optimistic) but every packet is charged a full mean backoff
+        # even though real countdowns overlap (model pessimistic).  The
+        # net error stays within ~15%.
+        assert measured == pytest.approx(predicted, rel=0.15)

@@ -1,0 +1,141 @@
+"""End-to-end integration tests reproducing the paper's key claims
+at reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytic.bianchi import BianchiModel
+from repro.analytic.rate_response import csma_rate_response
+from repro.core.correction import mser_corrected_rate
+from repro.core.estimators import packet_pair_capacity, train_dispersion_rate
+from repro.core.transient import DelayMatrix, transient_duration
+from repro.testbed.channel import SimulatedWlanChannel
+from repro.testbed.prober import Prober, ProbeSessionConfig
+from repro.traffic.generators import PoissonGenerator
+from repro.traffic.probe import ProbeTrain
+
+
+@pytest.fixture(scope="module")
+def bianchi():
+    return BianchiModel()
+
+
+def wlan_prober(cross_rate, repetitions=20):
+    cross = [("cross", PoissonGenerator(cross_rate, 1500))] \
+        if cross_rate > 0 else []
+    return Prober(SimulatedWlanChannel(cross, warmup=0.15),
+                  ProbeSessionConfig(repetitions=repetitions,
+                                     ideal_clocks=True))
+
+
+class TestPaperClaim1RateResponse:
+    """Claim: the rate response flattens at B (not at A) — section 3."""
+
+    def test_long_train_follows_eq3(self, bianchi):
+        prober = wlan_prober(4.5e6, repetitions=4)
+        fair_share = bianchi.fair_share(2)
+        for rate in (2e6, 8e6):
+            measured = prober.dispersion_rate(250, rate, seed=int(rate))
+            expected = float(csma_rate_response(
+                np.array([rate]), fair_share)[0])
+            assert measured == pytest.approx(expected, rel=0.12)
+
+    def test_no_knee_at_available_bandwidth(self, bianchi):
+        """Probing just above A (but below B) is still undisturbed."""
+        capacity = bianchi.capacity()
+        cross_rate = 4.5e6
+        available = capacity - cross_rate  # ~1.7 Mb/s
+        prober = wlan_prober(cross_rate, repetitions=5)
+        rate = available * 1.3
+        measured = prober.dispersion_rate(250, rate, seed=1)
+        assert measured == pytest.approx(rate, rel=0.08)
+
+
+class TestPaperClaim2Transient:
+    """Claim: access delays show a transient of bounded length — sec 4."""
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(4e6, 1500))], warmup=0.2)
+        train = ProbeTrain.at_rate(120, 5e6)
+        raws = channel.send_trains(train, 120, seed=31)
+        return DelayMatrix(np.vstack([r.access_delays for r in raws]))
+
+    def test_first_packets_accelerated(self, matrix):
+        profile = matrix.mean_profile()
+        steady = matrix.steady_state_mean()
+        assert profile[0] < 0.8 * steady
+
+    def test_transient_bounded_by_150(self, matrix):
+        duration = transient_duration(matrix.mean_profile(),
+                                      tolerance=0.1, sustained=False)
+        assert duration.settled
+        assert duration.n_packets <= 150
+
+    def test_profile_monotone_trend(self, matrix):
+        """Smoothed early profile increases toward steady state."""
+        profile = matrix.mean_profile()
+        early = profile[:4].mean()
+        mid = profile[10:20].mean()
+        assert early < mid
+
+
+class TestPaperClaim3ShortTrainBias:
+    """Claim: short trains overestimate B at high rates — section 6."""
+
+    def test_short_trains_overestimate(self, bianchi):
+        prober = wlan_prober(3e6, repetitions=25)
+        fair_share = bianchi.fair_share(2)
+        rate = 8e6
+        short = prober.dispersion_rate(3, rate, seed=2)
+        long = prober.dispersion_rate(80, rate, seed=3)
+        assert short > fair_share * 1.05
+        assert abs(long - fair_share) < abs(short - fair_share)
+
+    def test_packet_pair_overestimates_b(self, bianchi):
+        prober = wlan_prober(4e6, repetitions=60)
+        pair_estimate = prober.packet_pair_estimate(seed=4)
+        fair_share = bianchi.fair_share(2)
+        capacity = bianchi.capacity()
+        assert pair_estimate > fair_share * 1.05
+        assert pair_estimate < capacity * 0.97
+
+    def test_packet_pair_without_contention_reports_capacity(self, bianchi):
+        # Enough pairs for the mean backoff (std ~ 9 slots/pair) to
+        # converge within a few percent.
+        prober = wlan_prober(0.0, repetitions=80)
+        estimate = prober.packet_pair_estimate(seed=5)
+        assert estimate == pytest.approx(bianchi.capacity(), rel=0.05)
+
+
+class TestPaperClaim4MserCorrection:
+    """Claim: MSER-2 truncation improves short-train accuracy — sec 7.4."""
+
+    def test_mser_reduces_overestimation(self, bianchi):
+        prober = wlan_prober(3e6, repetitions=40)
+        fair_share = bianchi.fair_share(2)
+        measurements = prober.measure_train(20, 8e6, seed=6)
+        raw = train_dispersion_rate(measurements)
+        corrected = mser_corrected_rate(measurements, m=2)
+        assert abs(corrected - fair_share) <= abs(raw - fair_share)
+
+
+class TestAblationImmediateAccess:
+    """DESIGN.md ablation: without immediate access the first-packet
+    acceleration (and with it, most of the transient) disappears."""
+
+    def _first_vs_steady(self, immediate):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(4e6, 1500))], warmup=0.15,
+            immediate_access=immediate)
+        train = ProbeTrain.at_rate(60, 5e6)
+        raws = channel.send_trains(train, 80, seed=41)
+        matrix = DelayMatrix(np.vstack([r.access_delays for r in raws]))
+        return matrix.mean_profile()[0] / matrix.steady_state_mean()
+
+    def test_transient_shrinks_without_immediate_access(self):
+        with_rule = self._first_vs_steady(True)
+        without_rule = self._first_vs_steady(False)
+        assert with_rule < without_rule

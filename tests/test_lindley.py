@@ -1,0 +1,151 @@
+"""Tests for the Lindley recursion and busy periods."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queueing.lindley import BusyPeriods, lindley_recursion
+
+
+class TestLindleyRecursion:
+    def test_empty_input(self):
+        starts, departures = lindley_recursion(np.array([]), np.array([]))
+        assert len(starts) == 0 and len(departures) == 0
+
+    def test_single_packet(self):
+        starts, departures = lindley_recursion([1.0], [0.5])
+        assert starts[0] == 1.0
+        assert departures[0] == 1.5
+
+    def test_no_queueing_when_spaced_out(self):
+        starts, departures = lindley_recursion([0.0, 10.0], [1.0, 1.0])
+        assert list(starts) == [0.0, 10.0]
+        assert list(departures) == [1.0, 11.0]
+
+    def test_back_to_back_serialized(self):
+        starts, departures = lindley_recursion([0.0, 0.0, 0.0],
+                                               [1.0, 1.0, 1.0])
+        assert list(starts) == [0.0, 1.0, 2.0]
+        assert list(departures) == [1.0, 2.0, 3.0]
+
+    def test_partial_overlap(self):
+        starts, departures = lindley_recursion([0.0, 0.5], [1.0, 1.0])
+        assert starts[1] == pytest.approx(1.0)
+        assert departures[1] == pytest.approx(2.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lindley_recursion([0.0, 1.0], [1.0])
+
+    def test_decreasing_arrivals_rejected(self):
+        with pytest.raises(ValueError):
+            lindley_recursion([1.0, 0.5], [1.0, 1.0])
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            lindley_recursion([0.0], [-1.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            lindley_recursion(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_zero_service_allowed(self):
+        starts, departures = lindley_recursion([0.0, 0.0], [0.0, 1.0])
+        assert departures[0] == 0.0
+        assert departures[1] == 1.0
+
+
+class TestLindleyProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=1.0)),
+        min_size=1, max_size=60))
+    def test_invariants(self, pairs):
+        arrivals = np.sort(np.array([a for a, _ in pairs]))
+        services = np.array([s for _, s in pairs])
+        starts, departures = lindley_recursion(arrivals, services)
+        # Service never starts before arrival.
+        assert np.all(starts >= arrivals - 1e-12)
+        # Departures are arrivals + waiting + service, FIFO-ordered.
+        assert np.all(np.diff(departures) >= -1e-12)
+        # Work conservation: departure = start + service.
+        assert np.allclose(departures, starts + services)
+        # No service overlap.
+        assert np.all(starts[1:] >= departures[:-1] - 1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=0.5),
+                    min_size=2, max_size=40))
+    def test_saturated_queue_is_pure_serialization(self, services):
+        arrivals = np.zeros(len(services))
+        services = np.array(services)
+        _, departures = lindley_recursion(arrivals, services)
+        assert np.allclose(departures, np.cumsum(services))
+
+
+class TestBusyPeriods:
+    def make(self, arrivals, services):
+        arrivals = np.asarray(arrivals, dtype=float)
+        services = np.asarray(services, dtype=float)
+        starts, departures = lindley_recursion(arrivals, services)
+        return BusyPeriods.from_sample_path(arrivals, starts, departures)
+
+    def test_single_busy_period(self):
+        busy = self.make([0.0, 0.5], [1.0, 1.0])
+        assert len(busy.intervals) == 1
+        assert busy.intervals[0] == (0.0, 2.0)
+
+    def test_separate_busy_periods(self):
+        busy = self.make([0.0, 10.0], [1.0, 1.0])
+        assert len(busy.intervals) == 2
+
+    def test_busy_time_full_overlap(self):
+        busy = self.make([0.0], [2.0])
+        assert busy.busy_time(0.0, 2.0) == pytest.approx(2.0)
+
+    def test_busy_time_partial_window(self):
+        busy = self.make([0.0], [2.0])
+        assert busy.busy_time(1.0, 3.0) == pytest.approx(1.0)
+
+    def test_busy_time_outside_window(self):
+        busy = self.make([0.0], [1.0])
+        assert busy.busy_time(5.0, 6.0) == 0.0
+
+    def test_utilization(self):
+        busy = self.make([0.0], [1.0])
+        assert busy.utilization(0.0, 2.0) == pytest.approx(0.5)
+
+    def test_utilization_window_validation(self):
+        busy = self.make([0.0], [1.0])
+        with pytest.raises(ValueError):
+            busy.utilization(1.0, 1.0)
+
+    def test_busy_time_window_validation(self):
+        busy = self.make([0.0], [1.0])
+        with pytest.raises(ValueError):
+            busy.busy_time(2.0, 1.0)
+
+    def test_contains(self):
+        busy = self.make([0.0, 10.0], [1.0, 1.0])
+        assert busy.contains(0.5)
+        assert not busy.contains(5.0)
+        assert busy.contains(10.5)
+
+    def test_contains_boundary_right_open(self):
+        busy = self.make([0.0], [1.0])
+        assert busy.contains(0.0)
+        assert not busy.contains(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.01, max_value=1.0)),
+        min_size=1, max_size=40))
+    def test_total_busy_time_equals_total_service(self, pairs):
+        arrivals = np.sort(np.array([a for a, _ in pairs]))
+        services = np.array([s for _, s in pairs])
+        starts, departures = lindley_recursion(arrivals, services)
+        busy = BusyPeriods.from_sample_path(arrivals, starts, departures)
+        total = busy.busy_time(0.0, float(departures[-1]) + 1.0)
+        assert total == pytest.approx(float(np.sum(services)), rel=1e-9)

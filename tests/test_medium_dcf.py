@@ -1,0 +1,259 @@
+"""Behavioural tests for the DCF medium and stations.
+
+These pin the protocol semantics: immediate access on idle-DIFS
+arrival, backoff after a busy medium, collision handling with binary
+exponential backoff, retry-limit drops, medium exclusivity and
+conservation of packets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mac.frames import AirtimeModel
+from repro.mac.medium import Medium
+from repro.mac.params import PhyParams
+from repro.mac.station import Station
+from repro.sim.engine import Simulator
+from repro.traffic.packets import Packet
+
+
+@pytest.fixture
+def phy():
+    return PhyParams.dot11b()
+
+
+@pytest.fixture
+def airtime(phy):
+    return AirtimeModel(phy)
+
+
+def build(phy, n_stations=1, seed=0, retry_limit=None, immediate=True):
+    sim = Simulator()
+    medium = Medium(sim, phy, np.random.default_rng(seed),
+                    retry_limit=retry_limit, immediate_access=immediate)
+    stations = [Station(f"s{i}", sim, medium) for i in range(n_stations)]
+    return sim, medium, stations
+
+
+def enqueue_at(sim, station, time, size=1500, flow="cross"):
+    sim.schedule(time, lambda: station.enqueue(Packet(size, flow=flow)))
+
+
+class TestImmediateAccess:
+    def test_first_packet_transmits_immediately(self, phy, airtime):
+        sim, medium, (station,) = build(phy)
+        enqueue_at(sim, station, 1.0)
+        sim.run()
+        record = station.records[0]
+        assert record.hol == 1.0
+        assert record.departure == pytest.approx(
+            1.0 + airtime.data_airtime(1500))
+        assert record.access_delay == pytest.approx(
+            airtime.data_airtime(1500))
+
+    def test_arrival_long_after_previous_burst_is_immediate(self, phy, airtime):
+        sim, medium, (station,) = build(phy)
+        enqueue_at(sim, station, 1.0)
+        enqueue_at(sim, station, 2.0)  # far beyond the first exchange
+        sim.run()
+        second = station.records[1]
+        assert second.access_delay == pytest.approx(
+            airtime.data_airtime(1500))
+
+    def test_disabled_immediate_access_forces_backoff(self, phy, airtime):
+        sim, medium, (station,) = build(phy, immediate=False)
+        enqueue_at(sim, station, 1.0)
+        sim.run()
+        record = station.records[0]
+        # DIFS plus at least zero backoff slots before the data frame.
+        minimum = airtime.data_airtime(1500) + phy.difs
+        maximum = minimum + phy.cw_min * phy.slot_time
+        assert minimum - 1e-12 <= record.access_delay <= maximum + 1e-12
+
+    def test_immediate_access_mean_delay_smaller(self, phy):
+        def mean_first_delay(immediate):
+            delays = []
+            for seed in range(40):
+                sim, _, (station,) = build(phy, seed=seed,
+                                           immediate=immediate)
+                enqueue_at(sim, station, 1.0)
+                sim.run()
+                delays.append(station.records[0].access_delay)
+            return np.mean(delays)
+
+        assert mean_first_delay(True) < mean_first_delay(False)
+
+
+class TestQueueing:
+    def test_second_packet_waits_for_first(self, phy, airtime):
+        sim, medium, (station,) = build(phy)
+        enqueue_at(sim, station, 1.0)
+        enqueue_at(sim, station, 1.0)  # back-to-back pair
+        sim.run()
+        first, second = station.records
+        assert second.hol == pytest.approx(first.departure)
+        # The second packet waits for the ACK, DIFS and its backoff.
+        floor = (phy.sifs + airtime.ack_airtime() + phy.difs
+                 + airtime.data_airtime(1500))
+        ceiling = floor + phy.cw_min * phy.slot_time
+        assert floor - 1e-12 <= second.access_delay <= ceiling + 1e-12
+
+    def test_hol_follows_lindley_recursion(self, phy):
+        sim, medium, (station,) = build(phy, seed=3)
+        times = [1.0, 1.001, 1.002, 1.5, 1.5001, 2.0]
+        for t in times:
+            enqueue_at(sim, station, t)
+        sim.run()
+        previous_departure = -np.inf
+        for record in station.records:
+            expected_hol = max(record.arrival, previous_departure)
+            assert record.hol == pytest.approx(expected_hol)
+            previous_departure = record.departure
+
+    def test_backlog_returns_to_zero(self, phy):
+        sim, medium, (station,) = build(phy)
+        for t in [1.0, 1.0, 1.0, 1.1]:
+            enqueue_at(sim, station, t)
+        sim.run()
+        assert station.backlog == 0
+        assert all(r.completed for r in station.records)
+
+    def test_fifo_departure_order(self, phy):
+        sim, medium, (station,) = build(phy, seed=5)
+        for t in np.linspace(1.0, 1.05, 20):
+            enqueue_at(sim, station, float(t))
+        sim.run()
+        departures = [r.departure for r in station.records]
+        assert departures == sorted(departures)
+
+
+class TestCollisions:
+    def test_simultaneous_arrivals_collide(self, phy):
+        sim, medium, stations = build(phy, n_stations=2, seed=1)
+        enqueue_at(sim, stations[0], 1.0)
+        enqueue_at(sim, stations[1], 1.0)
+        sim.run()
+        assert medium.collisions >= 1
+        for station in stations:
+            assert station.records[0].completed
+            assert station.records[0].retries >= 1
+
+    def test_collision_then_backoff_resolution(self, phy):
+        sim, medium, stations = build(phy, n_stations=2, seed=2)
+        enqueue_at(sim, stations[0], 1.0)
+        enqueue_at(sim, stations[1], 1.0)
+        sim.run()
+        departures = sorted(s.records[0].departure for s in stations)
+        # After the collision the two retransmissions must be serialized.
+        assert departures[1] > departures[0]
+
+    def test_retry_limit_drops_packet(self, phy):
+        sim, medium, stations = build(phy, n_stations=2, seed=3,
+                                      retry_limit=0)
+        enqueue_at(sim, stations[0], 1.0)
+        enqueue_at(sim, stations[1], 1.0)
+        sim.run()
+        assert all(s.records[0].dropped for s in stations)
+        assert all(not s.records[0].completed for s in stations)
+
+    def test_dropped_packet_frees_queue(self, phy):
+        sim, medium, stations = build(phy, n_stations=2, seed=4,
+                                      retry_limit=0)
+        enqueue_at(sim, stations[0], 1.0)
+        enqueue_at(sim, stations[1], 1.0)
+        enqueue_at(sim, stations[0], 1.0)  # queued behind the drop
+        sim.run()
+        assert stations[0].records[0].dropped
+        assert stations[0].records[1].completed
+
+    def test_collision_counter_consistent(self, phy):
+        sim, medium, stations = build(phy, n_stations=3, seed=5)
+        for station in stations:
+            for t in np.linspace(1.0, 1.2, 40):
+                enqueue_at(sim, station, float(t))
+        sim.run()
+        assert medium.successes == 3 * 40
+        assert medium.collisions > 0
+
+    def test_no_collisions_single_station(self, phy):
+        sim, medium, (station,) = build(phy)
+        for t in np.linspace(1.0, 1.5, 50):
+            enqueue_at(sim, station, float(t))
+        sim.run()
+        assert medium.collisions == 0
+        assert all(r.retries == 0 for r in station.records)
+
+
+class TestMediumExclusivity:
+    def _data_intervals(self, stations, airtime):
+        intervals = []
+        for station in stations:
+            for record in station.completed_records():
+                length = airtime.data_airtime(record.packet.size_bytes)
+                intervals.append((record.departure - length,
+                                  record.departure))
+        return sorted(intervals)
+
+    def test_successful_transmissions_never_overlap(self, phy, airtime):
+        sim, medium, stations = build(phy, n_stations=3, seed=6)
+        rng = np.random.default_rng(0)
+        for station in stations:
+            for t in rng.uniform(1.0, 1.4, 50):
+                enqueue_at(sim, station, float(t))
+        sim.run()
+        intervals = self._data_intervals(stations, airtime)
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-9
+
+    def test_interframe_spacing_between_exchanges(self, phy, airtime):
+        sim, medium, (station,) = build(phy)
+        for t in [1.0, 1.0, 1.0]:
+            enqueue_at(sim, station, t)
+        sim.run()
+        records = station.records
+        for prev, cur in zip(records, records[1:]):
+            gap = ((cur.departure
+                    - airtime.data_airtime(cur.packet.size_bytes))
+                   - prev.departure)
+            # At least SIFS + ACK + DIFS between consecutive frames.
+            assert gap >= (phy.sifs + airtime.ack_airtime() + phy.difs
+                           - 1e-12)
+
+
+class TestConservationAndFairness:
+    def test_all_packets_complete_without_retry_limit(self, phy):
+        sim, medium, stations = build(phy, n_stations=4, seed=7)
+        rng = np.random.default_rng(1)
+        total = 0
+        for station in stations:
+            for t in rng.uniform(1.0, 2.0, 60):
+                enqueue_at(sim, station, float(t))
+                total += 1
+        sim.run()
+        completed = sum(len(s.completed_records()) for s in stations)
+        assert completed == total
+
+    def test_saturated_stations_fair(self, saturated_pair_result):
+        a = saturated_pair_result.station("a").throughput_bps(0.5, 1.5)
+        b = saturated_pair_result.station("b").throughput_bps(0.5, 1.5)
+        assert abs(a - b) / max(a, b) < 0.2
+
+    def test_heterogeneous_sizes_complete(self, phy):
+        sim, medium, stations = build(phy, n_stations=2, seed=8)
+        for t in np.linspace(1.0, 1.1, 30):
+            enqueue_at(sim, stations[0], float(t), size=40)
+            enqueue_at(sim, stations[1], float(t), size=1500)
+        sim.run()
+        assert all(len(s.completed_records()) == 30 for s in stations)
+
+    def test_access_delay_always_at_least_airtime(self, phy, airtime):
+        sim, medium, stations = build(phy, n_stations=2, seed=9)
+        rng = np.random.default_rng(2)
+        for station in stations:
+            for t in rng.uniform(1.0, 1.3, 40):
+                enqueue_at(sim, station, float(t))
+        sim.run()
+        floor = airtime.data_airtime(1500)
+        for station in stations:
+            delays = station.access_delays()
+            assert np.all(delays >= floor - 1e-12)

@@ -1,0 +1,146 @@
+"""Tests for the multi-hop path substrate."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.bianchi import BianchiModel
+from repro.core.estimators import packet_pair_capacity
+from repro.path import NetworkPath, SimulatedPathChannel, WiredHop, WlanHop
+from repro.testbed.prober import Prober, ProbeSessionConfig
+from repro.traffic.generators import PoissonGenerator
+from repro.traffic.probe import PacketPair, ProbeTrain
+
+
+def make_prober(path, repetitions=8):
+    channel = SimulatedPathChannel(path)
+    return Prober(channel, ProbeSessionConfig(repetitions=repetitions,
+                                              ideal_clocks=True))
+
+
+class TestWiredHop:
+    def test_empty_arrivals(self, rng):
+        hop = WiredHop(10e6)
+        assert len(hop.carry([], rng)) == 0
+
+    def test_departure_timing(self, rng):
+        hop = WiredHop(10e6, prop_delay=5e-3)
+        train = ProbeTrain.at_rate(3, 1e6, 1250)
+        departures = hop.carry(train.packets(start=1.0), rng)
+        # Each packet: 1 ms service + 5 ms propagation.
+        assert departures[0] == pytest.approx(1.0 + 1e-3 + 5e-3)
+
+    def test_order_preserved(self, rng):
+        hop = WiredHop(10e6)
+        train = ProbeTrain.at_rate(50, 20e6)
+        departures = hop.carry(train.packets(), rng)
+        assert np.all(np.diff(departures) >= 0)
+
+    def test_cross_traffic_inflates_delay(self):
+        quiet = WiredHop(10e6)
+        loaded = WiredHop(10e6, cross_generator=PoissonGenerator(7e6, 1500))
+        train = ProbeTrain.at_rate(40, 5e6)
+        d_quiet = quiet.carry(train.packets(start=1.0),
+                              np.random.default_rng(1))
+        d_loaded = loaded.carry(train.packets(start=1.0),
+                                np.random.default_rng(1))
+        assert d_loaded[-1] > d_quiet[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WiredHop(10e6, prop_delay=-1.0)
+
+    def test_nominal_capacity(self):
+        assert WiredHop(10e6).nominal_capacity_bps(1500) == 10e6
+
+
+class TestWlanHop:
+    def test_order_preserved(self, rng):
+        hop = WlanHop([("cross", PoissonGenerator(2e6, 1500))])
+        train = ProbeTrain.at_rate(20, 6e6)
+        departures = hop.carry(train.packets(start=1.0), rng)
+        assert np.all(np.diff(departures) > 0)
+
+    def test_prop_delay_added(self):
+        hop_no_delay = WlanHop(prop_delay=0.0)
+        hop_delay = WlanHop(prop_delay=10e-3)
+        train = ProbeTrain.at_rate(3, 1e6)
+        d0 = hop_no_delay.carry(train.packets(start=1.0),
+                                np.random.default_rng(2))
+        d1 = hop_delay.carry(train.packets(start=1.0),
+                             np.random.default_rng(2))
+        assert np.allclose(d1 - d0, 10e-3)
+
+    def test_nominal_capacity_matches_airtime(self):
+        hop = WlanHop()
+        assert 5.8e6 < hop.nominal_capacity_bps(1500) < 6.8e6
+
+    def test_empty_arrivals(self, rng):
+        assert len(WlanHop().carry([], rng)) == 0
+
+
+class TestNetworkPath:
+    def test_needs_hops(self):
+        with pytest.raises(ValueError):
+            NetworkPath([])
+
+    def test_base_delay_sums(self):
+        path = NetworkPath([WiredHop(10e6, prop_delay=2e-3),
+                            WiredHop(10e6, prop_delay=3e-3)])
+        assert path.base_delay() == pytest.approx(5e-3)
+
+    def test_min_capacity(self):
+        path = NetworkPath([WiredHop(100e6), WiredHop(10e6), WlanHop()])
+        assert path.min_capacity_bps(1500) == pytest.approx(
+            WlanHop().nominal_capacity_bps(1500))
+
+    def test_pair_dispersion_set_by_narrow_wired_link(self):
+        """Classic result: pair dispersion = bottleneck service time."""
+        path = NetworkPath([WiredHop(100e6), WiredHop(10e6),
+                            WiredHop(50e6)])
+        prober = make_prober(path, repetitions=5)
+        estimate = prober.packet_pair_estimate(seed=1)
+        assert estimate == pytest.approx(10e6, rel=0.01)
+
+    def test_order_preserved_end_to_end(self, rng):
+        path = NetworkPath([
+            WiredHop(20e6, cross_generator=PoissonGenerator(8e6, 1500)),
+            WlanHop([("cross", PoissonGenerator(2e6, 1500))]),
+        ])
+        train = ProbeTrain.at_rate(30, 5e6)
+        departures = path.carry(train.packets(start=1.0), rng)
+        assert np.all(np.diff(departures) > 0)
+
+    def test_reproducible(self):
+        path = NetworkPath([WlanHop([("x", PoissonGenerator(2e6, 1500))])])
+        channel = SimulatedPathChannel(path)
+        train = ProbeTrain.at_rate(5, 2e6)
+        a = channel.send_train(train, seed=3)
+        b = channel.send_train(train, seed=3)
+        assert np.array_equal(a.recv_times, b.recv_times)
+
+
+class TestAccessNetworkScenario:
+    """Wired backbone + wireless last mile: the reference [3] setting."""
+
+    @pytest.fixture(scope="class")
+    def path(self):
+        return NetworkPath([
+            WiredHop(100e6, prop_delay=1e-3),
+            WlanHop([("neighbour", PoissonGenerator(4e6, 1500))]),
+        ])
+
+    def test_pair_estimate_tracks_wireless_b_not_capacity(self, path):
+        prober = make_prober(path, repetitions=60)
+        estimate = prober.packet_pair_estimate(seed=4)
+        bianchi = BianchiModel()
+        # Far below both the wired 100 Mb/s and the wireless C.
+        assert estimate < 0.97 * bianchi.capacity()
+        assert estimate > bianchi.fair_share(2)
+
+    def test_rate_scan_knee_at_wireless_fair_share(self, path):
+        prober = make_prober(path, repetitions=6)
+        curve = prober.rate_scan(
+            np.array([1e6, 2e6, 3e6, 4.5e6, 6e6]), n=40, seed=5)
+        knee = curve.knee_rate(tolerance=0.08)
+        fair_share = BianchiModel().fair_share(2)
+        assert knee == pytest.approx(fair_share, rel=0.45)

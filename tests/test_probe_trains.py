@@ -1,0 +1,165 @@
+"""Tests for probing-train construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traffic.probe import (
+    PacketPair,
+    ProbeTrain,
+    TrainSequence,
+    gap_for_rate,
+    rate_for_gap,
+)
+
+
+class TestGapRateConversion:
+    def test_gap_for_rate(self):
+        assert gap_for_rate(1.2e6, 1500) == pytest.approx(0.01)
+
+    def test_rate_for_gap(self):
+        assert rate_for_gap(0.01, 1500) == pytest.approx(1.2e6)
+
+    def test_roundtrip(self):
+        rate = 3.7e6
+        assert rate_for_gap(gap_for_rate(rate, 576), 576) == pytest.approx(rate)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_bad_rate(self, bad):
+        with pytest.raises(ValueError):
+            gap_for_rate(bad, 1500)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.01])
+    def test_rejects_bad_gap(self, bad):
+        with pytest.raises(ValueError):
+            rate_for_gap(bad, 1500)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            gap_for_rate(1e6, 0)
+        with pytest.raises(ValueError):
+            rate_for_gap(0.01, -5)
+
+
+class TestProbeTrain:
+    def test_at_rate(self):
+        train = ProbeTrain.at_rate(10, 1.2e6, 1500)
+        assert train.gap == pytest.approx(0.01)
+        assert train.rate_bps == pytest.approx(1.2e6)
+
+    def test_duration(self):
+        train = ProbeTrain(n=5, gap=0.01)
+        assert train.duration == pytest.approx(0.04)
+
+    def test_arrival_times_periodic(self):
+        train = ProbeTrain(n=4, gap=0.25)
+        assert np.allclose(train.arrival_times(1.0), [1.0, 1.25, 1.5, 1.75])
+
+    def test_packets_sequence_numbers(self):
+        packets = ProbeTrain(n=3, gap=0.1).packets()
+        assert [p.seq for _, p in packets] == [0, 1, 2]
+        assert all(p.flow == "probe" for _, p in packets)
+
+    def test_packets_created_at_matches_time(self):
+        packets = ProbeTrain(n=3, gap=0.1).packets(start=2.0)
+        assert all(t == p.created_at for t, p in packets)
+
+    def test_rejects_single_packet(self):
+        with pytest.raises(ValueError):
+            ProbeTrain(n=1, gap=0.1)
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            ProbeTrain(n=2, gap=-0.1)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ProbeTrain(n=2, gap=0.1, size_bytes=0)
+
+    def test_frozen(self):
+        train = ProbeTrain(n=2, gap=0.1)
+        with pytest.raises(AttributeError):
+            train.n = 5
+
+
+class TestPacketPair:
+    def test_is_back_to_back(self):
+        pair = PacketPair()
+        assert pair.n == 2
+        assert pair.gap == 0.0
+
+    def test_infinite_rate(self):
+        assert PacketPair().rate_bps == float("inf")
+
+    def test_custom_size(self):
+        assert PacketPair(576).size_bytes == 576
+
+    def test_both_packets_same_instant(self):
+        times = [t for t, _ in PacketPair().packets(start=3.0)]
+        assert times == [3.0, 3.0]
+
+
+class TestTrainSequence:
+    def make(self, m=5, mean_spacing=0.5, guard=0.1):
+        train = ProbeTrain(n=3, gap=0.01)
+        return TrainSequence(train, m=m, mean_spacing=mean_spacing,
+                             guard=guard)
+
+    def test_start_times_count(self, rng):
+        starts = self.make(m=7).start_times(rng)
+        assert len(starts) == 7
+
+    def test_first_train_at_start(self, rng):
+        starts = self.make().start_times(rng, start=2.0)
+        assert starts[0] == pytest.approx(2.0)
+
+    def test_trains_never_overlap(self, rng):
+        seq = self.make(m=20, mean_spacing=0.05, guard=0.02)
+        starts = seq.start_times(rng)
+        gaps = np.diff(starts)
+        assert np.all(gaps >= seq.train.duration + seq.guard - 1e-12)
+
+    def test_packets_grouping(self, rng):
+        seq = self.make(m=4)
+        packets = seq.packets(rng)
+        assert len(packets) == 4 * 3
+        seqs = [p.seq for _, p in packets]
+        assert seqs == [0, 1, 2] * 4
+
+    def test_mean_spacing_statistics(self, rng):
+        seq = self.make(m=400, mean_spacing=0.3, guard=0.0)
+        starts = seq.start_times(rng)
+        spacing = np.diff(starts) - seq.train.duration
+        assert np.mean(spacing) == pytest.approx(0.3, rel=0.15)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            self.make(m=0)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            self.make(mean_spacing=0.0)
+
+    def test_rejects_negative_guard(self):
+        with pytest.raises(ValueError):
+            self.make(guard=-0.1)
+
+
+class TestTrainProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=200),
+           rate=st.floats(min_value=1e5, max_value=5e7),
+           size=st.integers(min_value=40, max_value=1500))
+    def test_train_rate_roundtrip(self, n, rate, size):
+        train = ProbeTrain.at_rate(n, rate, size)
+        assert train.rate_bps == pytest.approx(rate, rel=1e-9)
+        times = train.arrival_times()
+        assert len(times) == n
+        assert np.all(np.diff(times) >= 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=50),
+           gap=st.floats(min_value=0.0, max_value=1.0))
+    def test_duration_formula(self, n, gap):
+        train = ProbeTrain(n=n, gap=gap)
+        assert train.duration == pytest.approx((n - 1) * gap)

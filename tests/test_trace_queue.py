@@ -1,0 +1,93 @@
+"""Tests for the trace-driven (Matlab-style) queueing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.trace import TraceDrivenQueue
+
+
+class TestServiceSpecs:
+    def test_scalar_service(self):
+        queue = TraceDrivenQueue(0.5)
+        result = queue.run([0.0, 1.0])
+        assert np.allclose(result.services, 0.5)
+
+    def test_sequence_service(self):
+        queue = TraceDrivenQueue([0.5, 0.25])
+        result = queue.run([0.0, 1.0])
+        assert list(result.services) == [0.5, 0.25]
+
+    def test_sequence_length_mismatch(self):
+        queue = TraceDrivenQueue([0.5])
+        with pytest.raises(ValueError):
+            queue.run([0.0, 1.0])
+
+    def test_callable_service(self):
+        queue = TraceDrivenQueue(lambda i, rng: 0.1 * (i + 1))
+        result = queue.run([0.0, 0.0, 0.0])
+        assert np.allclose(result.services, [0.1, 0.2, 0.3])
+
+    def test_callable_gets_rng(self, rng):
+        queue = TraceDrivenQueue(lambda i, r: float(r.uniform(0.1, 0.2)))
+        result = queue.run([0.0, 1.0], rng=rng)
+        assert np.all((result.services >= 0.1) & (result.services <= 0.2))
+
+    def test_negative_scalar_rejected(self):
+        queue = TraceDrivenQueue(-0.5)
+        with pytest.raises(ValueError):
+            queue.run([0.0])
+
+
+class TestResultMetrics:
+    def test_waiting_times(self):
+        result = TraceDrivenQueue(1.0).run([0.0, 0.5])
+        assert np.allclose(result.waiting_times, [0.0, 0.5])
+
+    def test_sojourn_times(self):
+        result = TraceDrivenQueue(1.0).run([0.0, 0.5])
+        assert np.allclose(result.sojourn_times, [1.0, 1.5])
+
+    def test_output_gaps(self):
+        result = TraceDrivenQueue(1.0).run([0.0, 0.0, 5.0])
+        assert np.allclose(result.output_gaps, [1.0, 4.0])
+
+    def test_output_gap_train_level(self):
+        result = TraceDrivenQueue(1.0).run([0.0, 0.0, 0.0])
+        assert result.output_gap == pytest.approx(1.0)
+
+    def test_output_gap_needs_two(self):
+        result = TraceDrivenQueue(1.0).run([0.0])
+        with pytest.raises(ValueError):
+            _ = result.output_gap
+
+    def test_queue_length_at(self):
+        result = TraceDrivenQueue(1.0).run([0.0, 0.1, 0.2])
+        lengths = result.queue_length_at(np.array([0.05, 0.5, 10.0]))
+        assert lengths[0] == 1
+        assert lengths[1] == 3
+        assert lengths[2] == 0
+
+    def test_queue_length_distribution_sums_to_one(self):
+        result = TraceDrivenQueue(0.5).run(np.linspace(0, 5, 30))
+        dist = result.queue_length_distribution(0.0, 6.0)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_queue_length_distribution_window_validation(self):
+        result = TraceDrivenQueue(0.5).run([0.0])
+        with pytest.raises(ValueError):
+            result.queue_length_distribution(1.0, 1.0)
+
+
+class TestConvolutionUseCase:
+    def test_replaying_measured_access_delays(self):
+        """The Matlab-simulator use case: arrivals convolved with
+        index-dependent service times reproduce the transient shape."""
+        transient = np.array([1e-3] * 2 + [2e-3] * 8)  # fast then slow
+        queue = TraceDrivenQueue(lambda i, rng: float(transient[i]))
+        gap = 1.5e-3
+        result = queue.run(np.arange(10) * gap)
+        # Early packets fly through; later ones queue.
+        assert result.waiting_times[1] == pytest.approx(0.0, abs=1e-12)
+        assert result.waiting_times[-1] > 0.0
+        # Output gap exceeds input gap once the 2 ms services dominate.
+        assert result.output_gap > gap

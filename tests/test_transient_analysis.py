@@ -1,0 +1,155 @@
+"""Tests for the transient-state analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.core.transient import (
+    DelayMatrix,
+    ks_profile,
+    transient_duration,
+)
+
+
+def synthetic_matrix(reps=200, n=60, transient_len=10, seed=0):
+    """Delays ramping from 1 ms to 3 ms over ``transient_len`` packets."""
+    rng = np.random.default_rng(seed)
+    ramp = np.concatenate([
+        np.linspace(1e-3, 3e-3, transient_len),
+        np.full(n - transient_len, 3e-3),
+    ])
+    noise = rng.exponential(0.3e-3, size=(reps, n))
+    return DelayMatrix(ramp[None, :] + noise)
+
+
+class TestDelayMatrix:
+    def test_shape_properties(self):
+        matrix = synthetic_matrix(reps=50, n=30)
+        assert matrix.repetitions == 50
+        assert matrix.n_packets == 30
+
+    def test_mean_profile_increasing_early(self):
+        matrix = synthetic_matrix()
+        profile = matrix.mean_profile()
+        assert profile[0] < profile[9] < profile[-1] * 1.1
+
+    def test_index_sample(self):
+        matrix = synthetic_matrix(reps=40)
+        assert len(matrix.index_sample(0)) == 40
+
+    def test_steady_state_sample_default_tail(self):
+        matrix = synthetic_matrix(reps=10, n=20)
+        assert len(matrix.steady_state_sample()) == 10 * 10
+
+    def test_steady_state_mean(self):
+        matrix = synthetic_matrix()
+        assert matrix.steady_state_mean() == pytest.approx(3.3e-3, rel=0.1)
+
+    def test_tail_start_validation(self):
+        matrix = synthetic_matrix(reps=5, n=10)
+        with pytest.raises(ValueError):
+            matrix.steady_state_sample(0)
+        with pytest.raises(ValueError):
+            matrix.steady_state_sample(10)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            DelayMatrix(np.ones(5))
+        with pytest.raises(ValueError):
+            DelayMatrix(np.ones((3, 1)))
+
+    def test_rejects_nonpositive_delays(self):
+        with pytest.raises(ValueError):
+            DelayMatrix(np.zeros((2, 3)))
+
+
+class TestKsProfile:
+    def test_transient_detected(self):
+        matrix = synthetic_matrix(reps=400)
+        profile = ks_profile(matrix)
+        assert profile.ks_values[0] > profile.threshold
+        assert profile.settled_index > 0
+
+    def test_settles_for_stationary_tail(self):
+        matrix = synthetic_matrix(reps=400)
+        profile = ks_profile(matrix)
+        assert profile.settled_index < matrix.n_packets // 2
+
+    def test_max_index_limits_output(self):
+        matrix = synthetic_matrix()
+        profile = ks_profile(matrix, max_index=7)
+        assert len(profile.ks_values) == 7
+
+    def test_interpolated_method(self):
+        matrix = synthetic_matrix(reps=300)
+        plain = ks_profile(matrix, method="plain")
+        interp = ks_profile(matrix, method="interpolated")
+        # Both must flag the first index for a continuous distribution.
+        assert plain.ks_values[0] > plain.threshold
+        assert interp.ks_values[0] > interp.threshold
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            ks_profile(synthetic_matrix(), method="fancy")
+
+    def test_never_settles_reports_length(self):
+        rng = np.random.default_rng(0)
+        # Delays keep drifting: each index is a different distribution.
+        drift = np.linspace(1e-3, 50e-3, 40)
+        delays = drift[None, :] + rng.exponential(1e-4, size=(300, 40))
+        profile = ks_profile(DelayMatrix(delays))
+        assert profile.settled_index == len(profile.ks_values)
+
+
+class TestTransientDuration:
+    def test_detects_ramp_length(self):
+        profile = np.concatenate([np.linspace(1.0, 3.0, 10),
+                                  np.full(50, 3.0)])
+        duration = transient_duration(profile, tolerance=0.05)
+        assert duration.settled
+        assert 8 <= duration.n_packets <= 11
+
+    def test_tighter_tolerance_longer_duration(self):
+        profile = np.concatenate([np.linspace(1.0, 3.0, 20),
+                                  np.full(100, 3.0)])
+        loose = transient_duration(profile, tolerance=0.2)
+        tight = transient_duration(profile, tolerance=0.01)
+        assert tight.n_packets >= loose.n_packets
+
+    def test_flat_profile_instant(self):
+        duration = transient_duration(np.full(20, 2.0), tolerance=0.1)
+        assert duration.n_packets == 1
+
+    def test_first_hit_vs_sustained(self):
+        # Dips into tolerance at index 2 then leaves again.
+        profile = np.array([1.0, 1.2, 2.95, 1.0, 1.1]
+                           + [3.0] * 20)
+        first_hit = transient_duration(profile, 0.05, steady_mean=3.0,
+                                       sustained=False)
+        sustained = transient_duration(profile, 0.05, steady_mean=3.0,
+                                       sustained=True)
+        assert first_hit.n_packets == 3
+        assert sustained.n_packets == 6
+
+    def test_never_settles(self):
+        profile = np.linspace(1.0, 2.0, 30)
+        duration = transient_duration(profile, tolerance=0.001,
+                                      steady_mean=100.0)
+        assert not duration.settled
+        assert duration.n_packets == 30
+
+    def test_explicit_steady_mean(self):
+        profile = np.full(10, 2.0)
+        duration = transient_duration(profile, 0.1, steady_mean=2.0)
+        assert duration.n_packets == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transient_duration(np.array([1.0, 2.0]), 0.1)
+        with pytest.raises(ValueError):
+            transient_duration(np.full(10, 1.0), -0.1)
+        with pytest.raises(ValueError):
+            transient_duration(np.full(10, 1.0), 0.1, steady_mean=0.0)
+
+    def test_str(self):
+        duration = transient_duration(np.full(10, 2.0), 0.1)
+        assert "transient" in str(duration)

@@ -1,0 +1,223 @@
+"""Tests for warm-up truncation heuristics (MSER-m and friends)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.warmup import (
+    batch_means,
+    crossing_mean_rule,
+    fixed_truncation,
+    mser,
+    mser_m,
+)
+
+
+class TestBatchMeans:
+    def test_exact_batches(self):
+        out = batch_means(np.array([1.0, 3.0, 5.0, 7.0]), 2)
+        assert np.allclose(out, [2.0, 6.0])
+
+    def test_tail_dropped(self):
+        out = batch_means(np.array([1.0, 3.0, 5.0]), 2)
+        assert np.allclose(out, [2.0])
+
+    def test_batch_one_identity(self):
+        sample = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(batch_means(sample, 1), sample)
+
+    def test_too_small_sample(self):
+        assert len(batch_means(np.array([1.0]), 2)) == 0
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(ValueError):
+            batch_means(np.array([1.0]), 0)
+
+
+class TestMser:
+    def test_detects_obvious_transient(self, rng):
+        transient = np.full(20, 10.0) + rng.normal(0, 0.1, 20)
+        steady = np.full(200, 1.0) + rng.normal(0, 0.1, 200)
+        sample = np.concatenate([transient, steady])
+        result = mser(sample)
+        assert 15 <= result.truncate_before <= 30
+
+    def test_stationary_sample_keeps_most(self, rng):
+        sample = rng.normal(0, 1, 300)
+        result = mser(sample)
+        assert result.truncate_before < 100
+
+    def test_truncated_matches_index(self, rng):
+        sample = rng.normal(0, 1, 50)
+        result = mser(sample)
+        assert np.array_equal(result.truncated,
+                              sample[result.truncate_before:])
+
+    def test_retained_fraction(self):
+        sample = np.concatenate([np.full(10, 5.0), np.full(90, 1.0)])
+        result = mser(sample)
+        assert result.retained_fraction == pytest.approx(
+            len(result.truncated) / 100)
+
+    def test_max_cut_fraction_respected(self, rng):
+        sample = rng.normal(0, 1, 100)
+        result = mser(sample, max_cut_fraction=0.25)
+        assert result.truncate_before < 25
+
+    def test_needs_two_observations(self):
+        with pytest.raises(ValueError):
+            mser(np.array([1.0]))
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            mser(np.array([1.0, 2.0]), max_cut_fraction=0.0)
+
+    def test_constant_sample_zero_cut(self):
+        result = mser(np.full(50, 3.0))
+        assert result.truncate_before == 0
+
+
+class TestMserM:
+    def test_cut_in_original_units(self, rng):
+        transient = np.full(20, 10.0)
+        steady = np.full(180, 1.0) + rng.normal(0, 0.05, 180)
+        sample = np.concatenate([transient, steady])
+        result = mser_m(sample, m=2)
+        assert result.truncate_before % 2 == 0
+        assert 14 <= result.truncate_before <= 30
+
+    def test_m1_equals_plain_mser(self, rng):
+        sample = rng.normal(0, 1, 80)
+        assert mser_m(sample, m=1).truncate_before == \
+            mser(sample).truncate_before
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            mser_m(np.array([1.0, 2.0, 3.0]), m=2)
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(ValueError):
+            mser_m(np.arange(10.0), m=0)
+
+    def test_truncated_values(self, rng):
+        sample = rng.normal(0, 1, 40)
+        result = mser_m(sample, m=2)
+        assert np.array_equal(result.truncated,
+                              sample[result.truncate_before:])
+
+
+class TestFixedTruncation:
+    def test_basic(self):
+        result = fixed_truncation(np.arange(10.0), 3)
+        assert result.truncate_before == 3
+        assert np.array_equal(result.truncated, np.arange(3.0, 10.0))
+
+    def test_zero_cut(self):
+        result = fixed_truncation(np.arange(5.0), 0)
+        assert len(result.truncated) == 5
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_truncation(np.arange(5.0), 5)
+        with pytest.raises(ValueError):
+            fixed_truncation(np.arange(5.0), -1)
+
+
+class TestCrossingMeanRule:
+    def test_monotone_ramp_truncates_at_crossing(self):
+        sample = np.concatenate([np.zeros(10), np.full(10, 2.0)])
+        result = crossing_mean_rule(sample)
+        assert result.truncate_before == 10
+
+    def test_never_crossing_keeps_all(self):
+        sample = np.full(10, 1.0)
+        result = crossing_mean_rule(sample)
+        assert result.truncate_before == 0
+
+    def test_multiple_crossings(self, rng):
+        sample = rng.normal(0, 1, 100)
+        one = crossing_mean_rule(sample, crossings_required=1)
+        three = crossing_mean_rule(sample, crossings_required=3)
+        assert three.truncate_before >= one.truncate_before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossing_mean_rule(np.array([1.0]))
+        with pytest.raises(ValueError):
+            crossing_mean_rule(np.arange(5.0), crossings_required=0)
+
+
+class TestMserProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3),
+                    min_size=2, max_size=200))
+    def test_truncation_always_valid(self, values):
+        sample = np.array(values)
+        result = mser(sample)
+        assert 0 <= result.truncate_before < len(sample)
+        assert len(result.truncated) >= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=40, max_value=200),
+           st.integers(min_value=0, max_value=2**31))
+    def test_bigger_transient_bigger_cut(self, transient_len, steady_len,
+                                         seed):
+        rng = np.random.default_rng(seed)
+        sample = np.concatenate([
+            np.full(transient_len, 50.0),
+            rng.normal(0, 1, steady_len),
+        ])
+        result = mser(sample)
+        # The cut lands at or after the end of the flat transient
+        # (noise may push it slightly further).
+        assert result.truncate_before >= transient_len - 1
+
+
+class TestGeweke:
+    def test_stationary_sample_small_z(self, rng):
+        from repro.stats.warmup import geweke_statistic
+        zs = [abs(geweke_statistic(rng.normal(0, 1, 500)))
+              for _ in range(50)]
+        assert np.mean(np.array(zs) <= 2.0) > 0.8
+
+    def test_transient_sample_large_z(self, rng):
+        from repro.stats.warmup import geweke_statistic
+        sample = np.concatenate([np.full(50, 10.0),
+                                 rng.normal(0, 1, 450)])
+        assert abs(geweke_statistic(sample)) > 3.0
+
+    def test_constant_sample_zero(self):
+        from repro.stats.warmup import geweke_statistic
+        assert geweke_statistic(np.full(100, 2.0)) == 0.0
+
+    def test_statistic_validation(self):
+        from repro.stats.warmup import geweke_statistic
+        with pytest.raises(ValueError):
+            geweke_statistic(np.arange(5.0))
+        with pytest.raises(ValueError):
+            geweke_statistic(np.arange(100.0), first_fraction=0.6,
+                             last_fraction=0.6)
+
+    def test_truncation_removes_transient(self, rng):
+        from repro.stats.warmup import geweke_truncation
+        sample = np.concatenate([np.full(40, 10.0),
+                                 rng.normal(0, 1, 400)])
+        result = geweke_truncation(sample)
+        assert result.truncate_before >= 30
+        assert abs(result.truncated.mean()) < 1.0
+
+    def test_truncation_keeps_stationary(self, rng):
+        from repro.stats.warmup import geweke_truncation
+        sample = rng.normal(0, 1, 400)
+        result = geweke_truncation(sample)
+        assert result.truncate_before <= len(sample) // 2
+
+    def test_truncation_validation(self):
+        from repro.stats.warmup import geweke_truncation
+        with pytest.raises(ValueError):
+            geweke_truncation(np.arange(10.0))
+        with pytest.raises(ValueError):
+            geweke_truncation(np.arange(100.0), z_threshold=0.0)
+        with pytest.raises(ValueError):
+            geweke_truncation(np.arange(100.0), step_fraction=0.9)
