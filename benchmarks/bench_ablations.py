@@ -6,58 +6,27 @@ immediate-access rule as the transient's mechanism, the KS-statistic
 variant, and the truncation-heuristic family of section 7.4.
 """
 
-from repro.analysis.ablations import (
-    ablation_bianchi_calibration,
-    ablation_immediate_access,
-    ablation_ks_methods,
-    ablation_rts_cts,
-    ablation_truncation_heuristics,
-)
 
-from conftest import scaled
-
-
-def test_ablation_bianchi_calibration(benchmark, record_result):
-    result = benchmark.pedantic(
-        ablation_bianchi_calibration,
-        kwargs=dict(station_counts=(1, 2, 3, 4, 5), duration=4.0,
-                    seed=301),
-        rounds=1, iterations=1,
+def test_ablation_bianchi_calibration(run_experiment):
+    run_experiment(
+        "ablation-bianchi",
+        station_counts=(1, 2, 3, 4, 5),
+        duration=4.0,
+        seed=301,
     )
-    record_result(result)
 
 
-def test_ablation_immediate_access(benchmark, record_result):
-    result = benchmark.pedantic(
-        ablation_immediate_access,
-        kwargs=dict(repetitions=scaled(250), seed=302),
-        rounds=1, iterations=1,
-    )
-    record_result(result)
+def test_ablation_immediate_access(run_experiment):
+    run_experiment("ablation-immediate-access", seed=302)
 
 
-def test_ablation_ks_methods(benchmark, record_result):
-    result = benchmark.pedantic(
-        ablation_ks_methods,
-        kwargs=dict(repetitions=scaled(300), seed=303),
-        rounds=1, iterations=1,
-    )
-    record_result(result)
+def test_ablation_ks_methods(run_experiment):
+    run_experiment("ablation-ks", seed=303)
 
 
-def test_ablation_rts_cts(benchmark, record_result):
-    result = benchmark.pedantic(
-        ablation_rts_cts,
-        kwargs=dict(repetitions=scaled(200), seed=305),
-        rounds=1, iterations=1,
-    )
-    record_result(result)
+def test_ablation_rts_cts(run_experiment):
+    run_experiment("ablation-rts", seed=305)
 
 
-def test_ablation_truncation_heuristics(benchmark, record_result):
-    result = benchmark.pedantic(
-        ablation_truncation_heuristics,
-        kwargs=dict(repetitions=scaled(150), seed=304),
-        rounds=1, iterations=1,
-    )
-    record_result(result)
+def test_ablation_truncation_heuristics(run_experiment):
+    run_experiment("ablation-truncation", seed=304)

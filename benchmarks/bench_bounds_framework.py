@@ -8,21 +8,12 @@ mean access delays.  This is the machine-checkable core of section 6.
 
 import numpy as np
 
-from repro.analysis.baseline import bounds_consistency
 
-from conftest import scaled
-
-
-def test_bounds_framework(benchmark, record_result):
-    result = benchmark.pedantic(
-        bounds_consistency,
-        kwargs=dict(
-            probe_rates_bps=np.array([1e6, 2e6, 3e6, 4e6, 5e6, 6e6, 8e6]),
-            cross_rate_bps=3e6,
-            n_packets=10,
-            repetitions=scaled(300),
-            seed=202,
-        ),
-        rounds=1, iterations=1,
+def test_bounds_framework(run_experiment):
+    run_experiment(
+        "bounds",
+        probe_rates_bps=np.array([1e6, 2e6, 3e6, 4e6, 5e6, 6e6, 8e6]),
+        cross_rate_bps=3e6,
+        n_packets=10,
+        seed=202,
     )
-    record_result(result)

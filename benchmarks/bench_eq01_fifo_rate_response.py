@@ -9,22 +9,13 @@ B).
 
 import numpy as np
 
-from repro.analysis.baseline import eq1_fifo_rate_response
 
-from conftest import scaled
-
-
-def test_eq01_fifo_rate_response(benchmark, record_result):
-    result = benchmark.pedantic(
-        eq1_fifo_rate_response,
-        kwargs=dict(
-            probe_rates_bps=np.arange(1e6, 12.01e6, 1e6),
-            capacity_bps=10e6,
-            cross_rate_bps=4e6,
-            n_packets=400,
-            repetitions=scaled(40),
-            seed=201,
-        ),
-        rounds=1, iterations=1,
+def test_eq01_fifo_rate_response(run_experiment):
+    run_experiment(
+        "eq1",
+        probe_rates_bps=np.arange(1e6, 12.01e6, 1e6),
+        capacity_bps=10e6,
+        cross_rate_bps=4e6,
+        n_packets=400,
+        seed=201,
     )
-    record_result(result)

@@ -9,66 +9,40 @@
 
 import numpy as np
 
-from repro.analysis.extensions import (
-    multihop_access_path_study,
-    tool_convergence_study,
-    topp_on_wlan_study,
-    transient_b_vs_n,
-)
 
-from conftest import scaled
-
-
-def test_ext_tool_convergence(benchmark, record_result):
-    result = benchmark.pedantic(
-        tool_convergence_study,
-        kwargs=dict(
-            cross_rates_bps=np.arange(1e6, 5.01e6, 1e6),
-            n_packets=50,
-            repetitions=scaled(10, minimum=6),
-            seed=401,
-        ),
-        rounds=1, iterations=1,
+def test_ext_tool_convergence(run_experiment):
+    run_experiment(
+        "ext-tool-convergence",
+        minimum=6,
+        cross_rates_bps=np.arange(1e6, 5.01e6, 1e6),
+        n_packets=50,
+        seed=401,
     )
-    record_result(result)
 
 
-def test_ext_topp_on_wlan(benchmark, record_result):
-    result = benchmark.pedantic(
-        topp_on_wlan_study,
-        kwargs=dict(
-            cross_rates_bps=np.array([2e6, 3e6, 4e6, 5e6]),
-            repetitions=scaled(8, minimum=6),
-            seed=403,
-        ),
-        rounds=1, iterations=1,
+def test_ext_topp_on_wlan(run_experiment):
+    run_experiment(
+        "ext-topp",
+        minimum=6,
+        cross_rates_bps=np.array([2e6, 3e6, 4e6, 5e6]),
+        seed=403,
     )
-    record_result(result)
 
 
-def test_ext_multihop_access_path(benchmark, record_result):
-    result = benchmark.pedantic(
-        multihop_access_path_study,
-        kwargs=dict(
-            probe_rates_bps=np.arange(1e6, 6.01e6, 0.5e6),
-            repetitions=scaled(20, minimum=10),
-            seed=404,
-        ),
-        rounds=1, iterations=1,
+def test_ext_multihop_access_path(run_experiment):
+    run_experiment(
+        "ext-multihop",
+        minimum=10,
+        probe_rates_bps=np.arange(1e6, 6.01e6, 0.5e6),
+        seed=404,
     )
-    record_result(result)
 
 
-def test_ext_transient_b_vs_n(benchmark, record_result):
-    result = benchmark.pedantic(
-        transient_b_vs_n,
-        kwargs=dict(
-            train_lengths=(2, 3, 5, 10, 20, 50, 100, 200),
-            probe_rate_bps=8e6,
-            cross_rate_bps=4e6,
-            repetitions=scaled(300),
-            seed=402,
-        ),
-        rounds=1, iterations=1,
+def test_ext_transient_b_vs_n(run_experiment):
+    run_experiment(
+        "ext-b-vs-n",
+        train_lengths=(2, 3, 5, 10, 20, 50, 100, 200),
+        probe_rate_bps=8e6,
+        cross_rate_bps=4e6,
+        seed=402,
     )
-    record_result(result)

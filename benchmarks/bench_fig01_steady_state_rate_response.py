@@ -8,22 +8,14 @@ flow's throughput starts dropping once the probe passes A.
 
 import numpy as np
 
-from repro.analysis.steady_state import fig1_rate_response
 
-from conftest import scaled
-
-
-def test_fig01_steady_state_rate_response(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig1_rate_response,
-        kwargs=dict(
-            probe_rates_bps=np.arange(0.5e6, 10.01e6, 0.5e6),
-            cross_rate_bps=4.5e6,
-            duration=4.0,
-            warmup=0.5,
-            repetitions=scaled(3, minimum=1),
-            seed=101,
-        ),
-        rounds=1, iterations=1,
+def test_fig01_steady_state_rate_response(run_experiment):
+    run_experiment(
+        "fig1",
+        minimum=1,
+        probe_rates_bps=np.arange(0.5e6, 10.01e6, 0.5e6),
+        cross_rate_bps=4.5e6,
+        duration=4.0,
+        warmup=0.5,
+        seed=101,
     )
-    record_result(result)

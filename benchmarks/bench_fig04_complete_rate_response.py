@@ -8,23 +8,15 @@ equation (4).
 
 import numpy as np
 
-from repro.analysis.steady_state import fig4_complete_picture
 
-from conftest import scaled
-
-
-def test_fig04_complete_rate_response(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig4_complete_picture,
-        kwargs=dict(
-            probe_rates_bps=np.arange(0.5e6, 10.01e6, 0.5e6),
-            cross_rate_bps=3.0e6,
-            fifo_rate_bps=1.5e6,
-            duration=4.0,
-            warmup=0.5,
-            repetitions=scaled(3, minimum=1),
-            seed=104,
-        ),
-        rounds=1, iterations=1,
+def test_fig04_complete_rate_response(run_experiment):
+    run_experiment(
+        "fig4",
+        minimum=1,
+        probe_rates_bps=np.arange(0.5e6, 10.01e6, 0.5e6),
+        cross_rate_bps=3.0e6,
+        fifo_rate_bps=1.5e6,
+        duration=4.0,
+        warmup=0.5,
+        seed=104,
     )
-    record_result(result)

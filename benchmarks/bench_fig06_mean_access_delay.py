@@ -6,22 +6,13 @@ a clearly lower mean access delay that climbs to a steady plateau
 within a few tens of packets.
 """
 
-from repro.analysis.transient import fig6_mean_access_delay
 
-from conftest import scaled
-
-
-def test_fig06_mean_access_delay(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig6_mean_access_delay,
-        kwargs=dict(
-            probe_rate_bps=5e6,
-            cross_rate_bps=4e6,
-            n_packets=250,
-            repetitions=scaled(400),
-            plot_limit=150,
-            seed=106,
-        ),
-        rounds=1, iterations=1,
+def test_fig06_mean_access_delay(run_experiment):
+    run_experiment(
+        "fig6",
+        probe_rate_bps=5e6,
+        cross_rate_bps=4e6,
+        n_packets=250,
+        plot_limit=150,
+        seed=106,
     )
-    record_result(result)

@@ -5,22 +5,13 @@ delays (often the bare frame airtime); the steady-state packet's is
 shifted right with a heavier tail.
 """
 
-from repro.analysis.transient import fig7_delay_histograms
 
-from conftest import scaled
-
-
-def test_fig07_delay_histograms(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig7_delay_histograms,
-        kwargs=dict(
-            probe_rate_bps=5e6,
-            cross_rate_bps=4e6,
-            n_packets=250,
-            repetitions=scaled(500),
-            bins=30,
-            seed=107,
-        ),
-        rounds=1, iterations=1,
+def test_fig07_delay_histograms(run_experiment):
+    run_experiment(
+        "fig7",
+        probe_rate_bps=5e6,
+        cross_rate_bps=4e6,
+        n_packets=250,
+        bins=30,
+        seed=107,
     )
-    record_result(result)

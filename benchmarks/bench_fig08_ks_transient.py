@@ -6,22 +6,13 @@ settles within tens of packets; the contending station's mean queue
 grows over the same window (from ~0.2-0.4 to ~1+ packets).
 """
 
-from repro.analysis.transient import fig8_ks_and_queue
 
-from conftest import scaled
-
-
-def test_fig08_ks_transient(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig8_ks_and_queue,
-        kwargs=dict(
-            probe_rate_bps=8e6,
-            cross_rate_bps=2e6,
-            n_packets=250,
-            repetitions=scaled(400),
-            plot_limit=100,
-            seed=108,
-        ),
-        rounds=1, iterations=1,
+def test_fig08_ks_transient(run_experiment):
+    run_experiment(
+        "fig8",
+        probe_rate_bps=8e6,
+        cross_rate_bps=2e6,
+        n_packets=250,
+        plot_limit=100,
+        seed=108,
     )
-    record_result(result)

@@ -6,24 +6,16 @@ the first packets (first packet clearly accelerated), settling toward
 the steady-state threshold within tens of packets.
 """
 
-from repro.analysis.transient import fig9_ks_complex
 
-from conftest import scaled
-
-
-def test_fig09_ks_complex(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig9_ks_complex,
-        kwargs=dict(
-            probe_rate_bps=0.5e6,
-            n_packets=60,
-            # The fig-9 acceleration is ~0.6 ms against a ~3 ms-std
-            # delay distribution: it needs a few hundred repetitions
-            # to resolve, so the scale floor is higher here.
-            repetitions=scaled(400, minimum=200),
-            plot_limit=50,
-            seed=109,
-        ),
-        rounds=1, iterations=1,
+def test_fig09_ks_complex(run_experiment):
+    run_experiment(
+        "fig9",
+        # The fig-9 acceleration is ~0.6 ms against a ~3 ms-std delay
+        # distribution: it needs a few hundred repetitions to resolve,
+        # so the scale floor is higher here.
+        minimum=200,
+        probe_rate_bps=0.5e6,
+        n_packets=60,
+        plot_limit=50,
+        seed=109,
     )
-    record_result(result)

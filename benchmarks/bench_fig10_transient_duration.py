@@ -8,22 +8,13 @@ fair share; at 0.1 tolerance it stays well under 150 packets.
 
 import numpy as np
 
-from repro.analysis.transient import fig10_transient_duration
 
-from conftest import scaled
-
-
-def test_fig10_transient_duration(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig10_transient_duration,
-        kwargs=dict(
-            cross_loads_erlang=np.arange(0.1, 1.01, 0.1),
-            probe_load_erlang=1.0,
-            tolerances=(0.1, 0.01),
-            n_packets=300,
-            repetitions=scaled(300),
-            seed=110,
-        ),
-        rounds=1, iterations=1,
+def test_fig10_transient_duration(run_experiment):
+    run_experiment(
+        "fig10",
+        cross_loads_erlang=np.arange(0.1, 1.01, 0.1),
+        probe_load_erlang=1.0,
+        tolerances=(0.1, 0.01),
+        n_packets=300,
+        seed=110,
     )
-    record_result(result)

@@ -9,21 +9,12 @@ train (train-3 > train-10 > train-50 > steady).
 
 import numpy as np
 
-from repro.analysis.trains import fig13_short_trains
 
-from conftest import scaled
-
-
-def test_fig13_short_trains(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig13_short_trains,
-        kwargs=dict(
-            probe_rates_bps=np.arange(0.5e6, 10.01e6, 0.5e6),
-            train_lengths=(3, 10, 50),
-            cross_rate_bps=3e6,
-            repetitions=scaled(80),
-            seed=113,
-        ),
-        rounds=1, iterations=1,
+def test_fig13_short_trains(run_experiment):
+    run_experiment(
+        "fig13",
+        probe_rates_bps=np.arange(0.5e6, 10.01e6, 0.5e6),
+        train_lengths=(3, 10, 50),
+        cross_rate_bps=3e6,
+        seed=113,
     )
-    record_result(result)

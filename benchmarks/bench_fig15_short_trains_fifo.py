@@ -8,22 +8,13 @@ high-rate overestimation survives regardless of the FIFO traffic
 
 import numpy as np
 
-from repro.analysis.trains import fig15_short_trains_fifo
 
-from conftest import scaled
-
-
-def test_fig15_short_trains_fifo(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig15_short_trains_fifo,
-        kwargs=dict(
-            probe_rates_bps=np.arange(0.5e6, 10.01e6, 0.5e6),
-            train_lengths=(3, 10, 50),
-            cross_rate_bps=3e6,
-            fifo_rate_bps=1e6,
-            repetitions=scaled(80),
-            seed=115,
-        ),
-        rounds=1, iterations=1,
+def test_fig15_short_trains_fifo(run_experiment):
+    run_experiment(
+        "fig15",
+        probe_rates_bps=np.arange(0.5e6, 10.01e6, 0.5e6),
+        train_lengths=(3, 10, 50),
+        cross_rate_bps=3e6,
+        fifo_rate_bps=1e6,
+        seed=115,
     )
-    record_result(result)

@@ -9,19 +9,10 @@ throughput and never points back at the capacity.
 
 import numpy as np
 
-from repro.analysis.trains import fig16_packet_pair
 
-from conftest import scaled
-
-
-def test_fig16_packet_pair(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig16_packet_pair,
-        kwargs=dict(
-            cross_rates_bps=np.arange(0.0, 6.01e6, 0.5e6),
-            pair_repetitions=scaled(400),
-            seed=116,
-        ),
-        rounds=1, iterations=1,
+def test_fig16_packet_pair(run_experiment):
+    run_experiment(
+        "fig16",
+        cross_rates_bps=np.arange(0.0, 6.01e6, 0.5e6),
+        seed=116,
     )
-    record_result(result)

@@ -8,22 +8,13 @@ packets.
 
 import numpy as np
 
-from repro.analysis.trains import fig17_mser
 
-from conftest import scaled
-
-
-def test_fig17_mser(benchmark, record_result):
-    result = benchmark.pedantic(
-        fig17_mser,
-        kwargs=dict(
-            probe_rates_bps=np.arange(1e6, 10.01e6, 1e6),
-            n_packets=20,
-            mser_batch=2,
-            cross_rate_bps=3e6,
-            repetitions=scaled(150),
-            seed=117,
-        ),
-        rounds=1, iterations=1,
+def test_fig17_mser(run_experiment):
+    run_experiment(
+        "fig17",
+        probe_rates_bps=np.arange(1e6, 10.01e6, 1e6),
+        n_packets=20,
+        mser_batch=2,
+        cross_rate_bps=3e6,
+        seed=117,
     )
-    record_result(result)

@@ -5,15 +5,27 @@ repetition count (see EXPERIMENTS.md), prints the series the paper
 plots, writes them to ``benchmarks/results/<experiment>.txt`` and
 asserts the figure's qualitative shape checks.
 
-``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies the repetition
-counts: set it to 4 or 10 for publication-grade smoothness, or to 0.3
-for a quick pass.
+Benches run through :mod:`repro.runtime`: the ``run_experiment``
+fixture looks the experiment up in the registry, applies the bench
+scale to its scalable kwargs and executes it (cache disabled — a bench
+must measure the simulation, not a disk read).
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``
+    Float repetition multiplier (default 1.0): 4 or 10 for
+    publication-grade smoothness, 0.3 for a quick pass.
+``REPRO_BENCH_JOBS``
+    Worker processes for repetition sharding (default 1).  Results
+    are identical for any value; only the wall-clock changes.
 """
 
 import os
 import pathlib
 
 import pytest
+
+from repro.runtime import registry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -23,9 +35,9 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
-def scaled(base: int, minimum: int = 5) -> int:
-    """Scale a repetition count, clamped from below."""
-    return max(minimum, int(round(base * bench_scale())))
+def bench_jobs() -> int:
+    """Repetition-sharding job count from the environment."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture
@@ -45,3 +57,23 @@ def record_result():
         return result
 
     return _record
+
+
+@pytest.fixture
+def run_experiment(benchmark, record_result):
+    """Run a registered experiment at bench scale and record it.
+
+    ``overrides`` carry the bench's paper-setting kwargs (probe rates,
+    train shapes, seeds); scalable kwargs come from the registry and
+    honour ``REPRO_BENCH_SCALE`` with the given ``minimum`` clamp.
+    """
+
+    def _run(name, minimum=5, **overrides):
+        experiment = registry.get(name)
+        report = benchmark.pedantic(
+            lambda: experiment.run(scale=bench_scale(), jobs=bench_jobs(),
+                                   overrides=overrides, minimum=minimum),
+            rounds=1, iterations=1)
+        return record_result(report.result)
+
+    return _run

@@ -1,4 +1,8 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Subcommands: ``list``, ``info``, ``run``, ``sweep``, ``cache`` — see
+:mod:`repro.cli`.
+"""
 
 import sys
 

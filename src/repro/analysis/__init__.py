@@ -30,6 +30,11 @@ immediate-access rule, KS variants, RTS/CTS, truncation heuristics);
 the paper's prose claims (section 7.2 tool convergence, equation (31)
 B(n), the multi-hop access-path setting) are made measurable in
 :mod:`repro.analysis.extensions`.
+
+Runners are plain functions; scheduling concerns (repetition scaling,
+worker-process sharding, result caching) live one layer up in
+:mod:`repro.runtime`, whose registry is how the CLI and the benchmark
+harness invoke everything here.
 """
 
 from repro.analysis.results import ExperimentResult

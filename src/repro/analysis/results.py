@@ -83,6 +83,63 @@ class ExperimentResult:
             "FAIL: " + ", ".join(self.failed_checks))
         return f"{self.experiment}: {self.title} [{status}]"
 
+    # ------------------------------------------------------------------
+    # JSON round-trip (the runtime result cache stores these payloads)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable payload; inverse of :meth:`from_dict`.
+
+        The round trip is lossless for :meth:`table` output: arrays go
+        through ``tolist()`` (exact for float64) and meta values are
+        reduced to plain Python scalars that render identically.
+        """
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x": self.x.tolist(),
+            "series": {name: values.tolist()
+                       for name, values in self.series.items()},
+            "meta": {key: jsonable(value)
+                     for key, value in self.meta.items()},
+            "checks": dict(self.checks),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from a :meth:`to_dict` payload."""
+        result = cls(
+            experiment=str(payload["experiment"]),
+            title=str(payload["title"]),
+            x_label=str(payload["x_label"]),
+            x=np.asarray(payload["x"], dtype=float),
+            series={str(name): np.asarray(values, dtype=float)
+                    for name, values in dict(payload["series"]).items()},
+            meta=dict(payload.get("meta", {})),
+        )
+        for name, ok in dict(payload.get("checks", {})).items():
+            result.add_check(str(name), bool(ok))
+        return result
+
+
+def jsonable(value: object) -> object:
+    """Recursively reduce a value to JSON-serialisable Python types.
+
+    numpy scalars become their Python equivalents, arrays and tuples
+    become lists, and containers are normalised element-wise — so any
+    meta/kwargs structure a runner produces can be stored as JSON.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    return value
+
 
 def monotone_nonincreasing(values: np.ndarray, slack: float = 0.0) -> bool:
     """Shape-check helper: the series never rises by more than ``slack``."""

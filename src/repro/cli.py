@@ -4,73 +4,46 @@ Run any of the paper's experiments from a shell::
 
     python -m repro list
     python -m repro info
-    python -m repro run fig6 --scale 0.5 --seed 7
+    python -m repro run fig6 --jobs 4 --seed 7
     python -m repro run all --scale 0.25
+    python -m repro sweep fig6 --param repetitions=100,400,1600
+    python -m repro cache ls
+    python -m repro cache clear
 
 ``run`` prints the experiment's series table (the same rows the paper's
-figure plots) and exits non-zero if any qualitative shape check fails.
+figure plots) and exits non-zero if any qualitative shape check fails
+or any experiment errors; failures are aggregated and reported at the
+end, never aborting the remaining experiments.  Results are cached on
+disk keyed on (experiment, kwargs, code version) — a repeated
+invocation is served from cache unless ``--no-cache`` or ``--refresh``
+says otherwise.  ``--jobs N`` shards repetitions across N worker
+processes with bit-identical output.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro import analysis
 from repro.analytic.bianchi import BianchiModel
 from repro.mac.frames import AirtimeModel
 from repro.mac.params import PhyParams
-
-#: experiment name -> (runner, scalable kwargs with base values)
-REGISTRY: Dict[str, Tuple[Callable, Dict[str, int]]] = {
-    "fig1": (analysis.fig1_rate_response, {"repetitions": 3}),
-    "fig4": (analysis.fig4_complete_picture, {"repetitions": 3}),
-    "fig6": (analysis.fig6_mean_access_delay, {"repetitions": 400}),
-    "fig7": (analysis.fig7_delay_histograms, {"repetitions": 500}),
-    "fig8": (analysis.fig8_ks_and_queue, {"repetitions": 400}),
-    "fig9": (analysis.fig9_ks_complex, {"repetitions": 400}),
-    "fig10": (analysis.fig10_transient_duration, {"repetitions": 300}),
-    "fig13": (analysis.fig13_short_trains, {"repetitions": 80}),
-    "fig15": (analysis.fig15_short_trains_fifo, {"repetitions": 80}),
-    "fig16": (analysis.fig16_packet_pair, {"pair_repetitions": 400}),
-    "fig17": (analysis.fig17_mser, {"repetitions": 150}),
-    "eq1": (analysis.eq1_fifo_rate_response, {"repetitions": 40}),
-    "bounds": (analysis.bounds_consistency, {"repetitions": 300}),
-    "ablation-bianchi": (analysis.ablation_bianchi_calibration, {}),
-    "ablation-immediate-access": (analysis.ablation_immediate_access,
-                                  {"repetitions": 250}),
-    "ablation-ks": (analysis.ablation_ks_methods, {"repetitions": 300}),
-    "ablation-rts": (analysis.ablation_rts_cts, {"repetitions": 200}),
-    "ablation-truncation": (analysis.ablation_truncation_heuristics,
-                            {"repetitions": 150}),
-    "ext-tool-convergence": (analysis.tool_convergence_study,
-                             {"repetitions": 10}),
-    "ext-b-vs-n": (analysis.transient_b_vs_n, {"repetitions": 300}),
-    "ext-topp": (analysis.topp_on_wlan_study, {"repetitions": 8}),
-    "ext-multihop": (analysis.multihop_access_path_study,
-                     {"repetitions": 20}),
-}
-
-
-def scaled_kwargs(base: Dict[str, int], scale: float,
-                  seed: Optional[int]) -> Dict[str, object]:
-    """Apply the repetition scale and optional seed override."""
-    kwargs: Dict[str, object] = {
-        key: max(2, int(round(value * scale)))
-        for key, value in base.items()
-    }
-    if seed is not None:
-        kwargs["seed"] = seed
-    return kwargs
+from repro.runtime import registry
+from repro.runtime.cache import ResultCache
+from repro.runtime.registry import RunReport
+from repro.runtime.sweep import expand_grid, parse_param_spec
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
-    """Print the experiment registry."""
+    """Print the experiment registry, grouped."""
     print("Available experiments:")
-    for name, (runner, base) in REGISTRY.items():
-        doc = (runner.__doc__ or "").strip().splitlines()[0]
-        print(f"  {name:<26} {doc}")
+    group = None
+    for experiment in registry.experiments():
+        if experiment.group != group:
+            group = experiment.group
+            print(f" {group}s:")
+        print(f"  {experiment.name:<26} {experiment.description}")
     return 0
 
 
@@ -94,30 +67,150 @@ def cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    """Run one experiment (or all) and print its table."""
-    names: List[str]
-    if args.experiment == "all":
-        names = list(REGISTRY)
-    elif args.experiment in REGISTRY:
-        names = [args.experiment]
+def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
+    """Build the cache the run/sweep flags ask for (None = disabled)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(root=getattr(args, "cache_dir", None))
+
+
+def _print_report(report: RunReport) -> None:
+    """Print one run's table plus its provenance line."""
+    print(report.result.table())
+    if report.cached:
+        print(f"   [cache hit {report.cache_key}]")
     else:
-        print(f"unknown experiment {args.experiment!r}; "
-              f"try: {', '.join(REGISTRY)}", file=sys.stderr)
+        note = f"computed in {report.elapsed_s:.2f}s"
+        if report.cache_key is not None:
+            note += f", stored as {report.cache_key}"
+        print(f"   [{note}]")
+    print()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment (or all) and print its table(s).
+
+    Per-experiment failures — shape-check failures *and* runner
+    exceptions — are collected and summarised at the end instead of
+    aborting the remaining experiments.
+    """
+    try:
+        experiments = (registry.experiments() if args.experiment == "all"
+                       else [registry.get(args.experiment)])
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
         return 2
-    failed = []
-    for name in names:
-        runner, base = REGISTRY[name]
-        result = runner(**scaled_kwargs(base, args.scale, args.seed))
-        print(result.table())
-        print()
-        if not result.all_checks_pass:
-            failed.append(name)
-    if failed:
-        print(f"shape checks FAILED for: {', '.join(failed)}",
+    cache = _cache_from(args)
+    failures: Dict[str, str] = {}
+    for experiment in experiments:
+        name = experiment.name
+        try:
+            report = experiment.run(
+                scale=args.scale, seed=args.seed, jobs=args.jobs,
+                cache=cache, refresh=args.refresh)
+        except Exception as exc:  # aggregate, don't abort the batch
+            print(f"== {name}: ERROR ==\n   {exc}\n", file=sys.stderr)
+            failures[name] = f"error: {exc}"
+            continue
+        _print_report(report)
+        if not report.result.all_checks_pass:
+            failures[name] = ("checks failed: "
+                              + ", ".join(report.result.failed_checks))
+    if failures:
+        print(f"{len(failures)}/{len(experiments)} experiments failed:",
               file=sys.stderr)
+        for name, reason in failures.items():
+            print(f"  {name}: {reason}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run one experiment over a parameter grid and summarise."""
+    try:
+        experiment = registry.get(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        specs = [parse_param_spec(spec) for spec in args.param]
+        points = expand_grid(specs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    cache = _cache_from(args)
+    summary: List[str] = []
+    failed = 0
+    for overrides in points:
+        label = ", ".join(f"{k}={v}" for k, v in overrides.items())
+        try:
+            report = experiment.run(
+                scale=args.scale, seed=args.seed, jobs=args.jobs,
+                overrides=overrides, cache=cache, refresh=args.refresh)
+        except Exception as exc:  # keep sweeping the remaining points
+            print(f"== {args.experiment} [{label}]: ERROR ==\n   {exc}\n",
+                  file=sys.stderr)
+            summary.append(f"  {label}: error: {exc}")
+            failed += 1
+            continue
+        _print_report(report)
+        if report.result.all_checks_pass:
+            status = "PASS"
+        else:
+            status = ("FAIL ("
+                      + ", ".join(report.result.failed_checks) + ")")
+            failed += 1
+        cached = " [cached]" if report.cached else ""
+        summary.append(f"  {label}: {status}{cached}")
+    print(f"== sweep {args.experiment}: "
+          f"{len(points) - failed}/{len(points)} points pass ==")
+    for line in summary:
+        print(line)
+    return 1 if failed else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``cache ls`` / ``cache clear``."""
+    cache = ResultCache(root=args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    entries = cache.entries()
+    if not entries:
+        print(f"cache {cache.root} is empty")
+        return 0
+    print(f"{len(entries)} cache entr"
+          f"{'y' if len(entries) == 1 else 'ies'} in {cache.root}:")
+    for entry in entries:
+        staleness = "  (stale code version)" if entry.stale else ""
+        rendered = ", ".join(f"{k}={v}" for k, v in entry.kwargs.items())
+        print(f"  {entry.experiment:<26} {entry.key}  "
+              f"{entry.size_bytes:>8} B{staleness}")
+        print(f"    {rendered}")
+    return 0
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``run`` and ``sweep``."""
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="repetition-count multiplier (default 1.0)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the experiment seed")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for repetition sharding "
+                             "(0 = one per CPU; default $REPRO_JOBS or "
+                             "1; results are identical for any job "
+                             "count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute even on a cache hit (and "
+                             "store the fresh result)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default $REPRO_CACHE_DIR "
+                             "or ./.repro-cache)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,11 +227,24 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run an experiment")
     run.add_argument("experiment",
                      help="experiment name (see 'list'), or 'all'")
-    run.add_argument("--scale", type=float, default=1.0,
-                     help="repetition-count multiplier (default 1.0)")
-    run.add_argument("--seed", type=int, default=None,
-                     help="override the experiment seed")
+    _add_run_options(run)
     run.set_defaults(func=cmd_run)
+    sweep = sub.add_parser(
+        "sweep", help="run an experiment over a parameter grid")
+    sweep.add_argument("experiment", help="experiment name (see 'list')")
+    sweep.add_argument("--param", action="append", required=True,
+                       metavar="NAME=V1,V2,...",
+                       help="sweep values for one runner kwarg "
+                            "(repeatable; grid = Cartesian product)")
+    _add_run_options(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+    cache = sub.add_parser("cache", help="inspect the result cache")
+    cache.add_argument("action", choices=("ls", "clear"),
+                       help="list entries or delete them all")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory (default $REPRO_CACHE_DIR "
+                            "or ./.repro-cache)")
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -1,0 +1,50 @@
+"""Experiment orchestration: registry, parallel executor, result cache.
+
+This package turns the per-figure runners of :mod:`repro.analysis`
+into declarative, schedulable units of work:
+
+* :mod:`repro.runtime.registry` — the :class:`Experiment` dataclass
+  and the registry of every figure/ablation/extension runner, with
+  repetition scaling, seed policy and cache-aware execution;
+* :mod:`repro.runtime.executor` — repetition sharding across worker
+  processes; results are bit-identical regardless of the job count
+  because shards replay exactly the per-repetition seeds a serial run
+  would use;
+* :mod:`repro.runtime.cache` — a content-addressed on-disk JSON cache
+  keyed on (experiment, kwargs, code version);
+* :mod:`repro.runtime.sweep` — parameter-sweep parsing and grid
+  expansion for ``python -m repro sweep``.
+
+The CLI (:mod:`repro.cli`) and the benchmark harness are thin clients
+of this package.
+"""
+
+from repro.runtime.cache import ResultCache, code_version
+from repro.runtime.executor import active_jobs, map_ordered, parallel_jobs
+from repro.runtime.registry import (
+    Experiment,
+    RunReport,
+    experiments,
+    get,
+    names,
+    register,
+    unregister,
+)
+from repro.runtime.sweep import expand_grid, parse_param_spec
+
+__all__ = [
+    "Experiment",
+    "ResultCache",
+    "RunReport",
+    "active_jobs",
+    "code_version",
+    "expand_grid",
+    "experiments",
+    "get",
+    "map_ordered",
+    "names",
+    "parallel_jobs",
+    "parse_param_spec",
+    "register",
+    "unregister",
+]

@@ -1,0 +1,191 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every cache entry is one JSON file whose name is derived from a SHA-256
+digest of the *inputs* that determine the result:
+
+* the experiment name,
+* the fully-resolved runner kwargs (canonicalised: sorted keys, numpy
+  scalars/arrays reduced to plain Python values),
+* the code version — a digest over every ``*.py`` file of the
+  :mod:`repro` package, so editing any module silently invalidates
+  stale entries (their keys simply stop matching).
+
+Because the key is content-addressed there is no invalidation
+protocol: a hit is always safe to serve, a miss re-runs the
+simulation.  ``python -m repro cache ls`` lists entries and ``cache
+clear`` wipes them; the cache directory defaults to ``.repro-cache``
+in the working directory and can be moved with the
+``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.analysis.results import ExperimentResult, jsonable
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump when the entry payload layout changes (part of every key).
+PAYLOAD_VERSION = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return pathlib.Path(os.environ.get(CACHE_DIR_ENV, ".repro-cache"))
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``*.py`` source file in the repro package.
+
+    Memoised per process — the sources of a running process do not
+    change under it.
+    """
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def canonical_kwargs(kwargs: Mapping[str, object]) -> Dict[str, object]:
+    """Reduce kwargs to a JSON-stable, order-independent form.
+
+    Values are normalised with :func:`repro.analysis.results.jsonable`
+    (one shared rule set for kwargs and result payloads); keys are
+    sorted so key order never changes the hash.
+    """
+    return {key: jsonable(kwargs[key]) for key in sorted(kwargs)}
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one stored result (``cache ls`` rows)."""
+
+    key: str
+    path: pathlib.Path
+    experiment: str
+    kwargs: Dict[str, object]
+    code_version: str
+    size_bytes: int
+    stale: bool
+
+
+class ResultCache:
+    """A directory of content-addressed experiment results."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = pathlib.Path(root) if root is not None \
+            else default_cache_dir()
+
+    # ------------------------------------------------------------------
+
+    def key_for(self, experiment: str, kwargs: Mapping[str, object],
+                version: Optional[str] = None) -> str:
+        """Content key of ``(experiment, kwargs, code version)``."""
+        version = version if version is not None else code_version()
+        blob = json.dumps(
+            {"experiment": experiment,
+             "kwargs": canonical_kwargs(kwargs),
+             "code_version": version,
+             "payload_version": PAYLOAD_VERSION},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+    def path_for(self, experiment: str, key: str) -> pathlib.Path:
+        """File that would hold the entry for ``key``."""
+        return self.root / f"{experiment}-{key}.json"
+
+    # ------------------------------------------------------------------
+
+    def load(self, experiment: str, key: str) -> Optional[ExperimentResult]:
+        """Return the cached result for ``key``, or ``None`` on miss.
+
+        Unreadable or corrupt entries count as misses (the caller will
+        recompute and overwrite them).
+        """
+        path = self.path_for(experiment, key)
+        try:
+            payload = json.loads(path.read_text())
+            return ExperimentResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, experiment: str, key: str,
+              kwargs: Mapping[str, object],
+              result: ExperimentResult,
+              version: Optional[str] = None) -> pathlib.Path:
+        """Persist ``result`` under ``key`` and return the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(experiment, key)
+        payload = {
+            "experiment": experiment,
+            "kwargs": canonical_kwargs(kwargs),
+            "code_version": version if version is not None
+            else code_version(),
+            "payload_version": PAYLOAD_VERSION,
+            "result": result.to_dict(),
+        }
+        # No sort_keys here: series/check insertion order is part of
+        # the result's rendered table and must survive the round trip.
+        # The temp name is per-writer so concurrent stores of the same
+        # key cannot interleave; replace() makes the publish atomic.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+        return path
+
+    # ------------------------------------------------------------------
+
+    def entries(self) -> List[CacheEntry]:
+        """All readable entries, newest first; corrupt files skipped."""
+        if not self.root.is_dir():
+            return []
+        current = code_version()
+        out: List[CacheEntry] = []
+        paths = sorted(self.root.glob("*.json"),
+                       key=lambda p: p.stat().st_mtime, reverse=True)
+        for path in paths:
+            try:
+                payload = json.loads(path.read_text())
+                experiment = str(payload["experiment"])
+                stored_version = str(payload["code_version"])
+            except (OSError, ValueError, KeyError):
+                continue
+            key = path.stem.removeprefix(f"{experiment}-")
+            out.append(CacheEntry(
+                key=key, path=path, experiment=experiment,
+                kwargs=dict(payload.get("kwargs", {})),
+                code_version=stored_version,
+                size_bytes=path.stat().st_size,
+                stale=stored_version != current))
+        return out
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed.
+
+        Also sweeps ``*.tmp`` files an interrupted store may have left
+        behind (they are invisible to :meth:`entries`).
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for pattern in ("*.json", "*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,172 @@
+"""Repetition sharding across worker processes.
+
+Every heavy experiment in this repository bottoms out in the same hot
+loop: send N independent repetitions of a probing train through a
+fresh channel (``Channel.send_trains``), then compute statistics over
+the collected per-repetition results.  The executor parallelises that
+loop — and *only* that loop — because it is the one place where
+fan-out cannot change the answer:
+
+* the per-repetition seeds are derived up front from the experiment
+  seed (``SeedSequence(seed).generate_state(repetitions)``), so shard
+  k replays exactly the seeds a serial run would have used for its
+  repetition indices;
+* each repetition is a pure function of ``(channel, train, seed)``;
+* the parent reassembles shard results in repetition order before any
+  statistic is computed.
+
+Mean profiles, KS distances and histograms therefore see bit-identical
+inputs whether the repetitions ran in one process or eight — the
+property ``python -m repro run fig6 --jobs 4`` relies on.
+
+Sharding is *ambient*: :func:`parallel_jobs` installs a job count for
+the current scope and :meth:`repro.testbed.channel.Channel.send_trains`
+picks it up via :func:`map_ordered`.  Runner code needs no plumbing,
+and nested fan-out (a worker trying to fork its own pool) degrades
+safely to serial execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no ambient job count is set.
+JOBS_ENV = "REPRO_JOBS"
+
+_AMBIENT_JOBS: Optional[int] = None
+
+# Worker-side state: the mapped callable, installed by the pool
+# initializer.  ``_IN_WORKER`` makes nested map_ordered calls serial.
+_WORKER_FN: Optional[Callable] = None
+_IN_WORKER = False
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a job-count request.
+
+    ``None`` defers to the ambient scope (then the ``REPRO_JOBS``
+    environment variable, then 1); ``0`` means "one per CPU"; negative
+    values are rejected.
+    """
+    if jobs is None:
+        return active_jobs()
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def active_jobs() -> int:
+    """The job count in effect for this scope (default 1).
+
+    An unparsable or negative ``REPRO_JOBS`` falls back to serial
+    execution with a warning rather than aborting mid-experiment.
+    """
+    if _IN_WORKER:
+        return 1
+    if _AMBIENT_JOBS is not None:
+        return _AMBIENT_JOBS
+    raw = os.environ.get(JOBS_ENV, "1")
+    try:
+        return resolve_jobs(int(raw))
+    except ValueError:
+        warnings.warn(f"ignoring invalid {JOBS_ENV}={raw!r}; "
+                      "running serially", stacklevel=2)
+        return 1
+
+
+@contextmanager
+def parallel_jobs(jobs: int) -> Iterator[int]:
+    """Install an ambient job count for the duration of the block.
+
+    >>> with parallel_jobs(4):
+    ...     result = fig6_mean_access_delay()        # doctest: +SKIP
+
+    Scopes nest; the innermost wins.  ``jobs=0`` resolves to the CPU
+    count.
+    """
+    global _AMBIENT_JOBS
+    resolved = resolve_jobs(jobs)
+    previous = _AMBIENT_JOBS
+    _AMBIENT_JOBS = resolved
+    try:
+        yield resolved
+    finally:
+        _AMBIENT_JOBS = previous
+
+
+def shard_bounds(n_items: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` index ranges splitting ``n_items``.
+
+    The first ``n_items % shards`` shards get one extra item, so sizes
+    differ by at most one.  Empty shards are never produced.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, n_items) or 1
+    base, extra = divmod(n_items, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for k in range(shards):
+        hi = lo + base + (1 if k < extra else 0)
+        if hi > lo:
+            bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _worker_init(fn: Callable) -> None:
+    """Pool initializer: stash the mapped callable in the worker."""
+    global _WORKER_FN, _IN_WORKER
+    _WORKER_FN = fn
+    _IN_WORKER = True
+
+
+def _run_shard(items: Sequence) -> List:
+    """Apply the installed callable to one shard of items, in order."""
+    assert _WORKER_FN is not None, "pool initializer did not run"
+    return [_WORKER_FN(item) for item in items]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (no pickling of the mapped callable)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+def map_ordered(fn: Callable[[T], R], items: Sequence[T],
+                jobs: Optional[int] = None) -> List[R]:
+    """``[fn(item) for item in items]``, fanned across processes.
+
+    Items are split into contiguous shards (one per job) and executed
+    by worker processes; the returned list preserves item order
+    exactly, so callers observe serial semantics.  With ``jobs=None``
+    the ambient :func:`parallel_jobs` scope decides; a job count of 1
+    (or a single item, or a call from inside a worker) short-circuits
+    to a plain loop with zero multiprocessing overhead.
+
+    ``fn`` runs in forked children where available, so it may close
+    over arbitrary unpicklable state; only ``items`` and the results
+    cross the process boundary.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(jobs), len(items))
+    if jobs <= 1 or _IN_WORKER:
+        return [fn(item) for item in items]
+    shards = [items[lo:hi] for lo, hi in shard_bounds(len(items), jobs)]
+    ctx = _pool_context()
+    with ctx.Pool(processes=len(shards), initializer=_worker_init,
+                  initargs=(fn,)) as pool:
+        shard_results = pool.map(_run_shard, shards, chunksize=1)
+    return [result for shard in shard_results for result in shard]

@@ -1,0 +1,242 @@
+"""Declarative experiment registry.
+
+An :class:`Experiment` bundles a runner from :mod:`repro.analysis`
+with its execution policy: which kwargs scale with ``--scale``, how
+the seed is injected, and how results are cached and parallelised.
+The CLI and the benchmark harness both consume this registry instead
+of hard-coding ``(runner, kwargs)`` tuples.
+
+>>> from repro.runtime import registry
+>>> report = registry.get("fig6").run(scale=0.05, seed=3)
+>>> report.result.experiment
+'fig6'
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro import analysis
+from repro.analysis.results import ExperimentResult
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import parallel_jobs
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of :meth:`Experiment.run`."""
+
+    result: ExperimentResult
+    kwargs: Dict[str, object]
+    cached: bool = False
+    cache_key: Optional[str] = None
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment and its execution policy.
+
+    Attributes
+    ----------
+    name:
+        CLI-facing identifier (``fig6``, ``ablation-rts`` ...).
+    runner:
+        The :mod:`repro.analysis` entry point; returns an
+        :class:`~repro.analysis.results.ExperimentResult`.
+    scalable:
+        kwarg -> base value; multiplied by ``--scale`` and clamped
+        from below (repetition counts, typically).
+    group:
+        Registry section (``figure``/``baseline``/``ablation``/
+        ``extension``) — display only.
+    seed_kwarg:
+        Name of the runner's seed parameter, or ``None`` for a
+        deterministic runner.
+    min_scaled:
+        Lower clamp applied to every scaled kwarg.
+    """
+
+    name: str
+    runner: Callable[..., ExperimentResult]
+    scalable: Mapping[str, int] = field(default_factory=dict)
+    group: str = "figure"
+    seed_kwarg: Optional[str] = "seed"
+    min_scaled: int = 2
+
+    @property
+    def description(self) -> str:
+        """First line of the runner's docstring."""
+        doc = (self.runner.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else ""
+
+    def default_seed(self) -> Optional[int]:
+        """The runner's own default seed (from its signature)."""
+        if self.seed_kwarg is None:
+            return None
+        parameter = inspect.signature(self.runner).parameters.get(
+            self.seed_kwarg)
+        if parameter is None or parameter.default is inspect.Parameter.empty:
+            return None
+        return parameter.default
+
+    # ------------------------------------------------------------------
+
+    def kwargs_for(self, scale: float = 1.0,
+                   seed: Optional[int] = None,
+                   overrides: Optional[Mapping[str, object]] = None,
+                   minimum: Optional[int] = None) -> Dict[str, object]:
+        """Resolve the runner kwargs for one invocation.
+
+        Scaled kwargs are multiplied by ``scale`` and clamped at
+        ``minimum`` (default :attr:`min_scaled`); the seed — explicit
+        or the runner's default — is always materialised so cache keys
+        are canonical; ``overrides`` wins over everything.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        floor = self.min_scaled if minimum is None else minimum
+        kwargs: Dict[str, object] = {
+            key: max(floor, int(round(value * scale)))
+            for key, value in self.scalable.items()
+        }
+        if self.seed_kwarg is not None:
+            resolved = seed if seed is not None else self.default_seed()
+            if resolved is not None:
+                kwargs[self.seed_kwarg] = resolved
+        if overrides:
+            kwargs.update(overrides)
+        return kwargs
+
+    def run(self, *, scale: float = 1.0, seed: Optional[int] = None,
+            jobs: Optional[int] = None,
+            overrides: Optional[Mapping[str, object]] = None,
+            minimum: Optional[int] = None,
+            cache: Optional[ResultCache] = None,
+            refresh: bool = False) -> RunReport:
+        """Execute the runner (or serve its cached result).
+
+        ``jobs`` shards the repetition loop across worker processes
+        (see :mod:`repro.runtime.executor`); the result is identical
+        for any job count.  ``None`` defers to the ambient
+        :func:`~repro.runtime.executor.parallel_jobs` scope and the
+        ``REPRO_JOBS`` environment variable.  With a ``cache``, a hit
+        skips the simulation entirely unless ``refresh`` forces a
+        re-run; fresh results are stored back.
+        """
+        kwargs = self.kwargs_for(scale=scale, seed=seed,
+                                 overrides=overrides, minimum=minimum)
+        key: Optional[str] = None
+        if cache is not None:
+            key = cache.key_for(self.name, kwargs)
+            if not refresh:
+                hit = cache.load(self.name, key)
+                if hit is not None:
+                    return RunReport(result=hit, kwargs=kwargs,
+                                     cached=True, cache_key=key)
+        scope = parallel_jobs(jobs) if jobs is not None else nullcontext()
+        start = time.perf_counter()
+        with scope:
+            result = self.runner(**kwargs)
+        elapsed = time.perf_counter() - start
+        if cache is not None and key is not None:
+            cache.store(self.name, key, kwargs, result)
+        return RunReport(result=result, kwargs=kwargs, cached=False,
+                         cache_key=key, elapsed_s=elapsed)
+
+
+# ----------------------------------------------------------------------
+# The registry proper
+# ----------------------------------------------------------------------
+
+_EXPERIMENTS: Dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add ``experiment`` to the registry (name must be unused)."""
+    if experiment.name in _EXPERIMENTS:
+        raise ValueError(f"experiment {experiment.name!r} already registered")
+    _EXPERIMENTS[experiment.name] = experiment
+    return experiment
+
+
+def unregister(name: str) -> None:
+    """Remove ``name`` from the registry (tests use this)."""
+    _EXPERIMENTS.pop(name, None)
+
+
+def get(name: str) -> Experiment:
+    """Look up one experiment; raises ``KeyError`` with suggestions."""
+    try:
+        return _EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(names())}") from None
+
+
+def names() -> List[str]:
+    """Registered experiment names, in registration order."""
+    return list(_EXPERIMENTS)
+
+
+def experiments() -> List[Experiment]:
+    """All registered experiments, in registration order."""
+    return list(_EXPERIMENTS.values())
+
+
+def _register_builtins() -> None:
+    """Populate the registry with every runner the paper needs."""
+    builtin: List[Tuple[str, Callable[..., ExperimentResult],
+                        Dict[str, int], str]] = [
+        ("fig1", analysis.fig1_rate_response, {"repetitions": 3}, "figure"),
+        ("fig4", analysis.fig4_complete_picture, {"repetitions": 3},
+         "figure"),
+        ("fig6", analysis.fig6_mean_access_delay, {"repetitions": 400},
+         "figure"),
+        ("fig7", analysis.fig7_delay_histograms, {"repetitions": 500},
+         "figure"),
+        ("fig8", analysis.fig8_ks_and_queue, {"repetitions": 400}, "figure"),
+        ("fig9", analysis.fig9_ks_complex, {"repetitions": 400}, "figure"),
+        ("fig10", analysis.fig10_transient_duration, {"repetitions": 300},
+         "figure"),
+        ("fig13", analysis.fig13_short_trains, {"repetitions": 80},
+         "figure"),
+        ("fig15", analysis.fig15_short_trains_fifo, {"repetitions": 80},
+         "figure"),
+        ("fig16", analysis.fig16_packet_pair, {"pair_repetitions": 400},
+         "figure"),
+        ("fig17", analysis.fig17_mser, {"repetitions": 150}, "figure"),
+        ("eq1", analysis.eq1_fifo_rate_response, {"repetitions": 40},
+         "baseline"),
+        ("bounds", analysis.bounds_consistency, {"repetitions": 300},
+         "baseline"),
+        ("ablation-bianchi", analysis.ablation_bianchi_calibration, {},
+         "ablation"),
+        ("ablation-immediate-access", analysis.ablation_immediate_access,
+         {"repetitions": 250}, "ablation"),
+        ("ablation-ks", analysis.ablation_ks_methods,
+         {"repetitions": 300}, "ablation"),
+        ("ablation-rts", analysis.ablation_rts_cts,
+         {"repetitions": 200}, "ablation"),
+        ("ablation-truncation", analysis.ablation_truncation_heuristics,
+         {"repetitions": 150}, "ablation"),
+        ("ext-tool-convergence", analysis.tool_convergence_study,
+         {"repetitions": 10}, "extension"),
+        ("ext-b-vs-n", analysis.transient_b_vs_n,
+         {"repetitions": 300}, "extension"),
+        ("ext-topp", analysis.topp_on_wlan_study,
+         {"repetitions": 8}, "extension"),
+        ("ext-multihop", analysis.multihop_access_path_study,
+         {"repetitions": 20}, "extension"),
+    ]
+    for name, runner, scalable, group in builtin:
+        register(Experiment(name=name, runner=runner, scalable=scalable,
+                            group=group))
+
+
+_register_builtins()

@@ -1,0 +1,63 @@
+"""Parameter-sweep parsing and grid expansion.
+
+``python -m repro sweep fig6 --param repetitions=100,400,1600`` runs
+one experiment at several parameter points.  This module owns the two
+pure pieces: parsing ``name=v1,v2,...`` specifications and expanding
+several of them into the Cartesian grid of override dicts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple, Union
+
+Value = Union[int, float, str]
+
+
+def parse_value(text: str) -> Value:
+    """Interpret one sweep value: int if possible, else float, else str.
+
+    Scientific notation (``5e6``) parses as float, which is what every
+    rate-style kwarg expects.
+    """
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_param_spec(spec: str) -> Tuple[str, List[Value]]:
+    """Parse one ``--param name=v1,v2,...`` specification."""
+    name, sep, rest = spec.partition("=")
+    name = name.strip()
+    values = [parse_value(v) for v in rest.split(",") if v.strip()]
+    if not sep or not name or not values:
+        raise ValueError(
+            f"malformed sweep parameter {spec!r}; "
+            "expected name=value[,value...]")
+    return name, values
+
+
+def expand_grid(specs: Sequence[Tuple[str, Sequence[Value]]]
+                ) -> List[Dict[str, Value]]:
+    """Cartesian product of parsed specs, as runner-override dicts.
+
+    Points iterate with the *last* parameter fastest, matching the
+    order the ``--param`` flags were given.
+    """
+    seen = set()
+    for name, values in specs:
+        if name in seen:
+            raise ValueError(f"duplicate sweep parameter {name!r}")
+        if not values:
+            raise ValueError(f"sweep parameter {name!r} has no values")
+        seen.add(name)
+    names = [name for name, _ in specs]
+    grids = [values for _, values in specs]
+    return [dict(zip(names, combo))
+            for combo in itertools.product(*grids)]

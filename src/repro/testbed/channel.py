@@ -21,6 +21,7 @@ that "assure complete interaction with the system".
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -57,12 +58,31 @@ class Channel(abc.ABC):
 
     def send_trains(self, train: ProbeTrain, repetitions: int,
                     seed: int = 0) -> List[RawTrainResult]:
-        """Send ``repetitions`` independent trains (seeds derived)."""
+        """Send ``repetitions`` independent trains (seeds derived).
+
+        The per-repetition seeds are all derived up front from ``seed``
+        and the repetitions fan out across the ambient worker pool (see
+        :func:`repro.runtime.executor.parallel_jobs`); results come
+        back in repetition order, so the output is bit-identical to a
+        serial run regardless of the job count.
+        """
         if repetitions < 1:
             raise ValueError(
                 f"repetitions must be >= 1, got {repetitions}")
+        # Imported lazily: repro.runtime sits above the testbed layer.
+        from repro.runtime.executor import map_ordered
         seeds = np.random.SeedSequence(seed).generate_state(repetitions)
-        return [self.send_train(train, int(s)) for s in seeds]
+        return map_ordered(functools.partial(self._train_task, train),
+                           [int(s) for s in seeds])
+
+    def _train_task(self, train: ProbeTrain, seed: int) -> RawTrainResult:
+        """One batch repetition; subclasses may slim the result.
+
+        ``send_trains`` maps this (not ``send_train``) so that backends
+        can drop bulky diagnostics the batch callers never read before
+        the result crosses a worker-process boundary.
+        """
+        return self.send_train(train, seed)
 
 
 class SimulatedWlanChannel(Channel):
@@ -149,6 +169,16 @@ class SimulatedWlanChannel(Channel):
             access_delays=np.array([r.access_delay for r in probe]),
             scenario=result,
         )
+
+    def _train_task(self, train: ProbeTrain, seed: int) -> RawTrainResult:
+        """Batch repetition: keep the scenario only when queue traces
+        were requested — it dominates the payload shipped back from
+        worker processes, and batch callers only read it for queue
+        sampling."""
+        raw = self.send_train(train, seed)
+        if not self.log_cross_queues:
+            raw.scenario = None
+        return raw
 
     def send_train_sequence(self, sequence: TrainSequence,
                             seed: int) -> List[RawTrainResult]:

@@ -2,37 +2,47 @@
 
 import pytest
 
-from repro.cli import REGISTRY, build_parser, main, scaled_kwargs
+from repro.cli import build_parser, main
+from repro.runtime import registry
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the CLI's default cache at a throwaway directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
 
 
 class TestRegistry:
     def test_every_paper_figure_registered(self):
         for figure in ("fig1", "fig4", "fig6", "fig7", "fig8", "fig9",
                        "fig10", "fig13", "fig15", "fig16", "fig17"):
-            assert figure in REGISTRY
+            assert figure in registry.names()
 
     def test_baselines_and_ablations_registered(self):
         for name in ("eq1", "bounds", "ablation-bianchi",
                      "ablation-rts", "ext-b-vs-n"):
-            assert name in REGISTRY
+            assert name in registry.names()
 
     def test_runners_callable(self):
-        for runner, _base in REGISTRY.values():
-            assert callable(runner)
+        for experiment in registry.experiments():
+            assert callable(experiment.runner)
 
 
 class TestScaledKwargs:
     def test_scaling(self):
-        kwargs = scaled_kwargs({"repetitions": 100}, 0.5, None)
-        assert kwargs == {"repetitions": 50}
+        kwargs = registry.get("fig6").kwargs_for(scale=0.5)
+        assert kwargs["repetitions"] == 200
 
     def test_floor_of_two(self):
-        kwargs = scaled_kwargs({"repetitions": 10}, 0.01, None)
+        kwargs = registry.get("fig6").kwargs_for(scale=0.001)
         assert kwargs["repetitions"] == 2
 
     def test_seed_override(self):
-        kwargs = scaled_kwargs({}, 1.0, 42)
-        assert kwargs == {"seed": 42}
+        kwargs = registry.get("fig6").kwargs_for(seed=42)
+        assert kwargs["seed"] == 42
+
+    def test_default_seed_materialised(self):
+        assert registry.get("fig6").kwargs_for()["seed"] == 0
 
 
 class TestCommands:
@@ -52,11 +62,71 @@ class TestCommands:
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_run_small_experiment(self, capsys):
-        code = main(["run", "fig6", "--scale", "0.05", "--seed", "3"])
+        code = main(["run", "fig6", "--scale", "0.05", "--seed", "3",
+                     "--no-cache"])
         out = capsys.readouterr().out
         assert "fig6" in out
         assert "mean_access_de" in out
         assert code in (0, 1)  # tiny scale may fail shape checks
+
+    def test_run_serves_second_invocation_from_cache(self, capsys):
+        argv = ["run", "fig6", "--scale", "0.05", "--seed", "3"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert "cache hit" in second
+        # Everything except the provenance line is byte-identical.
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("   [")]
+        assert strip(first) == strip(second)
+
+    def test_run_all_aggregates_failures(self, capsys, monkeypatch):
+        """One exploding experiment must not abort the rest."""
+        def boom(**kwargs):
+            raise RuntimeError("boom")
+
+        experiments = [
+            registry.Experiment(name="t-ok",
+                                runner=registry.get("fig6").runner,
+                                scalable={"repetitions": 4}),
+            registry.Experiment(name="t-boom", runner=boom, scalable={},
+                                seed_kwarg=None),
+            registry.Experiment(name="t-ok2",
+                                runner=registry.get("fig6").runner,
+                                scalable={"repetitions": 4}),
+        ]
+        monkeypatch.setattr(
+            registry, "_EXPERIMENTS",
+            {e.name: e for e in experiments})
+        code = main(["run", "all", "--no-cache", "--scale", "1.0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "t-boom: error: boom" in captured.err
+        # Both healthy experiments still ran and printed their tables.
+        assert captured.out.count("== fig6:") == 2
+
+    def test_sweep_prints_summary(self, capsys):
+        code = main(["sweep", "fig6", "--param", "repetitions=4,6",
+                     "--seed", "2", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "sweep fig6" in out
+        assert "repetitions=4" in out and "repetitions=6" in out
+        assert code in (0, 1)
+
+    def test_sweep_rejects_malformed_param(self, capsys):
+        assert main(["sweep", "fig6", "--param", "nonsense"]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_cache_ls_and_clear(self, capsys):
+        main(["run", "fig6", "--scale", "0.02", "--seed", "5"])
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        assert "fig6" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "ls"]) == 0
+        assert "empty" in capsys.readouterr().out
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):

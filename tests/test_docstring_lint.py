@@ -1,0 +1,41 @@
+"""The public runtime/analysis API must stay documented.
+
+Runs the same lint CI uses (``tools/lint_docstrings.py``) so a missing
+docstring fails locally before it fails in the workflow.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import lint_docstrings  # noqa: E402  (needs the tools dir on the path)
+
+
+def test_runtime_and_analysis_fully_documented():
+    violations = lint_docstrings.run(
+        [str(REPO_ROOT / "src/repro/runtime"),
+         str(REPO_ROOT / "src/repro/analysis")])
+    assert violations == []
+
+
+def test_lint_flags_missing_docstrings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text('"""Module doc."""\n\ndef exposed():\n    pass\n')
+    violations = lint_docstrings.run([str(bad)])
+    assert len(violations) == 1
+    assert "exposed" in violations[0]
+
+
+def test_lint_ignores_private_names(tmp_path):
+    ok = tmp_path / "ok.py"
+    ok.write_text('"""Module doc."""\n\ndef _helper():\n    pass\n')
+    assert lint_docstrings.run([str(ok)]) == []
+
+
+def test_lint_rejects_missing_path(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        lint_docstrings.run([str(tmp_path / "nope")])

@@ -1,0 +1,134 @@
+"""Tests for repetition sharding (repro.runtime.executor)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.runtime import executor
+from repro.runtime.executor import (
+    active_jobs,
+    map_ordered,
+    parallel_jobs,
+    resolve_jobs,
+    shard_bounds,
+)
+from repro.testbed.channel import SimulatedFifoChannel, SimulatedWlanChannel
+from repro.traffic.generators import PoissonGenerator
+from repro.traffic.probe import ProbeTrain
+
+
+class TestShardBounds:
+    def test_even_split(self):
+        assert shard_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_front_loads_remainder(self):
+        assert shard_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_shards_than_items(self):
+        assert shard_bounds(2, 5) == [(0, 1), (1, 2)]
+
+    def test_covers_every_index_exactly_once(self):
+        for n in (1, 7, 16, 33):
+            for shards in (1, 2, 3, 8):
+                bounds = shard_bounds(n, shards)
+                indices = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert indices == list(range(n))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            shard_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            shard_bounds(4, 0)
+
+
+class TestJobResolution:
+    def test_default_is_one(self):
+        assert active_jobs() == 1
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+    def test_ambient_scope_nests_and_restores(self):
+        with parallel_jobs(3):
+            assert active_jobs() == 3
+            with parallel_jobs(2):
+                assert active_jobs() == 2
+            assert active_jobs() == 3
+        assert active_jobs() == 1
+
+    def test_environment_default(self, monkeypatch):
+        monkeypatch.setenv(executor.JOBS_ENV, "5")
+        assert active_jobs() == 5
+
+
+class TestMapOrdered:
+    def test_serial_semantics(self):
+        assert map_ordered(lambda x: x * x, range(7), jobs=1) == \
+            [0, 1, 4, 9, 16, 25, 36]
+
+    def test_parallel_preserves_order(self):
+        out = map_ordered(lambda x: x * 2, list(range(23)), jobs=4)
+        assert out == [x * 2 for x in range(23)]
+
+    def test_empty_items(self):
+        assert map_ordered(lambda x: x, [], jobs=4) == []
+
+    def test_worker_exception_propagates(self):
+        def explode(x):
+            raise RuntimeError(f"bad item {x}")
+
+        with pytest.raises(RuntimeError, match="bad item"):
+            map_ordered(explode, [1, 2, 3], jobs=2)
+
+
+class TestShardedSendTrains:
+    """The core guarantee: job count never changes the results."""
+
+    def _wlan_delays(self, jobs):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(4e6, 1500))], warmup=0.05)
+        train = ProbeTrain.at_rate(30, 5e6, 1500)
+        with parallel_jobs(jobs):
+            raws = channel.send_trains(train, 12, seed=7)
+        return np.vstack([raw.access_delays for raw in raws])
+
+    def test_wlan_bitwise_identical_across_job_counts(self):
+        serial = self._wlan_delays(1)
+        for jobs in (2, 4):
+            assert np.array_equal(serial, self._wlan_delays(jobs))
+
+    def test_fifo_bitwise_identical_across_job_counts(self):
+        def run(jobs):
+            channel = SimulatedFifoChannel(
+                10e6, cross_generator=PoissonGenerator(4e6, 1500),
+                warmup=0.05)
+            train = ProbeTrain.at_rate(50, 8e6, 1500)
+            with parallel_jobs(jobs):
+                raws = channel.send_trains(train, 8, seed=3)
+            return np.vstack([raw.recv_times for raw in raws])
+
+        assert np.array_equal(run(1), run(3))
+
+    def test_batch_path_drops_scenario_without_queue_logging(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, 1500))], warmup=0.05)
+        raws = channel.send_trains(ProbeTrain.at_rate(5, 4e6), 2, seed=1)
+        assert all(raw.scenario is None for raw in raws)
+
+    def test_batch_path_keeps_scenario_for_queue_logging(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, 1500))], warmup=0.05,
+            log_cross_queues=True)
+        raws = channel.send_trains(ProbeTrain.at_rate(5, 4e6), 2, seed=1)
+        assert all(raw.scenario is not None for raw in raws)
+
+    def test_single_send_train_still_exposes_scenario(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, 1500))], warmup=0.05)
+        raw = channel.send_train(ProbeTrain.at_rate(5, 4e6), seed=1)
+        assert raw.scenario is not None

@@ -1,0 +1,157 @@
+"""Tests for the experiment registry (repro.runtime.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.results import ExperimentResult
+from repro.runtime import registry
+from repro.runtime.cache import ResultCache
+from repro.runtime.registry import Experiment
+
+
+def toy_runner(repetitions: int = 4, seed: int = 0) -> ExperimentResult:
+    """A tiny deterministic stand-in for an analysis runner."""
+    rng = np.random.default_rng(seed)
+    x = np.arange(1, repetitions + 1, dtype=float)
+    out = ExperimentResult(
+        experiment="toy", title="Toy", x_label="n", x=x,
+        series={"y": rng.normal(size=repetitions)},
+        meta={"repetitions": repetitions, "seed": seed})
+    out.add_check("always", True)
+    return out
+
+
+@pytest.fixture
+def toy(request):
+    experiment = Experiment(name="toy-reg", runner=toy_runner,
+                            scalable={"repetitions": 100})
+    registry.register(experiment)
+    request.addfinalizer(lambda: registry.unregister("toy-reg"))
+    return experiment
+
+
+class TestRegistration:
+    def test_register_get_unregister(self, toy):
+        assert registry.get("toy-reg") is toy
+        assert "toy-reg" in registry.names()
+
+    def test_duplicate_name_rejected(self, toy):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(toy)
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(KeyError, match="available:"):
+            registry.get("no-such-experiment")
+
+    def test_builtin_registry_complete(self):
+        assert len(registry.experiments()) == 22
+        groups = {e.group for e in registry.experiments()}
+        assert groups == {"figure", "baseline", "ablation", "extension"}
+
+    def test_descriptions_populated(self):
+        for experiment in registry.experiments():
+            assert experiment.description, experiment.name
+
+
+class TestKwargsResolution:
+    def test_scale_and_floor(self, toy):
+        assert toy.kwargs_for(scale=0.5)["repetitions"] == 50
+        assert toy.kwargs_for(scale=1e-9)["repetitions"] == 2
+        assert toy.kwargs_for(scale=0.001, minimum=7)["repetitions"] == 7
+
+    def test_rejects_nonpositive_scale(self, toy):
+        with pytest.raises(ValueError):
+            toy.kwargs_for(scale=0.0)
+
+    def test_default_seed_from_signature(self, toy):
+        assert toy.default_seed() == 0
+        assert toy.kwargs_for()["seed"] == 0
+
+    def test_overrides_win(self, toy):
+        kwargs = toy.kwargs_for(scale=0.5, seed=3,
+                                overrides={"repetitions": 8, "seed": 9})
+        assert kwargs == {"repetitions": 8, "seed": 9}
+
+    def test_seedless_runner(self):
+        experiment = Experiment(name="seedless", runner=toy_runner,
+                                seed_kwarg=None)
+        assert experiment.default_seed() is None
+        assert "seed" not in experiment.kwargs_for()
+
+
+class TestRun:
+    def test_run_returns_report(self, toy):
+        report = toy.run(scale=0.04, seed=5)
+        assert report.result.experiment == "toy"
+        assert report.cached is False
+        assert report.cache_key is None
+        assert report.kwargs == {"repetitions": 4, "seed": 5}
+        assert report.elapsed_s >= 0.0
+
+    def test_jobs_do_not_change_result(self, toy):
+        serial = toy.run(scale=0.1, seed=11)
+        parallel = toy.run(scale=0.1, seed=11, jobs=4)
+        assert serial.result.table() == parallel.result.table()
+
+    def test_jobs_none_defers_to_environment(self, monkeypatch):
+        from repro.runtime import executor
+
+        observed = []
+
+        def probing_runner(seed: int = 0) -> ExperimentResult:
+            """Runner that records the ambient job count."""
+            observed.append(executor.active_jobs())
+            return toy_runner(repetitions=2, seed=seed)
+
+        experiment = Experiment(name="toy-env", runner=probing_runner)
+        monkeypatch.setenv(executor.JOBS_ENV, "3")
+        experiment.run()
+        experiment.run(jobs=2)
+        assert observed == [3, 2]  # None -> env var; explicit wins
+
+    def test_cache_hit_skips_runner(self, tmp_path):
+        calls = []
+
+        def counting_runner(repetitions: int = 4,
+                            seed: int = 0) -> ExperimentResult:
+            """Toy runner that records invocations."""
+            calls.append((repetitions, seed))
+            return toy_runner(repetitions=repetitions, seed=seed)
+
+        experiment = Experiment(name="toy-count", runner=counting_runner,
+                                scalable={"repetitions": 100})
+        cache = ResultCache(root=tmp_path)
+        first = experiment.run(scale=0.04, seed=5, cache=cache)
+        second = experiment.run(scale=0.04, seed=5, cache=cache)
+        assert first.cached is False
+        assert second.cached is True
+        assert second.cache_key == first.cache_key
+        assert second.result.table() == first.result.table()
+        assert calls == [(4, 5)]  # the hit never re-ran the runner
+
+    def test_refresh_reruns_and_restores(self, toy, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        toy.run(scale=0.04, seed=5, cache=cache)
+        refreshed = toy.run(scale=0.04, seed=5, cache=cache, refresh=True)
+        assert refreshed.cached is False
+        again = toy.run(scale=0.04, seed=5, cache=cache)
+        assert again.cached is True
+
+    def test_different_seed_misses_cache(self, toy, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        toy.run(scale=0.04, seed=5, cache=cache)
+        other = toy.run(scale=0.04, seed=6, cache=cache)
+        assert other.cached is False
+
+
+class TestRealExperimentIntegration:
+    """End-to-end over a real (tiny) figure run."""
+
+    def test_fig6_jobs_and_cache_round_trip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        experiment = registry.get("fig6")
+        live = experiment.run(scale=0.02, seed=7, jobs=2, cache=cache)
+        assert live.cached is False
+        cached = experiment.run(scale=0.02, seed=7, jobs=1, cache=cache)
+        assert cached.cached is True
+        assert cached.result.table() == live.result.table()

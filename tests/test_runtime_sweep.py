@@ -1,0 +1,62 @@
+"""Tests for sweep parsing and grid expansion (repro.runtime.sweep)."""
+
+import pytest
+
+from repro.runtime.sweep import expand_grid, parse_param_spec, parse_value
+
+
+class TestParseValue:
+    def test_int(self):
+        assert parse_value("400") == 400
+        assert isinstance(parse_value("400"), int)
+
+    def test_float_and_scientific(self):
+        assert parse_value("0.5") == 0.5
+        assert parse_value("5e6") == 5e6
+
+    def test_string_fallback(self):
+        assert parse_value("dcf") == "dcf"
+
+    def test_strips_whitespace(self):
+        assert parse_value("  7 ") == 7
+
+
+class TestParseParamSpec:
+    def test_basic(self):
+        assert parse_param_spec("repetitions=100,400,1600") == \
+            ("repetitions", [100, 400, 1600])
+
+    def test_single_value(self):
+        assert parse_param_spec("n_packets=250") == ("n_packets", [250])
+
+    def test_mixed_types(self):
+        name, values = parse_param_spec("probe_rate_bps=5e6,8e6")
+        assert name == "probe_rate_bps"
+        assert values == [5e6, 8e6]
+
+    @pytest.mark.parametrize("bad", ["", "name", "=1,2", "name=",
+                                     "name=,,"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_param_spec(bad)
+
+
+class TestExpandGrid:
+    def test_single_param(self):
+        grid = expand_grid([("repetitions", [100, 400])])
+        assert grid == [{"repetitions": 100}, {"repetitions": 400}]
+
+    def test_cartesian_product_last_param_fastest(self):
+        grid = expand_grid([("a", [1, 2]), ("b", ["x", "y"])])
+        assert grid == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+        ]
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            expand_grid([("a", [1]), ("a", [2])])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            expand_grid([("a", [])])
