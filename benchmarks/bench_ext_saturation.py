@@ -1,0 +1,31 @@
+"""Saturation-study bench: the dual-backend experiment, both ways.
+
+The same registered experiment (`ext-saturation`) runs once per
+backend; both must pass the identical Bianchi shape checks, which
+makes this bench a daily-driver equivalence smoke on top of the KS
+tests in ``tests/test_vector_backend.py``.  (The second run overwrites
+``results/ext-saturation.txt`` — the tables only differ in the backend
+meta field and Monte Carlo noise.)
+"""
+
+
+def test_ext_saturation_event_backend(run_experiment):
+    run_experiment(
+        "ext-saturation",
+        minimum=20,
+        station_counts=(1, 2, 3, 5, 10),
+        packets_per_station=40,
+        backend="event",
+        seed=405,
+    )
+
+
+def test_ext_saturation_vector_backend(run_experiment):
+    run_experiment(
+        "ext-saturation",
+        minimum=20,
+        station_counts=(1, 2, 3, 5, 10),
+        packets_per_station=40,
+        backend="vector",
+        seed=405,
+    )

@@ -29,7 +29,8 @@ ablations live in :mod:`repro.analysis.ablations` (Bianchi calibration,
 immediate-access rule, KS variants, RTS/CTS, truncation heuristics);
 the paper's prose claims (section 7.2 tool convergence, equation (31)
 B(n), the multi-hop access-path setting) are made measurable in
-:mod:`repro.analysis.extensions`.
+:mod:`repro.analysis.extensions`; :mod:`repro.analysis.saturation`
+holds the dual-backend (event/vector) saturated-BSS study.
 
 Runners are plain functions; scheduling concerns (repetition scaling,
 worker-process sharding, result caching) live one layer up in
@@ -74,6 +75,7 @@ from repro.analysis.extensions import (
     topp_on_wlan_study,
     transient_b_vs_n,
 )
+from repro.analysis.saturation import dcf_saturation_study, simulate_saturated
 
 __all__ = [
     "ExperimentResult",
@@ -88,6 +90,7 @@ __all__ = [
     "transient_b_vs_n",
     "bounds_consistency",
     "collect_delay_matrix",
+    "dcf_saturation_study",
     "eq1_fifo_rate_response",
     "fig10_transient_duration",
     "fig13_short_trains",
@@ -100,5 +103,6 @@ __all__ = [
     "fig7_delay_histograms",
     "fig8_ks_and_queue",
     "fig9_ks_complex",
+    "simulate_saturated",
     "steady_state_throughputs",
 ]

@@ -1,0 +1,150 @@
+"""Saturated-BSS study — the dual-backend experiment.
+
+``ext-saturation`` sweeps the number of saturated stations and
+compares the measured total throughput, mean access delay and
+collision fraction against Bianchi's model.  It is the first
+experiment registered with *two* repetition backends:
+
+* ``event`` — every repetition runs the saturated station specs
+  through the event engine (:class:`repro.mac.scenario.WlanScenario`),
+  sharded across worker processes like every other experiment;
+* ``vector`` — the whole repetition batch is resolved in one
+  numpy pass by :func:`repro.sim.vector.simulate_saturated_batch`.
+
+Both paths return the same :class:`repro.sim.vector.VectorBatchResult`
+shape, so the analysis below is backend-agnostic; the KS-equivalence
+tests in ``tests/test_vector_backend.py`` pin the two backends to the
+same distributions.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.results import ExperimentResult, monotone_nondecreasing
+from repro.analytic.bianchi import BianchiModel
+from repro.mac.params import PhyParams
+from repro.mac.scenario import WlanScenario, saturated_station_specs
+from repro.sim.vector import VectorBatchResult, simulate_saturated_batch
+
+
+def _event_repetition(n_stations: int, packets_per_station: int,
+                      size_bytes: int, phy: Optional[PhyParams],
+                      seed: int) -> Tuple[np.ndarray, float, int, int]:
+    """One saturated repetition through the event engine."""
+    scenario = WlanScenario(phy)
+    specs = saturated_station_specs(n_stations, packets_per_station,
+                                    size_bytes)
+    result = scenario.run(specs, horizon=1.0, seed=seed)
+    delays = np.stack([result.station(spec.name).access_delays()
+                       for spec in specs])
+    return delays, result.duration, result.successes, result.collisions
+
+
+def simulate_saturated(n_stations: int, packets_per_station: int,
+                       repetitions: int, *,
+                       size_bytes: int = 1500,
+                       phy: Optional[PhyParams] = None,
+                       seed: int = 0,
+                       backend: str = "event") -> VectorBatchResult:
+    """Run a saturated batch on the selected backend.
+
+    The event path maps per-repetition seeds over worker processes
+    (honouring the ambient ``--jobs`` scope); the vector path hands
+    the whole batch to the numpy kernel.  Either way the returned
+    :class:`~repro.sim.vector.VectorBatchResult` has identical shape
+    and statistically equivalent content.
+    """
+    # Imported lazily: repro.runtime sits above the analysis layer.
+    from repro.runtime.executor import run_batch
+    event_task = functools.partial(_event_repetition, n_stations,
+                                   packets_per_station, size_bytes, phy)
+    vector_batch = functools.partial(
+        simulate_saturated_batch, n_stations, packets_per_station,
+        repetitions, size_bytes=size_bytes, phy=phy)
+    out = run_batch(event_task, repetitions, seed, backend=backend,
+                    vector_batch=lambda s: vector_batch(seed=s))
+    if backend == "vector":
+        return out
+    delays, durations, successes, collisions = zip(*out)
+    return VectorBatchResult(
+        access_delays=np.stack(delays),
+        durations=np.array(durations, dtype=float),
+        successes=np.array(successes, dtype=np.int64),
+        collisions=np.array(collisions, dtype=np.int64),
+        n_stations=n_stations,
+        packets_per_station=packets_per_station,
+        size_bytes=size_bytes,
+    )
+
+
+def dcf_saturation_study(
+        station_counts: Sequence[int] = (1, 2, 3, 5, 10),
+        packets_per_station: int = 40,
+        repetitions: int = 100,
+        size_bytes: int = 1500,
+        phy: Optional[PhyParams] = None,
+        seed: int = 0,
+        backend: str = "event") -> ExperimentResult:
+    """Saturation throughput/delay/collisions vs. Bianchi, any backend.
+
+    For each station count the whole batch of repetitions runs on the
+    selected backend; the measured curves must track the Bianchi fixed
+    point (the drain tail — stations leaving contention as their
+    queues empty — biases the mean access delay slightly low, which
+    the tolerance absorbs).
+    """
+    counts = [int(n) for n in station_counts]
+    if any(n < 1 for n in counts):
+        raise ValueError(f"station counts must be >= 1, got {counts}")
+    bianchi = BianchiModel(phy, size_bytes)
+    throughput = np.zeros(len(counts))
+    delay = np.zeros(len(counts))
+    collision_fraction = np.zeros(len(counts))
+    bianchi_tput = np.zeros(len(counts))
+    bianchi_delay = np.zeros(len(counts))
+    for k, n in enumerate(counts):
+        batch = simulate_saturated(
+            n, packets_per_station, repetitions, size_bytes=size_bytes,
+            phy=phy, seed=seed + 101 * k, backend=backend)
+        throughput[k] = batch.throughput_bps().mean()
+        delay[k] = batch.pooled_access_delays().mean()
+        acquisitions = batch.successes.sum() + batch.collisions.sum()
+        collision_fraction[k] = batch.collisions.sum() / acquisitions
+        solution = bianchi.solve(n)
+        bianchi_tput[k] = solution.total_throughput_bps
+        bianchi_delay[k] = solution.mean_access_delay
+    result = ExperimentResult(
+        experiment="ext-saturation",
+        title="Saturated DCF vs. Bianchi (backend-routed batch)",
+        x_label="n_stations",
+        x=np.array(counts, dtype=float),
+        series={
+            "throughput_bps": throughput,
+            "bianchi_bps": bianchi_tput,
+            "mean_access_delay_s": delay,
+            "collision_fraction": collision_fraction,
+        },
+        meta={
+            "backend": backend,
+            "repetitions": repetitions,
+            "packets_per_station": packets_per_station,
+            "size_bytes": size_bytes,
+        },
+    )
+    result.add_check(
+        "throughput-tracks-bianchi",
+        bool(np.all(np.abs(throughput - bianchi_tput) <= 0.08 * bianchi_tput)))
+    result.add_check(
+        "delay-tracks-bianchi",
+        bool(np.all(np.abs(delay - bianchi_delay) <= 0.25 * bianchi_delay)))
+    result.add_check(
+        "delay-grows-with-contention",
+        monotone_nondecreasing(delay))
+    result.add_check(
+        "collisions-grow-with-contention",
+        monotone_nondecreasing(collision_fraction, slack=0.01))
+    return result

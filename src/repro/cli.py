@@ -5,6 +5,7 @@ Run any of the paper's experiments from a shell::
     python -m repro list
     python -m repro info
     python -m repro run fig6 --jobs 4 --seed 7
+    python -m repro run ext-saturation --backend vector
     python -m repro run all --scale 0.25
     python -m repro sweep fig6 --param repetitions=100,400,1600
     python -m repro cache ls
@@ -17,7 +18,10 @@ end, never aborting the remaining experiments.  Results are cached on
 disk keyed on (experiment, kwargs, code version) — a repeated
 invocation is served from cache unless ``--no-cache`` or ``--refresh``
 says otherwise.  ``--jobs N`` shards repetitions across N worker
-processes with bit-identical output.
+processes with bit-identical output.  ``--backend vector`` routes the
+repetition batches of experiments that support it (marked ``[backends:
+event, vector]`` in ``list``) to the numpy batch kernel instead of the
+per-repetition event engine.
 """
 
 from __future__ import annotations
@@ -43,7 +47,10 @@ def cmd_list(_args: argparse.Namespace) -> int:
         if experiment.group != group:
             group = experiment.group
             print(f" {group}s:")
-        print(f"  {experiment.name:<26} {experiment.description}")
+        note = ""
+        if len(experiment.backends) > 1:
+            note = f"  [backends: {', '.join(experiment.backends)}]"
+        print(f"  {experiment.name:<26} {experiment.description}{note}")
     return 0
 
 
@@ -107,7 +114,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         try:
             report = experiment.run(
                 scale=args.scale, seed=args.seed, jobs=args.jobs,
-                cache=cache, refresh=args.refresh)
+                backend=args.backend, cache=cache, refresh=args.refresh)
         except Exception as exc:  # aggregate, don't abort the batch
             print(f"== {name}: ERROR ==\n   {exc}\n", file=sys.stderr)
             failures[name] = f"error: {exc}"
@@ -146,7 +153,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         try:
             report = experiment.run(
                 scale=args.scale, seed=args.seed, jobs=args.jobs,
-                overrides=overrides, cache=cache, refresh=args.refresh)
+                backend=args.backend, overrides=overrides, cache=cache,
+                refresh=args.refresh)
         except Exception as exc:  # keep sweeping the remaining points
             print(f"== {args.experiment} [{label}]: ERROR ==\n   {exc}\n",
                   file=sys.stderr)
@@ -203,6 +211,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "(0 = one per CPU; default $REPRO_JOBS or "
                              "1; results are identical for any job "
                              "count)")
+    parser.add_argument("--backend", choices=("event", "vector"),
+                        default=None,
+                        help="repetition backend for experiments that "
+                             "support more than one: 'event' runs each "
+                             "repetition through the event engine, "
+                             "'vector' resolves the whole batch with "
+                             "the numpy kernel (see 'list' for which "
+                             "experiments offer it)")
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the result cache")
     parser.add_argument("--refresh", action="store_true",

@@ -6,6 +6,8 @@ used in the paper's validation setup.  It models:
 * PHY/MAC timing constants (:mod:`repro.mac.params`) — slot, SIFS, DIFS,
   PLCP preamble, data/basic rates, contention window limits;
 * frame airtimes (:mod:`repro.mac.frames`);
+* slot-timing constants shared by the event and vector backends
+  (:mod:`repro.mac.timing`);
 * binary exponential backoff (:mod:`repro.mac.backoff`);
 * a shared medium with contention, collisions and ACKs
   (:mod:`repro.mac.medium`);
@@ -22,6 +24,7 @@ time, section 3.1).
 
 from repro.mac.params import PhyParams
 from repro.mac.frames import AirtimeModel
+from repro.mac.timing import SlotTiming, contention_window, cw_table
 from repro.mac.backoff import BackoffState
 from repro.mac.medium import Medium
 from repro.mac.station import Station
@@ -29,6 +32,7 @@ from repro.mac.scenario import (
     ScenarioResult,
     StationSpec,
     WlanScenario,
+    saturated_station_specs,
 )
 
 __all__ = [
@@ -37,7 +41,11 @@ __all__ = [
     "Medium",
     "PhyParams",
     "ScenarioResult",
+    "SlotTiming",
     "Station",
     "StationSpec",
     "WlanScenario",
+    "contention_window",
+    "cw_table",
+    "saturated_station_specs",
 ]

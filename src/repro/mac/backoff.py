@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.mac.params import PhyParams
+from repro.mac.timing import contention_window
 
 
 class BackoffState:
@@ -32,8 +33,7 @@ class BackoffState:
 
     def current_cw(self) -> int:
         """Contention window at the current retry stage."""
-        cw = (self.phy.cw_min + 1) * (2 ** self.stage) - 1
-        return min(self.phy.cw_max, cw)
+        return contention_window(self.phy, self.stage)
 
     def draw(self) -> int:
         """Draw a fresh counter uniformly from [0, CW] and store it."""

@@ -43,13 +43,11 @@ import numpy as np
 
 from repro.mac.frames import AirtimeModel
 from repro.mac.params import PhyParams
+from repro.mac.timing import TIME_EPS
 from repro.sim.engine import Event, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mac.station import Station
-
-#: Tolerance for comparing event times (1 ns, far below the 20 us slot).
-TIME_EPS = 1e-9
 
 #: Event priorities: medium-idle transitions run before completions,
 #: which run before arrivals (0), which run before access resolution.

@@ -126,6 +126,32 @@ class ScenarioResult:
         return self.collisions / total if total else 0.0
 
 
+def saturated_station_specs(n_stations: int, packets_per_station: int,
+                            size_bytes: int = 1500) -> List[StationSpec]:
+    """Station specs for a saturated BSS: every queue pre-loaded at t=0.
+
+    Each of the ``n_stations`` stations is handed all of its
+    ``packets_per_station`` packets at time zero, so it stays backlogged
+    (saturated) until its queue drains — the Bianchi regime.  Running
+    these specs through :class:`WlanScenario` is the event-engine
+    counterpart of :func:`repro.sim.vector.simulate_saturated_batch`;
+    the two backends must stay statistically equivalent on it.
+    """
+    if n_stations < 1:
+        raise ValueError(f"need at least one station, got {n_stations}")
+    if packets_per_station < 1:
+        raise ValueError(
+            f"need at least one packet per station, got {packets_per_station}")
+    return [
+        StationSpec(
+            name=f"sat{idx}",
+            arrivals=[(0.0, Packet(size_bytes, flow="sat", seq=k,
+                                   created_at=0.0))
+                      for k in range(packets_per_station)])
+        for idx in range(n_stations)
+    ]
+
+
 class WlanScenario:
     """Builds and runs single-channel DCF scenarios.
 

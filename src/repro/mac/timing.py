@@ -1,0 +1,102 @@
+"""Slot-timing constants shared by the DCF backends.
+
+The event-driven medium (:mod:`repro.mac.medium`) and the vectorized
+batch kernel (:mod:`repro.sim.vector`) must agree *exactly* on the
+protocol's time arithmetic — slot grid, DIFS placement, contention
+windows, busy-period lengths — or their access-delay distributions
+drift apart and the statistical-equivalence tests between them become
+meaningless.  This module is that single source of truth: the event
+backend consumes the helpers packet-by-packet, the vector backend
+precomputes them into a :class:`SlotTiming` of scalar durations for a
+fixed frame size and applies them to whole repetition arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mac.frames import AirtimeModel
+from repro.mac.params import PhyParams
+
+#: Tolerance for comparing event times (1 ns, far below the 20 us slot).
+#: Both backends treat instants closer than this as simultaneous.
+TIME_EPS = 1e-9
+
+
+def contention_window(phy: PhyParams, stage: int) -> int:
+    """CW at backoff ``stage``: ``min(cw_max, (cw_min + 1) * 2^k - 1)``.
+
+    This is the one formula both the per-station
+    :class:`repro.mac.backoff.BackoffState` and the vectorized kernel's
+    stage table must share.
+    """
+    if stage < 0:
+        raise ValueError(f"stage must be non-negative, got {stage}")
+    cw = (phy.cw_min + 1) * (2 ** stage) - 1
+    return min(phy.cw_max, cw)
+
+
+def cw_table(phy: PhyParams) -> np.ndarray:
+    """Contention windows indexed by stage ``0 .. max_backoff_stage``.
+
+    Stages past ``max_backoff_stage`` stay clamped at ``cw_max``, so
+    indexing this table with a clipped stage reproduces
+    :func:`contention_window` for every retry count.
+    """
+    return np.array([contention_window(phy, stage)
+                     for stage in range(phy.max_backoff_stage + 1)],
+                    dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class SlotTiming:
+    """Scalar DCF durations for one fixed frame size.
+
+    All values are in seconds (counters in slots).  The vector kernel
+    holds one instance and applies it to ``(repetitions, stations)``
+    arrays; for equal-size frames a collision occupies the medium for
+    exactly as long as a success (longest DATA + SIFS + ACK timeout),
+    which is why a single ``busy_period`` covers both outcomes.
+
+    Attributes
+    ----------
+    slot / sifs / difs:
+        The PHY's slot time and interframe spaces.
+    data_airtime:
+        On-air duration of one DATA frame of the fixed size.
+    ack_airtime:
+        On-air duration of an ACK at the basic rate.
+    """
+
+    slot: float
+    sifs: float
+    difs: float
+    data_airtime: float
+    ack_airtime: float
+
+    @classmethod
+    def for_size(cls, phy: Optional[PhyParams] = None,
+                 size_bytes: int = 1500) -> "SlotTiming":
+        """Precompute the durations for ``size_bytes`` frames."""
+        phy = phy if phy is not None else PhyParams.dot11b()
+        airtime = AirtimeModel(phy)
+        return cls(
+            slot=phy.slot_time,
+            sifs=phy.sifs,
+            difs=phy.difs,
+            data_airtime=airtime.data_airtime(size_bytes),
+            ack_airtime=airtime.ack_airtime(),
+        )
+
+    @property
+    def busy_period(self) -> float:
+        """Medium-busy time of an exchange: DATA + SIFS + ACK (timeout).
+
+        For equal-size frames this is the length of a success *and* of
+        a collision, matching
+        :meth:`repro.mac.frames.AirtimeModel.collision_duration`.
+        """
+        return self.data_airtime + self.sifs + self.ack_airtime

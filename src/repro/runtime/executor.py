@@ -34,8 +34,13 @@ import warnings
 from contextlib import contextmanager
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
+import numpy as np
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Repetition backends an experiment can route batches to.
+BACKENDS = ("event", "vector")
 
 #: Environment variable consulted when no ambient job count is set.
 JOBS_ENV = "REPRO_JOBS"
@@ -101,6 +106,46 @@ def parallel_jobs(jobs: int) -> Iterator[int]:
         yield resolved
     finally:
         _AMBIENT_JOBS = previous
+
+
+def derive_seeds(seed: int, repetitions: int) -> List[int]:
+    """The canonical per-repetition seeds for a batch.
+
+    ``SeedSequence(seed).generate_state(repetitions)`` — shard ``k`` of
+    a parallel run replays exactly the seeds a serial run would have
+    used for its repetition indices, and the vector backend
+    (:mod:`repro.sim.vector`) derives its per-repetition streams from
+    the very same values, so switching backends never changes which
+    random universes a repetition index maps to.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    state = np.random.SeedSequence(seed).generate_state(repetitions)
+    return [int(s) for s in state]
+
+
+def run_batch(event_task: Callable[[int], R], repetitions: int, seed: int,
+              backend: str = "event",
+              vector_batch: Optional[Callable[[int], T]] = None):
+    """Route one repetition batch to the selected backend.
+
+    ``event_task`` is a pure ``seed -> result`` function; with
+    ``backend="event"`` it is mapped over the derived per-repetition
+    seeds through :func:`map_ordered` (honouring the ambient job
+    count).  With ``backend="vector"`` the *whole batch* is handed to
+    ``vector_batch(seed)`` — a kernel that derives the same
+    per-repetition seeds internally and resolves every repetition in
+    one vectorized pass, so no worker pool is spawned at all.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "vector":
+        if vector_batch is None:
+            raise ValueError("this batch has no vector kernel; "
+                             "run it with backend='event'")
+        return vector_batch(seed)
+    return map_ordered(event_task, derive_seeds(seed, repetitions))
 
 
 def shard_bounds(n_items: int, shards: int) -> List[Tuple[int, int]]:

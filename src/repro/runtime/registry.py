@@ -59,6 +59,12 @@ class Experiment:
         deterministic runner.
     min_scaled:
         Lower clamp applied to every scaled kwarg.
+    backends:
+        Repetition backends the runner supports (first entry is the
+        default).  Most experiments only run the per-repetition event
+        engine; experiments whose runner takes a ``backend`` kwarg can
+        also offer the vectorized batch kernel — the CLI exposes the
+        choice as ``run --backend``.
     """
 
     name: str
@@ -67,6 +73,7 @@ class Experiment:
     group: str = "figure"
     seed_kwarg: Optional[str] = "seed"
     min_scaled: int = 2
+    backends: Tuple[str, ...] = ("event",)
 
     @property
     def description(self) -> str:
@@ -89,16 +96,25 @@ class Experiment:
     def kwargs_for(self, scale: float = 1.0,
                    seed: Optional[int] = None,
                    overrides: Optional[Mapping[str, object]] = None,
-                   minimum: Optional[int] = None) -> Dict[str, object]:
+                   minimum: Optional[int] = None,
+                   backend: Optional[str] = None) -> Dict[str, object]:
         """Resolve the runner kwargs for one invocation.
 
         Scaled kwargs are multiplied by ``scale`` and clamped at
         ``minimum`` (default :attr:`min_scaled`); the seed — explicit
         or the runner's default — is always materialised so cache keys
-        are canonical; ``overrides`` wins over everything.
+        are canonical; for multi-backend experiments the ``backend``
+        choice (default: the first supported one) is materialised too,
+        so each backend caches separately; ``overrides`` wins over
+        everything.  Requesting a backend the experiment does not
+        support raises ``ValueError``.
         """
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
+        if backend is not None and backend not in self.backends:
+            raise ValueError(
+                f"experiment {self.name!r} supports backend(s) "
+                f"{', '.join(self.backends)}; not {backend!r}")
         floor = self.min_scaled if minimum is None else minimum
         kwargs: Dict[str, object] = {
             key: max(floor, int(round(value * scale)))
@@ -108,14 +124,31 @@ class Experiment:
             resolved = seed if seed is not None else self.default_seed()
             if resolved is not None:
                 kwargs[self.seed_kwarg] = resolved
+        if len(self.backends) > 1:
+            kwargs["backend"] = backend if backend is not None \
+                else self.backends[0]
         if overrides:
             kwargs.update(overrides)
+        # Overrides are the second door a backend can come through (the
+        # bench harness passes one as a plain kwarg); validate the
+        # final choice, not just the parameter.
+        if "backend" in kwargs:
+            chosen = kwargs["backend"]
+            if len(self.backends) == 1:
+                raise ValueError(
+                    f"experiment {self.name!r} takes no backend kwarg "
+                    f"(it only runs on the {self.backends[0]!r} backend)")
+            if chosen not in self.backends:
+                raise ValueError(
+                    f"experiment {self.name!r} supports backend(s) "
+                    f"{', '.join(self.backends)}; not {chosen!r}")
         return kwargs
 
     def run(self, *, scale: float = 1.0, seed: Optional[int] = None,
             jobs: Optional[int] = None,
             overrides: Optional[Mapping[str, object]] = None,
             minimum: Optional[int] = None,
+            backend: Optional[str] = None,
             cache: Optional[ResultCache] = None,
             refresh: bool = False) -> RunReport:
         """Execute the runner (or serve its cached result).
@@ -124,12 +157,16 @@ class Experiment:
         (see :mod:`repro.runtime.executor`); the result is identical
         for any job count.  ``None`` defers to the ambient
         :func:`~repro.runtime.executor.parallel_jobs` scope and the
-        ``REPRO_JOBS`` environment variable.  With a ``cache``, a hit
-        skips the simulation entirely unless ``refresh`` forces a
-        re-run; fresh results are stored back.
+        ``REPRO_JOBS`` environment variable.  ``backend`` selects the
+        repetition backend for experiments that offer more than one
+        (``run --backend vector`` routes whole batches to the numpy
+        kernel instead of sharding event-engine runs).  With a
+        ``cache``, a hit skips the simulation entirely unless
+        ``refresh`` forces a re-run; fresh results are stored back.
         """
         kwargs = self.kwargs_for(scale=scale, seed=seed,
-                                 overrides=overrides, minimum=minimum)
+                                 overrides=overrides, minimum=minimum,
+                                 backend=backend)
         key: Optional[str] = None
         if cache is not None:
             key = cache.key_for(self.name, kwargs)
@@ -237,6 +274,13 @@ def _register_builtins() -> None:
     for name, runner, scalable, group in builtin:
         register(Experiment(name=name, runner=runner, scalable=scalable,
                             group=group))
+    register(Experiment(
+        name="ext-saturation",
+        runner=analysis.dcf_saturation_study,
+        scalable={"repetitions": 100},
+        group="extension",
+        backends=("event", "vector"),
+    ))
 
 
 _register_builtins()

@@ -7,6 +7,15 @@ the paper's validation setup.
 
 The engine is deliberately small and explicit: a binary-heap scheduler
 with cancellable events and a monotonically non-decreasing clock.
+
+For saturated contention scenarios there is a second, numpy-vectorized
+backend (:mod:`repro.sim.vector`) that resolves whole repetition
+batches per array operation instead of one event per Python call; both
+backends share the slot-timing constants of :mod:`repro.mac.timing`
+and are held statistically equivalent by KS tests.  It is *not*
+re-exported here: vector.py consumes :mod:`repro.mac.timing`, so
+importing it from this package ``__init__`` would cycle the
+sim -> mac -> sim layering — import :mod:`repro.sim.vector` directly.
 """
 
 from repro.sim.engine import Event, EventCancelled, Simulator, SimulationError

@@ -1,0 +1,248 @@
+"""Vectorized batched DCF kernel.
+
+The event engine (:mod:`repro.sim.engine` + :mod:`repro.mac.medium`)
+pays Python-level heap cost for every arrival, access resolution and
+completion; a Monte Carlo sweep over hundreds of repetitions multiplies
+that cost by the repetition count.  For *saturated* contention
+scenarios — every station permanently backlogged, the Bianchi regime —
+the whole protocol collapses to a sequence of identical contention
+rounds, and those rounds can be resolved for **all repetitions at
+once** with numpy array arithmetic.
+
+The state of a batch is a handful of ``(repetitions, stations)``
+arrays: remaining backoff slots, contention-window stage, packets sent
+and head-of-line promotion instants, plus a per-repetition clock.  One
+loop iteration resolves one contention round *per repetition*:
+
+1. the minimum remaining counter per repetition fixes the slot at
+   which the next transmission starts;
+2. stations at that minimum win; exactly one winner is a success,
+   several are a collision (CW doubling, redraw), matching the
+   event engine's tie semantics on the shared slot grid;
+3. losers consume the elapsed slots and keep their counters — the
+   frozen-countdown rule;
+4. the busy period (DATA + SIFS + ACK, identical for equal-size
+   successes and collisions) advances the clock, and the next round
+   counts down after DIFS.
+
+Time arithmetic comes from :class:`repro.mac.timing.SlotTiming`, the
+same constants the event backend uses, so the two backends agree on
+every duration and only differ in how they schedule the arithmetic.
+The access-delay bookkeeping mirrors the event engine exactly: a
+packet's delay runs from its head-of-line promotion (the end of the
+previous DATA frame) to the end of its own DATA frame.
+
+Randomness is reproducible run-to-run: per-repetition seeds are derived
+with the exact scheme of :func:`repro.runtime.executor.derive_seeds`
+(``SeedSequence(seed).generate_state(repetitions)``), and repetition
+``r`` consumes a private uniform stream whose layout depends only on
+its own trajectory — never on how many other repetitions share the
+batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mac.params import PhyParams
+from repro.mac.timing import SlotTiming, cw_table
+
+#: Sentinel counter for stations that drained their queue and left
+#: contention; any real counter is smaller.
+_DONE = np.iinfo(np.int64).max
+
+#: Uniform draws buffered per repetition between refills (in rounds).
+_BUFFER_ROUNDS = 256
+
+
+@dataclass
+class VectorBatchResult:
+    """Outcome of a batched saturated-DCF simulation.
+
+    Both backends (the vector kernel and the per-repetition event
+    engine wrapper in :mod:`repro.analysis.saturation`) return this
+    shape, so everything downstream is backend-agnostic.
+
+    Attributes
+    ----------
+    access_delays:
+        ``(repetitions, stations, packets)`` — per-packet access delay
+        ``mu_i`` (head-of-line to end of DATA), in transmission order
+        per station.
+    durations:
+        ``(repetitions,)`` — instant the channel finally went idle.
+    successes / collisions:
+        ``(repetitions,)`` — channel acquisitions of each kind.
+    """
+
+    access_delays: np.ndarray
+    durations: np.ndarray
+    successes: np.ndarray
+    collisions: np.ndarray
+    n_stations: int
+    packets_per_station: int
+    size_bytes: int
+
+    def pooled_access_delays(self) -> np.ndarray:
+        """Every access delay of the batch as one flat sample."""
+        return self.access_delays.reshape(-1)
+
+    def throughput_bps(self) -> np.ndarray:
+        """Per-repetition network-layer throughput over the full run."""
+        bits = self.successes * self.size_bytes * 8
+        return bits / self.durations
+
+    def collision_rate(self) -> np.ndarray:
+        """Per-repetition fraction of acquisitions that collided."""
+        total = self.successes + self.collisions
+        return np.where(total > 0, self.collisions / np.maximum(total, 1), 0.0)
+
+
+class _UniformBlocks:
+    """Per-repetition uniform streams, consumed in vectorized blocks.
+
+    Each repetition owns a private :class:`numpy.random.Generator`; the
+    kernel asks for ``(repetitions, width)`` draws per round.  Draws
+    are pre-generated ``width * _BUFFER_ROUNDS`` at a time so the
+    per-round cost is a slice, and repetition ``r``'s stream layout is
+    independent of every other repetition.
+    """
+
+    def __init__(self, seeds: np.ndarray, width: int) -> None:
+        self._gens: List[np.random.Generator] = [
+            np.random.default_rng(int(seed)) for seed in seeds]
+        self._width = width
+        self._block = width * _BUFFER_ROUNDS
+        self._buf = np.empty((len(self._gens), self._block))
+        self._ptr = self._block  # force a fill on first take()
+
+    def take(self) -> np.ndarray:
+        """The next ``(repetitions, width)`` uniforms in [0, 1)."""
+        if self._ptr + self._width > self._block:
+            for row, gen in enumerate(self._gens):
+                self._buf[row] = gen.random(self._block)
+            self._ptr = 0
+        out = self._buf[:, self._ptr:self._ptr + self._width]
+        self._ptr += self._width
+        return out
+
+
+def simulate_saturated_batch(
+        n_stations: int,
+        packets_per_station: int,
+        repetitions: int,
+        *,
+        size_bytes: int = 1500,
+        phy: Optional[PhyParams] = None,
+        seed: int = 0,
+        immediate_access: bool = True) -> VectorBatchResult:
+    """Simulate ``repetitions`` independent saturated BSS runs at once.
+
+    Every station starts with ``packets_per_station`` packets queued at
+    time zero and contends until its queue drains; with
+    ``immediate_access`` (the 802.11 rule the event engine applies) the
+    first round is a simultaneous zero-backoff transmission, i.e. an
+    ``n_stations``-way collision for any ``n_stations >= 2``.
+
+    Statistically equivalent to running
+    :func:`repro.mac.scenario.saturated_station_specs` through the
+    event engine — the equivalence tests in
+    ``tests/test_vector_backend.py`` enforce it with KS distances.
+    """
+    if n_stations < 1:
+        raise ValueError(f"need at least one station, got {n_stations}")
+    if packets_per_station < 1:
+        raise ValueError(
+            f"need at least one packet per station, got {packets_per_station}")
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+
+    phy = phy if phy is not None else PhyParams.dot11b()
+    timing = SlotTiming.for_size(phy, size_bytes)
+    cw_by_stage = cw_table(phy)
+    max_stage = phy.max_backoff_stage
+
+    reps, stations, packets = repetitions, n_stations, packets_per_station
+    # Same derivation scheme as repro.runtime.executor.derive_seeds
+    # (not imported: repro.runtime sits above the simulation layer).
+    seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+    uniforms = _UniformBlocks(seeds, stations)
+
+    remaining = np.zeros((reps, stations), dtype=np.int64)
+    stage = np.zeros((reps, stations), dtype=np.int64)
+    sent = np.zeros((reps, stations), dtype=np.int64)
+    hol = np.zeros((reps, stations))
+    now = np.zeros(reps)
+    successes = np.zeros(reps, dtype=np.int64)
+    collisions = np.zeros(reps, dtype=np.int64)
+    delays = np.full((reps, stations, packets), np.nan)
+
+    if not immediate_access:
+        # No immediate-access rule: every station starts with a drawn
+        # counter, counting from t=0 (the medium has been idle since
+        # forever, so no initial DIFS either way).
+        remaining[:] = (uniforms.take() * (cw_by_stage[0] + 1)).astype(np.int64)
+
+    # Generous runaway guard: every round retires a success or doubles
+    # at least one CW; collisions settle within a few rounds per packet.
+    max_rounds = 200 + 50 * stations * packets
+    first_round = True
+    for _ in range(max_rounds):
+        alive = sent < packets
+        active = alive.any(axis=1)
+        if not active.any():
+            break
+        masked = np.where(alive, remaining, _DONE)
+        m = masked.min(axis=1)                      # slots until next tx
+        winners = alive & (masked == m[:, None])
+        n_win = winners.sum(axis=1)
+        u = uniforms.take()
+
+        slots = np.where(active, m, 0).astype(float)
+        wait = slots * timing.slot + (0.0 if first_round else timing.difs)
+        data_end = now + wait + timing.data_airtime
+        busy_end = data_end + timing.sifs + timing.ack_airtime
+
+        success = active & (n_win == 1)
+        collision = active & (n_win >= 2)
+
+        solo = winners & success[:, None]
+        rep_idx, sta_idx = np.nonzero(solo)
+        pkt_idx = sent[rep_idx, sta_idx]
+        delays[rep_idx, sta_idx, pkt_idx] = (data_end[rep_idx]
+                                             - hol[rep_idx, sta_idx])
+        # The next packet is promoted when the DATA frame completes.
+        hol[rep_idx, sta_idx] = data_end[rep_idx]
+        sent[rep_idx, sta_idx] += 1
+        stage[solo] = 0
+
+        colliders = winners & collision[:, None]
+        stage[colliders] = np.minimum(stage[colliders] + 1, max_stage)
+
+        # Frozen countdown: losers consumed exactly m idle slots.
+        losers = alive & ~winners
+        remaining[losers] -= np.broadcast_to(m[:, None], losers.shape)[losers]
+
+        redraw = (u * (cw_by_stage[stage] + 1)).astype(np.int64)
+        remaining[winners] = redraw[winners]
+
+        successes += success
+        collisions += collision
+        now = np.where(active, busy_end, now)
+        first_round = False
+    else:  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"saturated batch did not drain within {max_rounds} rounds")
+
+    return VectorBatchResult(
+        access_delays=delays,
+        durations=now,
+        successes=successes,
+        collisions=collisions,
+        n_stations=stations,
+        packets_per_station=packets,
+        size_bytes=size_bytes,
+    )

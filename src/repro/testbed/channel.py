@@ -70,10 +70,9 @@ class Channel(abc.ABC):
             raise ValueError(
                 f"repetitions must be >= 1, got {repetitions}")
         # Imported lazily: repro.runtime sits above the testbed layer.
-        from repro.runtime.executor import map_ordered
-        seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+        from repro.runtime.executor import derive_seeds, map_ordered
         return map_ordered(functools.partial(self._train_task, train),
-                           [int(s) for s in seeds])
+                           derive_seeds(seed, repetitions))
 
     def _train_task(self, train: ProbeTrain, seed: int) -> RawTrainResult:
         """One batch repetition; subclasses may slim the result.

@@ -1,0 +1,119 @@
+"""Tests for the benchmark-regression gate (tools/bench_compare.py)."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "tools"))
+
+import bench_compare  # noqa: E402
+
+
+def write_bench_json(path, medians):
+    """Write a minimal pytest-benchmark JSON payload."""
+    payload = {"benchmarks": [
+        {"name": name, "stats": {"median": median}}
+        for name, median in medians.items()]}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadMedians:
+    def test_round_trip(self, tmp_path):
+        path = write_bench_json(tmp_path / "run.json",
+                                {"bench_a": 0.01, "bench_b": 0.5})
+        assert bench_compare.load_medians(path) == {
+            "bench_a": 0.01, "bench_b": 0.5}
+
+    def test_empty_payload(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({}))
+        assert bench_compare.load_medians(path) == {}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, capsys):
+        failures = bench_compare.compare(
+            {"a": 0.012}, {"a": 0.010}, threshold=0.25)
+        assert failures == []
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_detected(self, capsys):
+        failures = bench_compare.compare(
+            {"a": 0.014}, {"a": 0.010}, threshold=0.25)
+        assert len(failures) == 1
+        assert "1.40x" in failures[0]
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_faster_never_fails(self):
+        assert bench_compare.compare(
+            {"a": 0.001}, {"a": 0.010}, threshold=0.25) == []
+
+    def test_new_and_retired_benchmarks_reported_not_failed(self, capsys):
+        failures = bench_compare.compare(
+            {"new": 0.01}, {"old": 0.01}, threshold=0.25)
+        assert failures == []
+        out = capsys.readouterr().out
+        assert "no baseline yet" in out
+        assert "missing from current run" in out
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            bench_compare.compare({}, {}, threshold=0.0)
+
+    def test_normalize_forgives_uniform_slowdown(self):
+        """A 2x-slower machine shifts every ratio equally; the
+        normalized gate must not fire."""
+        baseline = {"a": 0.010, "b": 0.020, "c": 0.040}
+        current = {name: 2.0 * median for name, median in baseline.items()}
+        assert bench_compare.compare(current, baseline, 0.25) != []
+        assert bench_compare.compare(current, baseline, 0.25,
+                                     normalize=True) == []
+
+    def test_normalize_still_catches_relative_regression(self):
+        baseline = {"a": 0.010, "b": 0.010, "c": 0.010, "d": 0.010}
+        current = dict(baseline, a=0.030)  # one bench 3x slower
+        failures = bench_compare.compare(current, baseline, 0.25,
+                                         normalize=True)
+        assert len(failures) == 1
+        assert failures[0].startswith("a:")
+
+
+class TestMain:
+    def test_clean_gate_exits_zero(self, tmp_path, capsys):
+        current = write_bench_json(tmp_path / "cur.json", {"a": 0.010})
+        baseline = write_bench_json(tmp_path / "base.json", {"a": 0.010})
+        assert bench_compare.main([str(current), str(baseline)]) == 0
+        assert "benchmark gate clean" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        current = write_bench_json(tmp_path / "cur.json", {"a": 0.020})
+        baseline = write_bench_json(tmp_path / "base.json", {"a": 0.010})
+        assert bench_compare.main([str(current), str(baseline)]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_custom_threshold(self, tmp_path):
+        current = write_bench_json(tmp_path / "cur.json", {"a": 0.020})
+        baseline = write_bench_json(tmp_path / "base.json", {"a": 0.010})
+        assert bench_compare.main(
+            [str(current), str(baseline), "--threshold", "1.5"]) == 0
+
+    def test_normalize_flag(self, tmp_path, capsys):
+        current = write_bench_json(tmp_path / "cur.json",
+                                   {"a": 0.030, "b": 0.060})
+        baseline = write_bench_json(tmp_path / "base.json",
+                                    {"a": 0.010, "b": 0.020})
+        assert bench_compare.main([str(current), str(baseline)]) == 1
+        capsys.readouterr()
+        assert bench_compare.main(
+            [str(current), str(baseline), "--normalize"]) == 0
+        assert "calibration" in capsys.readouterr().out
+
+    def test_empty_current_run_is_an_error(self, tmp_path, capsys):
+        current = tmp_path / "cur.json"
+        current.write_text(json.dumps({"benchmarks": []}))
+        baseline = write_bench_json(tmp_path / "base.json", {"a": 0.010})
+        assert bench_compare.main([str(current), str(baseline)]) == 2
+        assert "no benchmarks" in capsys.readouterr().err

@@ -61,6 +61,29 @@ class TestCommands:
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_run_backend_vector(self, capsys):
+        code = main(["run", "ext-saturation", "--backend", "vector",
+                     "--scale", "0.1", "--seed", "1", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend=vector" in out
+
+    def test_run_backend_unsupported_fails_cleanly(self, capsys):
+        code = main(["run", "fig6", "--backend", "vector", "--scale",
+                     "0.02", "--no-cache"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "supports backend" in captured.err
+
+    def test_run_backend_rejects_unknown_choice(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig6", "--backend", "quantum"])
+
+    def test_list_marks_multi_backend_experiments(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "[backends: event, vector]" in out
+
     def test_run_small_experiment(self, capsys):
         code = main(["run", "fig6", "--scale", "0.05", "--seed", "3",
                      "--no-cache"])

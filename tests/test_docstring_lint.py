@@ -15,11 +15,16 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 import lint_docstrings  # noqa: E402  (needs the tools dir on the path)
 
 
-def test_runtime_and_analysis_fully_documented():
+def test_default_paths_fully_documented():
+    """runtime, analysis, sim and mac — everything CI lints."""
     violations = lint_docstrings.run(
-        [str(REPO_ROOT / "src/repro/runtime"),
-         str(REPO_ROOT / "src/repro/analysis")])
+        [str(REPO_ROOT / path) for path in lint_docstrings.DEFAULT_PATHS])
     assert violations == []
+
+
+def test_default_paths_cover_both_dcf_backends():
+    assert "src/repro/sim" in lint_docstrings.DEFAULT_PATHS
+    assert "src/repro/mac" in lint_docstrings.DEFAULT_PATHS
 
 
 def test_lint_flags_missing_docstrings(tmp_path):

@@ -44,9 +44,15 @@ class TestRegistration:
             registry.get("no-such-experiment")
 
     def test_builtin_registry_complete(self):
-        assert len(registry.experiments()) == 22
+        assert len(registry.experiments()) == 23
         groups = {e.group for e in registry.experiments()}
         assert groups == {"figure", "baseline", "ablation", "extension"}
+
+    def test_backends_default_to_event_only(self):
+        multi = [e.name for e in registry.experiments()
+                 if e.backends != ("event",)]
+        assert multi == ["ext-saturation"]
+        assert registry.get("ext-saturation").backends == ("event", "vector")
 
     def test_descriptions_populated(self):
         for experiment in registry.experiments():
@@ -77,6 +83,32 @@ class TestKwargsResolution:
                                 seed_kwarg=None)
         assert experiment.default_seed() is None
         assert "seed" not in experiment.kwargs_for()
+
+    def test_single_backend_experiment_omits_backend_kwarg(self, toy):
+        assert "backend" not in toy.kwargs_for()
+        assert "backend" not in toy.kwargs_for(backend="event")
+
+    def test_unsupported_backend_rejected(self, toy):
+        with pytest.raises(ValueError, match="supports backend"):
+            toy.kwargs_for(backend="vector")
+
+    def test_multi_backend_kwarg_materialised(self):
+        experiment = registry.get("ext-saturation")
+        assert experiment.kwargs_for()["backend"] == "event"
+        assert experiment.kwargs_for(backend="vector")["backend"] == "vector"
+
+    def test_backend_via_overrides_is_validated(self, toy):
+        """The bench harness passes backend as a plain override kwarg;
+        that door must be guarded like the parameter."""
+        with pytest.raises(ValueError, match="takes no backend"):
+            toy.kwargs_for(overrides={"backend": "vector"})
+        with pytest.raises(ValueError, match="takes no backend"):
+            toy.kwargs_for(overrides={"backend": "event"})
+        experiment = registry.get("ext-saturation")
+        assert experiment.kwargs_for(
+            overrides={"backend": "vector"})["backend"] == "vector"
+        with pytest.raises(ValueError, match="supports backend"):
+            experiment.kwargs_for(overrides={"backend": "quantum"})
 
 
 class TestRun:
@@ -142,6 +174,20 @@ class TestRun:
         toy.run(scale=0.04, seed=5, cache=cache)
         other = toy.run(scale=0.04, seed=6, cache=cache)
         assert other.cached is False
+
+    def test_backends_cache_separately(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        experiment = registry.get("ext-saturation")
+        overrides = {"station_counts": (1, 2), "packets_per_station": 5}
+        event = experiment.run(scale=0.02, seed=1, backend="event",
+                               overrides=overrides, cache=cache)
+        vector = experiment.run(scale=0.02, seed=1, backend="vector",
+                                overrides=overrides, cache=cache)
+        assert vector.cached is False  # distinct key per backend
+        assert vector.cache_key != event.cache_key
+        again = experiment.run(scale=0.02, seed=1, backend="vector",
+                               overrides=overrides, cache=cache)
+        assert again.cached is True
 
 
 class TestRealExperimentIntegration:

@@ -204,6 +204,118 @@ class TestRunControl:
         assert fired == [1, 5]
 
 
+class TestDocumentedErrorEdgeCases:
+    """The documented misuse errors, hit from awkward angles."""
+
+    def test_schedule_in_past_from_inside_callback(self):
+        """The past-scheduling guard also holds mid-run, when `now`
+        has advanced beyond the requested time."""
+        sim = Simulator()
+        errors = []
+
+        def tries_to_rewind():
+            try:
+                sim.schedule(0.5, lambda: None)
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(2.0, tries_to_rewind)
+        sim.run()
+        assert errors and "before now=2.0" in errors[0]
+
+    def test_schedule_within_tolerance_of_now_is_clamped(self):
+        """Times a hair in the past (float noise) clamp to `now`
+        instead of raising."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        event = sim.schedule(1.0 - 1e-13, lambda: None)
+        assert event.time == 1.0
+
+    def test_cancel_already_fired_event_from_later_callback(self):
+        """A stale reference cancelled after its event fired raises
+        EventCancelled even when the cancel happens mid-run."""
+        from repro.sim.engine import EventCancelled
+
+        sim = Simulator()
+        errors = []
+        stale = sim.schedule(1.0, lambda: None)
+
+        def cancels_stale():
+            try:
+                stale.cancel()
+            except EventCancelled as exc:
+                errors.append(str(exc))
+
+        sim.schedule(2.0, cancels_stale)
+        sim.run()
+        assert errors and "already fired" in errors[0]
+
+    def test_cancel_twice_is_idempotent(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        event.cancel()  # only cancelling a *fired* event is an error
+        sim.run()
+        assert fired == []
+        assert not event.pending
+
+    def test_rerun_of_running_simulator_raises(self):
+        """Re-running a simulator that is already running (the
+        documented non-reentrancy error), including via step()."""
+        sim = Simulator()
+        errors = []
+
+        def reenters():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(1.0, reenters)
+        sim.run()
+        assert errors == ["simulator is not reentrant"]
+
+    def test_rerun_after_completion_is_safe(self):
+        """A *finished* run is not an error: the heap is empty, the
+        clock is preserved, and new work can be scheduled."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.run()
+        sim.run()  # no-op, not an error
+        assert sim.now == 1.0
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_step_skips_cancelled_then_reports_empty(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        second = sim.schedule(2.0, lambda: None)
+        first.cancel()
+        second.cancel()
+        assert sim.step() is False
+        assert sim.peek_time() is None
+        assert sim.now == 0.0  # skipping cancelled events keeps the clock
+
+    def test_run_failure_leaves_simulator_reusable(self):
+        """A callback exception must not leave _running latched."""
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()  # the failed run released the reentrancy latch
+        assert fired == [2]
+
+
 class TestEventOrderingProperty:
     @given(st.lists(st.tuples(
         st.floats(min_value=0.0, max_value=1e4, allow_nan=False),

@@ -1,0 +1,66 @@
+"""Tests for the shared slot-timing constants (repro.mac.timing)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.backoff import BackoffState
+from repro.mac.frames import AirtimeModel
+from repro.mac.params import PhyParams
+from repro.mac.timing import SlotTiming, contention_window, cw_table
+
+
+class TestContentionWindow:
+    def test_matches_backoff_state_progression(self):
+        phy = PhyParams.dot11b()
+        state = BackoffState(phy, np.random.default_rng(0))
+        for stage in range(phy.max_backoff_stage + 1):
+            state.stage = stage
+            assert state.current_cw() == contention_window(phy, stage)
+
+    def test_doubles_until_cap(self):
+        phy = PhyParams.dot11b()
+        assert contention_window(phy, 0) == 31
+        assert contention_window(phy, 1) == 63
+        assert contention_window(phy, phy.max_backoff_stage) == phy.cw_max
+        # Past the cap it stays clamped.
+        assert contention_window(phy, phy.max_backoff_stage + 3) == phy.cw_max
+
+    def test_negative_stage_rejected(self):
+        with pytest.raises(ValueError):
+            contention_window(PhyParams.dot11b(), -1)
+
+    def test_table_covers_every_stage(self):
+        phy = PhyParams.dot11g()
+        table = cw_table(phy)
+        assert len(table) == phy.max_backoff_stage + 1
+        assert table[0] == phy.cw_min
+        assert table[-1] == phy.cw_max
+        assert np.all(np.diff(table) >= 0)
+
+
+class TestSlotTiming:
+    def test_matches_phy_and_airtime_model(self):
+        phy = PhyParams.dot11b()
+        airtime = AirtimeModel(phy)
+        timing = SlotTiming.for_size(phy, 1500)
+        assert timing.slot == phy.slot_time
+        assert timing.sifs == phy.sifs
+        assert timing.difs == phy.difs
+        assert timing.data_airtime == airtime.data_airtime(1500)
+        assert timing.ack_airtime == airtime.ack_airtime()
+
+    def test_busy_period_equals_success_and_collision_duration(self):
+        """For equal-size frames a collision lasts exactly as long as a
+        success — the invariant the vector kernel's single busy period
+        relies on."""
+        phy = PhyParams.dot11b()
+        airtime = AirtimeModel(phy)
+        timing = SlotTiming.for_size(phy, 1500)
+        assert timing.busy_period == pytest.approx(
+            airtime.success_duration(1500))
+        assert timing.busy_period == pytest.approx(
+            airtime.collision_duration([1500, 1500]))
+
+    def test_default_phy_is_dot11b(self):
+        assert SlotTiming.for_size() == SlotTiming.for_size(
+            PhyParams.dot11b(), 1500)

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate for CI.
+
+Compares a fresh ``pytest-benchmark --benchmark-json`` run against the
+committed baseline (``benchmarks/results/baseline.json``) and exits
+non-zero if any benchmark's median regressed by more than the
+threshold (default 25%).  Faster-than-baseline results and benchmarks
+missing from either side never fail the gate — new benchmarks appear
+before their baseline is refreshed, and retired ones disappear after —
+but both are reported so the log shows exactly what was compared.
+
+Usage::
+
+    python tools/bench_compare.py CURRENT.json BASELINE.json \
+        [--threshold 0.25] [--normalize]
+
+``--normalize`` divides every current/baseline ratio by the geometric
+mean of all ratios before applying the threshold.  A uniformly slower
+or faster machine moves every ratio by the same factor, so the
+normalized gate ignores runner-speed differences and only fails when
+one benchmark regresses *relative to the others* — which is what lets
+CI compare against a baseline recorded on different hardware.
+
+Refresh the baseline by re-running the suite on a quiet machine::
+
+    REPRO_BENCH_SCALE=0.05 PYTHONPATH=src python -m pytest \
+        benchmarks/bench_simulator_performance.py \
+        --benchmark-json=benchmarks/results/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+from typing import Dict, List, Sequence
+
+
+def load_medians(path: pathlib.Path) -> Dict[str, float]:
+    """``benchmark name -> median seconds`` from a pytest-benchmark JSON."""
+    payload = json.loads(path.read_text())
+    medians: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        medians[str(bench["name"])] = float(bench["stats"]["median"])
+    return medians
+
+
+def compare(current: Dict[str, float], baseline: Dict[str, float],
+            threshold: float, normalize: bool = False) -> List[str]:
+    """Regression messages for benchmarks slower than ``1 + threshold``.
+
+    With ``normalize`` every ratio is divided by the geometric mean of
+    all common ratios first (machine-speed calibration).  Returns one
+    message per offending benchmark; an empty list means the gate
+    passes.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    common = sorted(set(current) & set(baseline))
+    calibration = 1.0
+    if normalize and common:
+        calibration = math.exp(
+            sum(math.log(current[name] / baseline[name])
+                for name in common) / len(common))
+        print(f"  (machine calibration: geometric-mean ratio "
+              f"{calibration:.2f}x divided out)")
+    failures: List[str] = []
+    for name in common:
+        ratio = current[name] / baseline[name] / calibration
+        status = "ok"
+        if ratio > 1 + threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: median {current[name] * 1e3:.2f} ms vs baseline "
+                f"{baseline[name] * 1e3:.2f} ms ({ratio:.2f}x)")
+        print(f"  {name:<44} {current[name] * 1e3:>9.2f} ms "
+              f"(baseline {baseline[name] * 1e3:>9.2f} ms, "
+              f"{ratio:>5.2f}x) {status}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<44} {current[name] * 1e3:>9.2f} ms "
+              f"(no baseline yet)")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  {name:<44} missing from current run "
+              f"(baseline {baseline[name] * 1e3:.2f} ms)")
+    return failures
+
+
+def main(argv: Sequence[str]) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold median benchmark regressions")
+    parser.add_argument("current", type=pathlib.Path,
+                        help="pytest-benchmark JSON of this run")
+    parser.add_argument("baseline", type=pathlib.Path,
+                        help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional median slowdown "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--normalize", action="store_true",
+                        help="divide out the geometric-mean ratio so a "
+                             "uniformly slower/faster machine does not "
+                             "trip the gate (use when the baseline was "
+                             "recorded on different hardware)")
+    args = parser.parse_args(argv)
+    current = load_medians(args.current)
+    baseline = load_medians(args.baseline)
+    if not current:
+        print(f"no benchmarks found in {args.current}", file=sys.stderr)
+        return 2
+    print(f"comparing {len(current)} benchmark(s) against "
+          f"{args.baseline} (threshold {args.threshold:.0%}):")
+    failures = compare(current, baseline, args.threshold,
+                       normalize=args.normalize)
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("benchmark gate clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

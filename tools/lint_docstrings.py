@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Docstring-presence lint for the public API.
 
-Walks the given files/directories (default: ``src/repro/runtime`` and
-``src/repro/analysis``) and reports every public module, class,
-function or method without a docstring.  Exit status 1 if anything is
-missing — CI runs this next to the test suite.
+Walks the given files/directories (default: ``src/repro/runtime``,
+``src/repro/analysis``, ``src/repro/sim`` and ``src/repro/mac``) and
+reports every public module, class, function or method without a
+docstring.  Exit status 1 if anything is missing — CI runs this next
+to the test suite.
 
 Usage::
 
@@ -21,7 +22,8 @@ import pathlib
 import sys
 from typing import Iterator, List, Sequence
 
-DEFAULT_PATHS = ("src/repro/runtime", "src/repro/analysis")
+DEFAULT_PATHS = ("src/repro/runtime", "src/repro/analysis",
+                 "src/repro/sim", "src/repro/mac")
 
 _DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
 
