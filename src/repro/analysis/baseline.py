@@ -18,6 +18,7 @@ import numpy as np
 from repro.analysis.results import ExperimentResult
 from repro.analytic.bounds import output_gap_bounds_strict
 from repro.analytic.rate_response import fifo_rate_response
+from repro.core.dispersion import output_gaps_batch
 from repro.mac.params import PhyParams
 from repro.testbed.channel import SimulatedFifoChannel, SimulatedWlanChannel
 from repro.traffic.generators import PoissonGenerator
@@ -30,11 +31,14 @@ def eq1_fifo_rate_response(probe_rates_bps: Optional[Sequence[float]] = None,
                            n_packets: int = 400,
                            size_bytes: int = 1500,
                            repetitions: int = 30,
-                           seed: int = 0) -> ExperimentResult:
+                           seed: int = 0,
+                           backend: str = "event") -> ExperimentResult:
     """Equation (1) on a wired FIFO hop with Poisson cross-traffic.
 
     Long trains through the Lindley hop must match
-    ``ro = min(ri, C ri / (ri + C - A))`` with ``A = C - cross``.
+    ``ro = min(ri, C ri / (ri + C - A))`` with ``A = C - cross``.  The
+    ``vector`` backend replays the same sample paths through the
+    batched Lindley kernel instead of the per-packet hop loop.
     """
     if probe_rates_bps is None:
         probe_rates_bps = np.arange(1e6, 12.01e6, 1e6)
@@ -47,9 +51,15 @@ def eq1_fifo_rate_response(probe_rates_bps: Optional[Sequence[float]] = None,
     measured = np.zeros(len(rates))
     for k, rate in enumerate(rates):
         train = ProbeTrain.at_rate(n_packets, rate, size_bytes)
-        raws = channel.send_trains(train, repetitions, seed=seed + 13 * k)
-        gaps = [(raw.recv_times[-1] - raw.recv_times[0]) / (train.n - 1)
-                for raw in raws]
+        if backend == "vector":
+            batch = channel.send_trains_batch(train, repetitions,
+                                              seed=seed + 13 * k)
+            gaps = batch.output_gaps
+        else:
+            raws = channel.send_trains(train, repetitions,
+                                       seed=seed + 13 * k, backend=backend)
+            gaps = [(raw.recv_times[-1] - raw.recv_times[0]) / (train.n - 1)
+                    for raw in raws]
         measured[k] = size_bytes * 8 / float(np.mean(gaps))
     model = fifo_rate_response(rates, capacity_bps, available)
     result = ExperimentResult(
@@ -63,6 +73,7 @@ def eq1_fifo_rate_response(probe_rates_bps: Optional[Sequence[float]] = None,
             "available_bps": available,
             "n_packets": n_packets,
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     rel_err = np.abs(measured - model) / model
@@ -83,13 +94,16 @@ def bounds_consistency(probe_rates_bps: Optional[Sequence[float]] = None,
                        repetitions: int = 200,
                        phy: Optional[PhyParams] = None,
                        slack_fraction: float = 0.05,
-                       seed: int = 0) -> ExperimentResult:
+                       seed: int = 0,
+                       backend: str = "event") -> ExperimentResult:
     """Check E[g_O] against the transient bounds (eqs. 29-30).
 
     For each probing rate: measure the per-index mean access delays
     E[mu_i] and the mean output gap on the DCF simulator, evaluate the
     bounds from the measured E[mu_i] profile, and verify the measured
-    gap lies between them (with a small statistical slack).
+    gap lies between them (with a small statistical slack).  The
+    ``vector`` backend reads both statistics off the kernel's dense
+    batch arrays.
     """
     if probe_rates_bps is None:
         probe_rates_bps = np.array([1e6, 2e6, 3e6, 4e6, 6e6, 8e6])
@@ -101,11 +115,19 @@ def bounds_consistency(probe_rates_bps: Optional[Sequence[float]] = None,
     measured = np.zeros(len(rates))
     for k, rate in enumerate(rates):
         train = ProbeTrain.at_rate(n_packets, rate, size_bytes)
-        raws = channel.send_trains(train, repetitions, seed=seed + 37 * k)
-        mu_means = np.vstack([raw.access_delays for raw in raws]).mean(axis=0)
-        gaps = [(raw.recv_times[-1] - raw.recv_times[0]) / (train.n - 1)
-                for raw in raws]
-        measured[k] = float(np.mean(gaps))
+        if backend == "vector":
+            batch = channel.send_trains_batch(train, repetitions,
+                                              seed=seed + 37 * k)
+            mu_means = batch.access_delays.mean(axis=0)
+            measured[k] = float(output_gaps_batch(batch.recv_times).mean())
+        else:
+            raws = channel.send_trains(train, repetitions,
+                                       seed=seed + 37 * k, backend=backend)
+            mu_means = np.vstack([raw.access_delays
+                                  for raw in raws]).mean(axis=0)
+            gaps = [(raw.recv_times[-1] - raw.recv_times[0]) / (train.n - 1)
+                    for raw in raws]
+            measured[k] = float(np.mean(gaps))
         bounds = output_gap_bounds_strict(train.gap, mu_means)
         lower[k] = bounds.lower
         upper[k] = bounds.upper
@@ -119,6 +141,7 @@ def bounds_consistency(probe_rates_bps: Optional[Sequence[float]] = None,
             "cross_rate_bps": cross_rate_bps,
             "n_packets": n_packets,
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     slack = slack_fraction * measured

@@ -29,7 +29,8 @@ def _wlan_prober(cross_rate_bps: float, size_bytes: int,
                  phy: Optional[PhyParams],
                  fifo_rate_bps: float = 0.0,
                  repetitions: int = 60,
-                 drain_rate_floor: float = 1.5e6) -> Prober:
+                 drain_rate_floor: float = 1.5e6,
+                 backend: str = "event") -> Prober:
     cross = [("cross", PoissonGenerator(cross_rate_bps, size_bytes))] \
         if cross_rate_bps > 0 else []
     fifo = (PoissonGenerator(fifo_rate_bps, size_bytes, flow="fifo")
@@ -38,7 +39,8 @@ def _wlan_prober(cross_rate_bps: float, size_bytes: int,
                                    drain_rate_floor=drain_rate_floor)
     return Prober(channel, ProbeSessionConfig(size_bytes=size_bytes,
                                               repetitions=repetitions,
-                                              ideal_clocks=True))
+                                              ideal_clocks=True,
+                                              backend=backend))
 
 
 def _steady_series(rates: np.ndarray, fair_share: float,
@@ -53,10 +55,12 @@ def _short_train_curves(rates: np.ndarray,
                         size_bytes: int,
                         repetitions: int,
                         phy: Optional[PhyParams],
-                        seed: int) -> Dict[int, np.ndarray]:
+                        seed: int,
+                        backend: str = "event") -> Dict[int, np.ndarray]:
     prober = _wlan_prober(cross_rate_bps, size_bytes, phy,
                           fifo_rate_bps=fifo_rate_bps,
-                          repetitions=repetitions)
+                          repetitions=repetitions,
+                          backend=backend)
     curves: Dict[int, np.ndarray] = {}
     for n in train_lengths:
         outputs = np.zeros(len(rates))
@@ -73,7 +77,8 @@ def fig13_short_trains(probe_rates_bps: Optional[Sequence[float]] = None,
                        size_bytes: int = 1500,
                        repetitions: int = 60,
                        phy: Optional[PhyParams] = None,
-                       seed: int = 0) -> ExperimentResult:
+                       seed: int = 0,
+                       backend: str = "event") -> ExperimentResult:
     """Figure 13: transient rate-response curves, no FIFO cross-traffic.
 
     Short trains follow the steady-state curve at low rates, then: (a)
@@ -87,7 +92,8 @@ def fig13_short_trains(probe_rates_bps: Optional[Sequence[float]] = None,
     bianchi = BianchiModel(phy, size_bytes)
     fair_share = bianchi.fair_share(2)
     curves = _short_train_curves(rates, train_lengths, cross_rate_bps,
-                                 0.0, size_bytes, repetitions, phy, seed)
+                                 0.0, size_bytes, repetitions, phy, seed,
+                                 backend=backend)
     steady = _steady_series(rates, fair_share, 0.0)
     series = {"steady_state_bps": steady}
     for n in train_lengths:
@@ -102,6 +108,7 @@ def fig13_short_trains(probe_rates_bps: Optional[Sequence[float]] = None,
             "cross_rate_bps": cross_rate_bps,
             "fair_share_bps": round(fair_share),
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     high = rates >= 1.5 * fair_share
@@ -130,7 +137,8 @@ def fig15_short_trains_fifo(probe_rates_bps: Optional[Sequence[float]] = None,
                             size_bytes: int = 1500,
                             repetitions: int = 60,
                             phy: Optional[PhyParams] = None,
-                            seed: int = 0) -> ExperimentResult:
+                            seed: int = 0,
+                            backend: str = "event") -> ExperimentResult:
     """Figure 15: the same study with FIFO cross-traffic re-introduced.
 
     Bursty FIFO cross-traffic loosens the bounds (larger deviations
@@ -145,7 +153,7 @@ def fig15_short_trains_fifo(probe_rates_bps: Optional[Sequence[float]] = None,
     u_fifo = min(0.95, fifo_rate_bps / fair_share)
     curves = _short_train_curves(rates, train_lengths, cross_rate_bps,
                                  fifo_rate_bps, size_bytes, repetitions,
-                                 phy, seed)
+                                 phy, seed, backend=backend)
     steady = _steady_series(rates, fair_share, u_fifo)
     series = {"steady_state_bps": steady}
     for n in train_lengths:
@@ -162,6 +170,7 @@ def fig15_short_trains_fifo(probe_rates_bps: Optional[Sequence[float]] = None,
             "fair_share_bps": round(fair_share),
             "u_fifo": round(u_fifo, 3),
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     high = rates >= 1.5 * fair_share
@@ -187,7 +196,8 @@ def fig16_packet_pair(cross_rates_bps: Optional[Sequence[float]] = None,
                       fluid_repetitions: int = 40,
                       rate_grid_bps: Optional[Sequence[float]] = None,
                       phy: Optional[PhyParams] = None,
-                      seed: int = 0) -> ExperimentResult:
+                      seed: int = 0,
+                      backend: str = "event") -> ExperimentResult:
     """Figure 16: packet-pair inference vs. the actual fluid response.
 
     For each contending cross-traffic rate the runner measures (a) the
@@ -206,7 +216,8 @@ def fig16_packet_pair(cross_rates_bps: Optional[Sequence[float]] = None,
     fluid_actual = np.zeros(len(cross_rates))
     for k, cross_rate in enumerate(cross_rates):
         prober = _wlan_prober(cross_rate, size_bytes, phy,
-                              repetitions=pair_repetitions)
+                              repetitions=pair_repetitions,
+                              backend=backend)
         pairs = prober.measure_pairs(seed=seed + 31 * k)
         pair_estimates[k] = packet_pair_capacity(pairs)
         fluid_actual[k] = fluid_achievable_throughput(
@@ -222,6 +233,7 @@ def fig16_packet_pair(cross_rates_bps: Optional[Sequence[float]] = None,
             "capacity_bps": round(capacity),
             "fair_share_bps": round(fair_share),
             "pair_repetitions": pair_repetitions,
+            "backend": backend,
         },
     )
     result.add_check(
@@ -251,7 +263,8 @@ def fig17_mser(probe_rates_bps: Optional[Sequence[float]] = None,
                size_bytes: int = 1500,
                repetitions: int = 80,
                phy: Optional[PhyParams] = None,
-               seed: int = 0) -> ExperimentResult:
+               seed: int = 0,
+               backend: str = "event") -> ExperimentResult:
     """Figure 17: MSER-2 truncation of 20-packet trains.
 
     Removing the packets MSER-2 flags as transient pulls the inferred
@@ -264,7 +277,7 @@ def fig17_mser(probe_rates_bps: Optional[Sequence[float]] = None,
     bianchi = BianchiModel(phy, size_bytes)
     fair_share = bianchi.fair_share(2)
     prober = _wlan_prober(cross_rate_bps, size_bytes, phy,
-                          repetitions=repetitions)
+                          repetitions=repetitions, backend=backend)
     raw = np.zeros(len(rates))
     corrected = np.zeros(len(rates))
     for k, rate in enumerate(rates):
@@ -285,6 +298,7 @@ def fig17_mser(probe_rates_bps: Optional[Sequence[float]] = None,
             "cross_rate_bps": cross_rate_bps,
             "fair_share_bps": round(fair_share),
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     high = rates >= 1.5 * fair_share

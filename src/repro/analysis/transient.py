@@ -50,20 +50,32 @@ def collect_delay_matrix(
         warmup: float = 0.25,
         drain_rate_floor: float = 1.5e6,
         seed: int = 0,
-        track_queues: bool = False) -> DelayCollection:
+        track_queues: bool = False,
+        backend: str = "event") -> DelayCollection:
     """Probe repeatedly and collect per-index access delays.
 
     Each repetition redraws the cross-traffic, warms the system up for
     ``warmup`` seconds and then injects one ``n_packets`` train at
     ``probe_rate_bps``; the access delay of the i-th packet across
     repetitions estimates the paper's per-index distribution.
+
+    With ``backend="vector"`` the whole repetition batch is resolved
+    by :mod:`repro.sim.probe_vector` and the delay matrix comes back
+    as one dense array — statistically equivalent, no per-repetition
+    event simulation.  Queue tracking needs the event engine's
+    scenario traces, so the combination is rejected.
     """
     channel = SimulatedWlanChannel(
         cross_stations, phy=phy, warmup=warmup,
         drain_rate_floor=drain_rate_floor,
         log_cross_queues=track_queues)
     train = ProbeTrain.at_rate(n_packets, probe_rate_bps, size_bytes)
-    raws = channel.send_trains(train, repetitions, seed=seed)
+    if backend == "vector":
+        batch = channel.send_trains_batch(train, repetitions, seed=seed)
+        return DelayCollection(matrix=DelayMatrix(batch.delay_matrix()),
+                               queue_sizes={})
+    raws = channel.send_trains(train, repetitions, seed=seed,
+                               backend=backend)
     delays = np.vstack([raw.access_delays for raw in raws])
     queue_sizes: Dict[str, np.ndarray] = {}
     if track_queues:
@@ -86,7 +98,8 @@ def fig6_mean_access_delay(probe_rate_bps: float = 5e6,
                            plot_limit: int = 150,
                            size_bytes: int = 1500,
                            phy: Optional[PhyParams] = None,
-                           seed: int = 0) -> ExperimentResult:
+                           seed: int = 0,
+                           backend: str = "event") -> ExperimentResult:
     """Figure 6: the first packets see a lower mean access delay.
 
     Paper setting: 5 Mb/s probe train, 4 Mb/s Poisson contending
@@ -97,7 +110,7 @@ def fig6_mean_access_delay(probe_rate_bps: float = 5e6,
         probe_rate_bps,
         [("cross", PoissonGenerator(cross_rate_bps, size_bytes))],
         n_packets=n_packets, repetitions=repetitions,
-        size_bytes=size_bytes, phy=phy, seed=seed)
+        size_bytes=size_bytes, phy=phy, seed=seed, backend=backend)
     matrix = collection.matrix
     profile = matrix.mean_profile()
     limit = min(plot_limit, n_packets)
@@ -114,6 +127,7 @@ def fig6_mean_access_delay(probe_rate_bps: float = 5e6,
             "repetitions": repetitions,
             "n_packets": n_packets,
             "steady_state_mean_s": float(steady),
+            "backend": backend,
         },
     )
     result.add_check("first-packet-accelerated", profile[0] < 0.9 * steady)
@@ -138,7 +152,8 @@ def fig7_delay_histograms(probe_rate_bps: float = 5e6,
                           bins: int = 40,
                           size_bytes: int = 1500,
                           phy: Optional[PhyParams] = None,
-                          seed: int = 0) -> ExperimentResult:
+                          seed: int = 0,
+                          backend: str = "event") -> ExperimentResult:
     """Figure 7: delay distribution of the 1st vs. a steady-state packet.
 
     The paper contrasts the 1st and the 500th packet of 1000-packet
@@ -150,7 +165,7 @@ def fig7_delay_histograms(probe_rate_bps: float = 5e6,
         probe_rate_bps,
         [("cross", PoissonGenerator(cross_rate_bps, size_bytes))],
         n_packets=n_packets, repetitions=repetitions,
-        size_bytes=size_bytes, phy=phy, seed=seed)
+        size_bytes=size_bytes, phy=phy, seed=seed, backend=backend)
     matrix = collection.matrix
     if steady_index is None:
         steady_index = n_packets - 1
@@ -175,6 +190,7 @@ def fig7_delay_histograms(probe_rate_bps: float = 5e6,
             "steady_index": steady_index + 1,
             "mean_first_s": float(first.mean()),
             "mean_steady_s": float(steady.mean()),
+            "backend": backend,
         },
     )
     result.add_check("first-mean-smaller", first.mean() < steady.mean())
@@ -252,7 +268,8 @@ def fig9_ks_complex(probe_rate_bps: float = 0.5e6,
                     size_bytes: int = 1500,
                     phy: Optional[PhyParams] = None,
                     alpha: float = 0.05,
-                    seed: int = 0) -> ExperimentResult:
+                    seed: int = 0,
+                    backend: str = "event") -> ExperimentResult:
     """Figure 9: four heterogeneous contending stations.
 
     Paper setting: probe at 0.5 Mb/s against stations sending 40, 576,
@@ -268,7 +285,7 @@ def fig9_ks_complex(probe_rate_bps: float = 0.5e6,
     collection = collect_delay_matrix(
         probe_rate_bps, cross, n_packets=n_packets,
         repetitions=repetitions, size_bytes=size_bytes, phy=phy,
-        seed=seed, drain_rate_floor=0.4e6)
+        seed=seed, drain_rate_floor=0.4e6, backend=backend)
     matrix = collection.matrix
     profile = ks_profile(matrix, alpha=alpha, max_index=plot_limit)
     delay_profile = matrix.mean_profile()
@@ -290,6 +307,7 @@ def fig9_ks_complex(probe_rate_bps: float = 0.5e6,
             "settled_index": profile.settled_index + 1,
             "first_packet_mean_s": float(delay_profile[0]),
             "steady_state_mean_s": float(steady),
+            "backend": backend,
         },
     )
     # The transitory is milder than figure 8's (the probe offers only
@@ -318,7 +336,8 @@ def fig10_transient_duration(cross_loads_erlang: Optional[Sequence[float]] = Non
                              repetitions: int = 300,
                              size_bytes: int = 1500,
                              phy: Optional[PhyParams] = None,
-                             seed: int = 0) -> ExperimentResult:
+                             seed: int = 0,
+                             backend: str = "event") -> ExperimentResult:
     """Figure 10: transient length across offered cross-traffic loads.
 
     Loads are expressed in Erlangs of the single-station capacity C
@@ -343,7 +362,8 @@ def fig10_transient_duration(cross_loads_erlang: Optional[Sequence[float]] = Non
             probe_rate,
             [("cross", PoissonGenerator(load * capacity, size_bytes))],
             n_packets=n_packets, repetitions=repetitions,
-            size_bytes=size_bytes, phy=phy, seed=seed + 17 * k)
+            size_bytes=size_bytes, phy=phy, seed=seed + 17 * k,
+            backend=backend)
         profile = collection.matrix.mean_profile()
         steady = collection.matrix.steady_state_mean()
         for tol in tolerances:
@@ -362,6 +382,7 @@ def fig10_transient_duration(cross_loads_erlang: Optional[Sequence[float]] = Non
             "capacity_bps": round(capacity),
             "n_packets": n_packets,
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     tight, loose = min(tolerances), max(tolerances)

@@ -8,6 +8,14 @@ per-packet service times ``s_i``::
 
 Everything else in this package (workload processes, utilizations,
 intrusion residuals) is derived from these sample paths.
+
+Both entry points are closed-form vectorized: unrolling the recursion
+gives ``d_i = max_{j <= i} (a_j + sum_{k=j..i} s_k)``, which factors
+into a cumulative service sum plus a running maximum of
+``a_j - cumsum(s)_{j-1}`` — one :func:`numpy.maximum.accumulate` pass
+instead of a per-packet Python loop.  :func:`lindley_batch` applies
+the same formulation to whole ``(repetitions, n)`` workload batches
+at once (the vector probe-train backend's FIFO drain stage).
 """
 
 from __future__ import annotations
@@ -16,6 +24,26 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np
+
+
+def _lindley_cummax(arrivals: np.ndarray,
+                    services: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative-max Lindley solve along the last axis (no checks).
+
+    Starts are recovered as ``max(a_i, d_{i-1})`` rather than
+    ``d_i - s_i`` so an unqueued packet's service start equals its
+    arrival *exactly* (the subtraction would lose an ulp to the
+    cumulative sum).
+    """
+    if arrivals.shape[-1] == 0:
+        return arrivals.astype(float), arrivals.astype(float)
+    cum = np.cumsum(services, axis=-1)
+    offset = arrivals - cum + services
+    departures = cum + np.maximum.accumulate(offset, axis=-1)
+    previous = np.empty_like(departures)
+    previous[..., 0] = -np.inf
+    previous[..., 1:] = departures[..., :-1]
+    return np.maximum(arrivals, previous), departures
 
 
 def lindley_recursion(arrivals: np.ndarray,
@@ -45,17 +73,33 @@ def lindley_recursion(arrivals: np.ndarray,
         raise ValueError("arrivals must be non-decreasing")
     if np.any(services < 0):
         raise ValueError("service times must be non-negative")
-    n = len(arrivals)
-    starts = np.empty(n)
-    departures = np.empty(n)
-    previous_departure = -np.inf
-    for i in range(n):
-        start = arrivals[i] if arrivals[i] > previous_departure \
-            else previous_departure
-        starts[i] = start
-        previous_departure = start + services[i]
-        departures[i] = previous_departure
-    return starts, departures
+    return _lindley_cummax(arrivals, services)
+
+
+def lindley_batch(arrivals: np.ndarray,
+                  services: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched Lindley recursion over ``(repetitions, n)`` workloads.
+
+    Row ``r`` is one independent FIFO sample path; the returned
+    ``(starts, departures)`` have the same shape.  Rows may be padded
+    at the tail with ``inf`` arrivals (zero service) — padded slots
+    depart at ``inf`` without disturbing the finite prefix, which is
+    how ragged repetition batches are packed into one rectangle.
+    """
+    arrivals = np.asarray(arrivals, dtype=float)
+    services = np.asarray(services, dtype=float)
+    if arrivals.shape != services.shape:
+        raise ValueError(
+            f"shape mismatch: {arrivals.shape} vs {services.shape}")
+    if arrivals.ndim != 2:
+        raise ValueError("expected 2-D (repetitions, n) arrays")
+    finite = np.isfinite(arrivals)
+    with np.errstate(invalid="ignore"):  # inf-padded tails diff to nan
+        if np.any(np.diff(arrivals, axis=1)[finite[:, 1:]] < 0):
+            raise ValueError("arrivals must be non-decreasing within a row")
+    if np.any(services < 0):
+        raise ValueError("service times must be non-negative")
+    return _lindley_cummax(arrivals, services)
 
 
 @dataclass
@@ -69,33 +113,42 @@ class BusyPeriods:
 
     intervals: List[Tuple[float, float]]
 
+    def _bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(begins, ends)`` arrays, read fresh from the public list."""
+        if not self.intervals:
+            return np.empty(0), np.empty(0)
+        bounds = np.asarray(self.intervals, dtype=float)
+        return bounds[:, 0], bounds[:, 1]
+
     @classmethod
     def from_sample_path(cls, arrivals: np.ndarray, starts: np.ndarray,
                          departures: np.ndarray) -> "BusyPeriods":
-        """Merge per-packet service spans into maximal busy intervals."""
+        """Merge per-packet service spans into maximal busy intervals.
+
+        An arrival later than the running maximum of the previous
+        departures (beyond a 1 fs merge tolerance) opens a new busy
+        period; everything else extends the current one.  The merge is
+        pure interval arithmetic — a boundary mask plus one
+        :func:`numpy.maximum.reduceat` — with no per-packet loop.
+        """
         arrivals = np.asarray(arrivals, dtype=float)
         departures = np.asarray(departures, dtype=float)
-        intervals: List[Tuple[float, float]] = []
-        for i in range(len(arrivals)):
-            begin, end = arrivals[i], departures[i]
-            if intervals and begin <= intervals[-1][1] + 1e-15:
-                last_begin, last_end = intervals[-1]
-                intervals[-1] = (last_begin, max(last_end, end))
-            else:
-                intervals.append((begin, end))
-        return cls(intervals)
+        if len(arrivals) == 0:
+            return cls([])
+        prev_end = np.maximum.accumulate(departures)[:-1]
+        new = np.concatenate([[True], arrivals[1:] > prev_end + 1e-15])
+        boundaries = np.flatnonzero(new)
+        begins = arrivals[boundaries]
+        ends = np.maximum.reduceat(departures, boundaries)
+        return cls(list(zip(begins.tolist(), ends.tolist())))
 
     def busy_time(self, t0: float, t1: float) -> float:
         """Total busy time within ``(t0, t1]``."""
         if t1 < t0:
             raise ValueError(f"need t1 >= t0, got ({t0}, {t1})")
-        total = 0.0
-        for begin, end in self.intervals:
-            lo = max(begin, t0)
-            hi = min(end, t1)
-            if hi > lo:
-                total += hi - lo
-        return total
+        begins, ends = self._bounds()
+        overlap = np.minimum(ends, t1) - np.maximum(begins, t0)
+        return float(np.clip(overlap, 0.0, None).sum())
 
     def utilization(self, t0: float, t1: float) -> float:
         """Busy fraction of ``(t0, t1]`` — the paper's u_fifo(t0, t1)."""
@@ -105,9 +158,6 @@ class BusyPeriods:
 
     def contains(self, t: float) -> bool:
         """Whether the server is busy at time ``t`` (right-continuous)."""
-        for begin, end in self.intervals:
-            if begin <= t < end:
-                return True
-            if begin > t:
-                break
-        return False
+        begins, ends = self._bounds()
+        idx = int(np.searchsorted(begins, t, side="right")) - 1
+        return idx >= 0 and t < ends[idx]

@@ -226,6 +226,19 @@ def experiments() -> List[Experiment]:
     return list(_EXPERIMENTS.values())
 
 
+#: Experiments whose runner can route its repetition batches to the
+#: vectorized numpy kernels (``--backend vector``): the probe-train
+#: family rides :mod:`repro.sim.probe_vector`, ``eq1`` the batched
+#: Lindley kernel, ``ext-saturation`` :mod:`repro.sim.vector`.
+#: ``tools/check_backend_coverage.py`` holds this set against
+#: ``benchmarks/results/backend_coverage.json`` so coverage can only
+#: grow.
+VECTOR_EXPERIMENTS = frozenset({
+    "fig6", "fig7", "fig9", "fig10", "fig13", "fig15", "fig16", "fig17",
+    "eq1", "bounds", "ext-saturation",
+})
+
+
 def _register_builtins() -> None:
     """Populate the registry with every runner the paper needs."""
     builtin: List[Tuple[str, Callable[..., ExperimentResult],
@@ -272,8 +285,10 @@ def _register_builtins() -> None:
          {"repetitions": 20}, "extension"),
     ]
     for name, runner, scalable, group in builtin:
+        backends = (("event", "vector") if name in VECTOR_EXPERIMENTS
+                    else ("event",))
         register(Experiment(name=name, runner=runner, scalable=scalable,
-                            group=group))
+                            group=group, backends=backends))
     register(Experiment(
         name="ext-saturation",
         runner=analysis.dcf_saturation_study,

@@ -8,14 +8,19 @@ the paper's validation setup.
 The engine is deliberately small and explicit: a binary-heap scheduler
 with cancellable events and a monotonically non-decreasing clock.
 
-For saturated contention scenarios there is a second, numpy-vectorized
-backend (:mod:`repro.sim.vector`) that resolves whole repetition
-batches per array operation instead of one event per Python call; both
-backends share the slot-timing constants of :mod:`repro.mac.timing`
-and are held statistically equivalent by KS tests.  It is *not*
-re-exported here: vector.py consumes :mod:`repro.mac.timing`, so
-importing it from this package ``__init__`` would cycle the
-sim -> mac -> sim layering — import :mod:`repro.sim.vector` directly.
+Alongside the engine live the numpy-vectorized batch backends, which
+resolve whole repetition batches per array operation instead of one
+event per Python call: :mod:`repro.sim.vector` for saturated
+contention scenarios and :mod:`repro.sim.probe_vector` for complete
+probe-train sessions (periodic train + Poisson cross-traffic + the
+probe queue's FIFO drain); both share the airtime and slot-timing
+constants of :mod:`repro.mac` and are held statistically equivalent
+to the event engine by KS tests.  :mod:`repro.sim.delay_model` adds
+batched access-delay *sampling* from the Bianchi/backoff
+distributions for model-driven studies.  None of these are
+re-exported here: they consume :mod:`repro.mac`, so importing them
+from this package ``__init__`` would cycle the sim -> mac -> sim
+layering — import the modules directly.
 """
 
 from repro.sim.engine import Event, EventCancelled, Simulator, SimulationError

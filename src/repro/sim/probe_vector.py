@@ -1,0 +1,419 @@
+"""Vectorized batched probe-train kernel.
+
+:mod:`repro.sim.vector` batches the *saturated* corner of the DCF —
+every station permanently backlogged.  The paper's headline results
+(rate-response curves, transient access delays, short-train bias) live
+in a richer regime: a probing station injects a periodic train into a
+channel contended by Poisson cross-traffic, packets queue in the
+probe's FIFO transmission buffer while DCF access delays outpace the
+input gap, and the whole session is repeated over many independent
+repetitions.  This module resolves those repetitions **in one
+vectorized pass**.
+
+The state of a batch is a handful of ``(repetitions, stations)``
+arrays (station 0 is the probe sender, the rest are cross-traffic
+contenders) plus the pre-drawn arrival sample paths.  One loop
+iteration advances every repetition by exactly one *event*, which is
+either
+
+1. an **arrival to an idle station** — the packet is promoted to
+   head-of-line; if the medium has been idle for at least DIFS it
+   transmits immediately (the 802.11 rule behind the paper's whole
+   transient), otherwise a backoff counter is drawn and the countdown
+   starts at ``max(arrival, idle_start + DIFS)``; or
+2. a **transmission** — the minimum countdown-expiry over the
+   contenders fixes the instant; stations expiring within the shared
+   tolerance win together; a lone winner is a success (departure =
+   end of its DATA frame, the next queued packet is promoted at that
+   instant), several winners are a collision (CW doubling, redraw);
+   losers consume exactly the elapsed idle slots — the
+   frozen-countdown rule — and every countdown restarts one DIFS
+   after the busy period ends.
+
+Time arithmetic comes from the same :class:`repro.mac.frames`
+airtime model and :mod:`repro.mac.timing` constants the event backend
+uses, so the two backends agree on every duration and only differ in
+how they schedule the arithmetic.  The equivalence contract is
+distributional, not bit-level: ``tests/test_probe_vector_backend.py``
+holds KS distances between the backends' access-delay and output-gap
+distributions under the repo's ``alpha = 0.01`` thresholds.
+
+Randomness is reproducible and batch-size independent: per-repetition
+seeds follow the exact scheme of
+:func:`repro.runtime.executor.derive_seeds`, each repetition owns a
+private generator, and because every iteration advances each active
+repetition by exactly one event, repetition ``r`` consumes the same
+draws whether the batch holds 4 repetitions or 400.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mac.frames import AirtimeModel
+from repro.mac.params import PhyParams
+from repro.mac.timing import TIME_EPS, cw_table
+from repro.sim.vector import _UniformBlocks
+
+
+@dataclass(frozen=True)
+class PoissonCrossSpec:
+    """One Poisson cross-traffic contender of a probe-train batch.
+
+    The kernel only needs the packet arrival rate and the (fixed)
+    frame size; :meth:`from_generator` extracts both from a
+    :class:`repro.traffic.generators.PoissonGenerator`.
+    """
+
+    packets_per_second: float
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.packets_per_second < 0:
+            raise ValueError(
+                f"rate must be non-negative, got {self.packets_per_second}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {self.size_bytes}")
+
+    @classmethod
+    def from_generator(cls, generator: object) -> "PoissonCrossSpec":
+        """Build a spec from a Poisson generator object.
+
+        Anything exposing ``packets_per_second`` and ``size_bytes``
+        qualifies; other traffic models (CBR, on-off) have no batched
+        sampler yet and must run on the event backend.
+        """
+        pps = getattr(generator, "packets_per_second", None)
+        size = getattr(generator, "size_bytes", None)
+        if pps is None or size is None:
+            raise ValueError(
+                f"{type(generator).__name__} is not Poisson-like "
+                "(needs packets_per_second and size_bytes); "
+                "run this scenario with backend='event'")
+        return cls(packets_per_second=float(pps), size_bytes=int(size))
+
+
+@dataclass
+class ProbeBatchResult:
+    """Timestamps of a whole repetition batch of probe trains.
+
+    The dense counterpart of ``repetitions`` individual
+    :class:`repro.testbed.channel.RawTrainResult` objects: row ``r``
+    holds repetition ``r``'s send instants ``a_i``, receive instants
+    ``d_i`` (end of each probe DATA frame) and access delays ``mu_i``
+    (head-of-line promotion to end of DATA).
+    """
+
+    send_times: np.ndarray
+    recv_times: np.ndarray
+    access_delays: np.ndarray
+    size_bytes: int
+
+    @property
+    def repetitions(self) -> int:
+        """Number of repetitions (rows)."""
+        return self.send_times.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Train length (columns)."""
+        return self.send_times.shape[1]
+
+    @property
+    def output_gaps(self) -> np.ndarray:
+        """Per-repetition train-level output gap (equation (16)).
+
+        Same accessor shape as
+        :attr:`repro.core.dispersion.TrainBatch.output_gaps`, so batch
+        objects are interchangeable at estimator call sites.
+        """
+        d = self.recv_times
+        return (d[:, -1] - d[:, 0]) / (self.n - 1)
+
+    def delay_matrix(self) -> np.ndarray:
+        """The ``(repetitions, packets)`` access-delay sample."""
+        return self.access_delays
+
+
+def _poisson_arrival_paths(gens: Sequence[np.random.Generator],
+                           packets_per_second: float,
+                           horizon: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-repetition Poisson arrival instants over ``[0, horizon)``.
+
+    Returns ``(times, counts)`` where ``times`` is ``(reps, width)``
+    padded with ``inf`` past each repetition's count.  Each repetition
+    draws from its own generator (a fixed-size block plus a rare
+    top-up), so its path is independent of the batch composition.
+    """
+    reps = len(gens)
+    if packets_per_second <= 0 or horizon <= 0:
+        return np.full((reps, 1), np.inf), np.zeros(reps, dtype=np.int64)
+    mean = packets_per_second * horizon
+    block = int(mean + 6.0 * math.sqrt(mean) + 16)
+    rows: List[np.ndarray] = []
+    counts = np.zeros(reps, dtype=np.int64)
+    for r, gen in enumerate(gens):
+        times = np.cumsum(gen.exponential(1.0 / packets_per_second,
+                                          size=block))
+        while times[-1] < horizon:  # pragma: no cover - ~6-sigma tail
+            extra = gen.exponential(1.0 / packets_per_second, size=block)
+            times = np.concatenate([times, times[-1] + np.cumsum(extra)])
+        k = int(np.searchsorted(times, horizon, side="left"))
+        rows.append(times[:k])
+        counts[r] = k
+    width = max(1, int(counts.max()))
+    out = np.full((reps, width), np.inf)
+    for r, row in enumerate(rows):
+        out[r, :len(row)] = row
+    return out, counts
+
+
+def simulate_probe_train_batch(
+        n_probe: int,
+        probe_gap: float,
+        repetitions: int,
+        *,
+        size_bytes: int = 1500,
+        cross: Sequence[PoissonCrossSpec] = (),
+        fifo_cross: Optional[PoissonCrossSpec] = None,
+        horizon: Optional[float] = None,
+        phy: Optional[PhyParams] = None,
+        warmup: float = 0.25,
+        start_jitter: float = 0.01,
+        seed: int = 0,
+        immediate_access: bool = True) -> ProbeBatchResult:
+    """Simulate ``repetitions`` independent probe-train sessions at once.
+
+    Each repetition mirrors one
+    :meth:`repro.testbed.channel.SimulatedWlanChannel.send_train`
+    call: cross-traffic warms the channel up for ``warmup`` seconds,
+    the ``n_probe``-packet train (input gap ``probe_gap``) starts
+    after an extra ``Uniform(0, start_jitter)`` delay, optional
+    ``fifo_cross`` Poisson traffic shares the probe station's FIFO
+    queue, and cross-traffic keeps flowing over ``[0, horizon)``
+    (default: the train window plus one second of drain headroom)
+    while the probe queue drains through DCF contention.
+
+    A repetition stops consuming events once its last probe packet has
+    departed; the statistical contract with the event backend is
+    enforced by the KS tests in ``tests/test_probe_vector_backend.py``.
+    """
+    if n_probe < 2:
+        raise ValueError(f"a train needs at least 2 packets, got {n_probe}")
+    if probe_gap < 0:
+        raise ValueError(f"gap must be non-negative, got {probe_gap}")
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if warmup < 0 or start_jitter < 0:
+        raise ValueError("warmup and start_jitter must be non-negative")
+
+    phy = phy if phy is not None else PhyParams.dot11b()
+    airtime = AirtimeModel(phy)
+    slot, sifs, difs = phy.slot_time, phy.sifs, phy.difs
+    ack_air = airtime.ack_airtime()
+    cw_by_stage = cw_table(phy)
+    max_stage = phy.max_backoff_stage
+
+    cross = list(cross)
+    if fifo_cross is not None and fifo_cross.size_bytes != size_bytes:
+        raise ValueError(
+            "the batched kernel requires FIFO cross-traffic packets of "
+            f"the probe size ({size_bytes} B), got "
+            f"{fifo_cross.size_bytes} B; run with backend='event'")
+    train_span = (n_probe - 1) * probe_gap
+    if horizon is None:
+        horizon = warmup + start_jitter + train_span + 1.0
+
+    reps = repetitions
+    n_stations = 1 + len(cross)
+    sizes = [size_bytes] + [spec.size_bytes for spec in cross]
+    data_air = np.array([airtime.data_airtime(s) for s in sizes])
+
+    # Same derivation scheme as repro.runtime.executor.derive_seeds
+    # (not imported: repro.runtime sits above the simulation layer).
+    seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+    gens = [np.random.default_rng(int(s)) for s in seeds]
+
+    # Per-repetition draw order mirrors the event channel: start
+    # jitter first, then the traffic sample paths, then the backoff
+    # stream — all from the repetition's private generator.
+    if start_jitter > 0:
+        jitter = np.array([gen.uniform(0, start_jitter) for gen in gens])
+    else:
+        jitter = np.zeros(reps)
+    start = warmup + jitter
+    probe_times = start[:, None] + np.arange(n_probe) * probe_gap
+
+    cross_paths = [_poisson_arrival_paths(gens, spec.packets_per_second,
+                                          horizon) for spec in cross]
+    if fifo_cross is not None:
+        fifo_times, fifo_counts = _poisson_arrival_paths(
+            gens, fifo_cross.packets_per_second, horizon)
+        # Merge the deterministic train into the shared queue; the
+        # stable sort keeps probe packets ahead of simultaneous FIFO
+        # arrivals, matching the event scheduler's insertion order.
+        cat_t = np.concatenate([probe_times, fifo_times], axis=1)
+        cat_q = np.concatenate(
+            [np.broadcast_to(np.arange(n_probe), (reps, n_probe)),
+             np.full(fifo_times.shape, -1, dtype=np.int64)], axis=1)
+        order = np.argsort(cat_t, axis=1, kind="stable")
+        probe_arr = np.take_along_axis(cat_t, order, axis=1)
+        probe_seq = np.take_along_axis(cat_q, order, axis=1)
+        probe_counts = n_probe + fifo_counts
+    else:
+        probe_arr = probe_times
+        probe_seq = np.broadcast_to(np.arange(n_probe),
+                                    (reps, n_probe)).copy()
+        probe_counts = np.full(reps, n_probe, dtype=np.int64)
+
+    width = max(probe_arr.shape[1],
+                max((p.shape[1] for p, _ in cross_paths), default=1))
+    arr = np.full((reps, n_stations, width), np.inf)
+    n_arr = np.zeros((reps, n_stations), dtype=np.int64)
+    arr[:, 0, :probe_arr.shape[1]] = probe_arr
+    n_arr[:, 0] = probe_counts
+    for c, (times, counts) in enumerate(cross_paths):
+        arr[:, 1 + c, :times.shape[1]] = times
+        n_arr[:, 1 + c] = counts
+
+    uniforms = _UniformBlocks(seeds, n_stations)
+    # The arrival paths were drawn from the same per-repetition
+    # generators the uniform blocks now continue; order is fixed, so
+    # repetition streams stay batch-size independent.
+
+    nxt = np.zeros((reps, n_stations), dtype=np.int64)
+    hol = np.zeros((reps, n_stations), dtype=bool)
+    hol_t = np.zeros((reps, n_stations))
+    rem = np.zeros((reps, n_stations), dtype=np.int64)
+    cstart = np.full((reps, n_stations), np.inf)
+    stage = np.zeros((reps, n_stations), dtype=np.int64)
+    idle_start = np.full(reps, -np.inf)
+    probe_left = np.full(reps, n_probe, dtype=np.int64)
+    active = np.ones(reps, dtype=bool)
+
+    recv = np.full((reps, n_probe), np.nan)
+    delays = np.full((reps, n_probe), np.nan)
+
+    # Every event retires an arrival, a success, or (boundedly often)
+    # a collision; the guard is far above any real trajectory.
+    max_events = 64 + 8 * int(n_arr.sum(axis=1).max())
+    for _ in range(max_events):
+        if not active.any():
+            break
+        u = uniforms.take()
+
+        expiry = np.where(hol, cstart + rem * slot, np.inf)
+        t_tx = expiry.min(axis=1)
+        idx = np.minimum(np.maximum(nxt, 0), arr.shape[2] - 1)
+        gathered = np.take_along_axis(arr, idx[:, :, None], axis=2)[:, :, 0]
+        pending = ~hol & (nxt < n_arr)
+        next_arr = np.where(pending, gathered, np.inf)
+        t_arr = next_arr.min(axis=1)
+
+        # Ties go to the arrival, like the event engine's priorities
+        # (the admitted station then collides at the same instant).
+        arr_event = active & np.isfinite(t_arr) & (t_arr <= t_tx)
+        tx_event = active & ~arr_event & np.isfinite(t_tx)
+
+        # -- arrival to an idle station --------------------------------
+        if arr_event.any():
+            adm = arr_event[:, None] & pending & (next_arr <= t_arr[:, None])
+            hol[adm] = True
+            a_rep, a_sta = np.nonzero(adm)
+            a_time = next_arr[adm]
+            hol_t[adm] = a_time
+            idle_for = a_time - idle_start[a_rep]
+            if immediate_access:
+                imm = idle_for >= difs - TIME_EPS
+            else:
+                imm = np.zeros(len(a_rep), dtype=bool)
+            rem[a_rep[imm], a_sta[imm]] = 0
+            cstart[a_rep[imm], a_sta[imm]] = a_time[imm]
+            reg_rep, reg_sta = a_rep[~imm], a_sta[~imm]
+            cw = cw_by_stage[stage[reg_rep, reg_sta]]
+            rem[reg_rep, reg_sta] = (u[reg_rep, reg_sta]
+                                     * (cw + 1)).astype(np.int64)
+            cstart[reg_rep, reg_sta] = np.maximum(
+                a_time[~imm], idle_start[reg_rep] + difs)
+
+        # -- transmission ----------------------------------------------
+        if tx_event.any():
+            safe_tx = np.where(np.isfinite(t_tx), t_tx, 0.0)
+            win = tx_event[:, None] & hol \
+                & (expiry <= t_tx[:, None] + TIME_EPS)
+            n_win = win.sum(axis=1)
+            busy_end = (safe_tx + np.where(win, data_air[None, :], 0.0)
+                        .max(axis=1) + sifs + ack_air)
+
+            success = tx_event & (n_win == 1)
+            solo = win & success[:, None]
+            s_rep, s_sta = np.nonzero(solo)
+            data_end = t_tx[s_rep] + data_air[s_sta]
+            served = nxt[s_rep, s_sta]
+
+            probe_tx = s_sta == 0
+            p_rep = s_rep[probe_tx]
+            seq = probe_seq[p_rep, served[probe_tx]]
+            p_end = data_end[probe_tx]
+            is_probe_pkt = seq >= 0
+            pr = p_rep[is_probe_pkt]
+            recv[pr, seq[is_probe_pkt]] = p_end[is_probe_pkt]
+            delays[pr, seq[is_probe_pkt]] = (p_end[is_probe_pkt]
+                                             - hol_t[pr, 0])
+            probe_left[pr] -= 1
+
+            # Advance the winner's queue: the next packet (if it has
+            # already arrived) is promoted when the DATA frame ends and
+            # draws its backoff immediately (the medium is busy).
+            nxt[s_rep, s_sta] += 1
+            stage[s_rep, s_sta] = 0
+            nxt_time = arr[s_rep, s_sta, np.minimum(nxt[s_rep, s_sta],
+                                                    arr.shape[2] - 1)]
+            promoted = (nxt[s_rep, s_sta] < n_arr[s_rep, s_sta]) \
+                & (nxt_time <= data_end + TIME_EPS)
+            hol[s_rep, s_sta] = promoted
+            hol_t[s_rep[promoted], s_sta[promoted]] = data_end[promoted]
+            cw0 = cw_by_stage[0]
+            rem[s_rep[promoted], s_sta[promoted]] = (
+                u[s_rep[promoted], s_sta[promoted]]
+                * (cw0 + 1)).astype(np.int64)
+
+            collision = tx_event & (n_win >= 2)
+            coll = win & collision[:, None]
+            stage[coll] = np.minimum(stage[coll] + 1, max_stage)
+            c_rep, c_sta = np.nonzero(coll)
+            cw = cw_by_stage[stage[c_rep, c_sta]]
+            rem[c_rep, c_sta] = (u[c_rep, c_sta] * (cw + 1)).astype(np.int64)
+
+            # Frozen countdown: losers consumed exactly the idle slots
+            # that elapsed before the winners' transmission started.
+            lose = tx_event[:, None] & hol & ~win
+            safe_cstart = np.where(lose, cstart, 0.0)
+            elapsed = np.floor(
+                (safe_tx[:, None] - safe_cstart) / slot
+                + TIME_EPS).astype(np.int64)
+            elapsed = np.maximum(0, np.minimum(elapsed, rem - 1))
+            rem[lose] -= elapsed[lose]
+
+            idle_start[tx_event] = busy_end[tx_event]
+            counting = tx_event[:, None] & hol
+            cstart[counting] = np.broadcast_to(
+                (busy_end + difs)[:, None], counting.shape)[counting]
+
+            active = active & (probe_left > 0)
+    else:  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"probe batch did not complete within {max_events} events")
+
+    if np.isnan(recv).any():  # pragma: no cover - defensive
+        raise RuntimeError("probe packets were lost")
+    return ProbeBatchResult(
+        send_times=probe_times,
+        recv_times=recv,
+        access_delays=delays,
+        size_bytes=size_bytes,
+    )

@@ -71,17 +71,15 @@ def mser(sample: np.ndarray, max_cut_fraction: float = 0.75) -> TruncationResult
         raise ValueError(
             f"max_cut_fraction must be in (0, 1], got {max_cut_fraction}")
     max_cut = max(1, int(np.floor(n * max_cut_fraction)))
-    # Suffix sums let every candidate be scored in O(1).
+    # Suffix sums score every candidate cutoff in one vectorized pass:
+    # kept counts, truncated means and variances for all d at once.
     suffix_sum = np.cumsum(sample[::-1])[::-1]
     suffix_sq = np.cumsum((sample ** 2)[::-1])[::-1]
-    scores = np.full(n, np.inf)
-    for d in range(0, max_cut):
-        kept = n - d
-        if kept < 2:
-            break
-        mean = suffix_sum[d] / kept
-        var = suffix_sq[d] / kept - mean ** 2
-        scores[d] = max(var, 0.0) / kept
+    kept = n - np.arange(n)
+    mean = suffix_sum / kept
+    var = suffix_sq / kept - mean ** 2
+    scores = np.where((np.arange(n) < max_cut) & (kept >= 2),
+                      np.maximum(var, 0.0) / kept, np.inf)
     best = int(np.argmin(scores[:max_cut]))
     return TruncationResult(truncate_before=best, truncated=sample[best:],
                             scores=scores)

@@ -30,6 +30,12 @@ import numpy as np
 from repro.mac.params import PhyParams
 from repro.mac.scenario import ScenarioResult, StationSpec, WlanScenario
 from repro.queueing.fifo import FifoHop
+from repro.queueing.lindley import lindley_batch
+from repro.sim.probe_vector import (
+    PoissonCrossSpec,
+    ProbeBatchResult,
+    simulate_probe_train_batch,
+)
 from repro.traffic.probe import ProbeTrain, TrainSequence
 
 
@@ -57,22 +63,51 @@ class Channel(abc.ABC):
         """Send one train through a fresh repetition of the channel."""
 
     def send_trains(self, train: ProbeTrain, repetitions: int,
-                    seed: int = 0) -> List[RawTrainResult]:
+                    seed: int = 0,
+                    backend: str = "event") -> List[RawTrainResult]:
         """Send ``repetitions`` independent trains (seeds derived).
 
-        The per-repetition seeds are all derived up front from ``seed``
-        and the repetitions fan out across the ambient worker pool (see
+        With the default ``event`` backend the per-repetition seeds
+        are all derived up front from ``seed`` and the repetitions fan
+        out across the ambient worker pool (see
         :func:`repro.runtime.executor.parallel_jobs`); results come
         back in repetition order, so the output is bit-identical to a
-        serial run regardless of the job count.
+        serial run regardless of the job count.  ``backend="vector"``
+        resolves the whole batch in one numpy pass instead
+        (:meth:`send_trains_batch`) — statistically equivalent, no
+        worker pool at all; channels without a vector kernel raise
+        ``ValueError``.
         """
         if repetitions < 1:
             raise ValueError(
                 f"repetitions must be >= 1, got {repetitions}")
+        if backend not in ("event", "vector"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'event' or "
+                "'vector'")
+        if backend == "vector":
+            batch = self.send_trains_batch(train, repetitions, seed=seed)
+            return [RawTrainResult(send_times=batch.send_times[r],
+                                   recv_times=batch.recv_times[r],
+                                   size_bytes=batch.size_bytes,
+                                   access_delays=batch.access_delays[r])
+                    for r in range(repetitions)]
         # Imported lazily: repro.runtime sits above the testbed layer.
         from repro.runtime.executor import derive_seeds, map_ordered
         return map_ordered(functools.partial(self._train_task, train),
                            derive_seeds(seed, repetitions))
+
+    def send_trains_batch(self, train: ProbeTrain, repetitions: int,
+                          seed: int = 0) -> ProbeBatchResult:
+        """Resolve a whole repetition batch with the vector kernel.
+
+        Channels with a batched numpy backend override this; the
+        result's row ``r`` is statistically equivalent to
+        ``send_train(train, derive_seeds(seed, repetitions)[r])``.
+        """
+        raise ValueError(
+            f"{type(self).__name__} has no vector kernel; "
+            "run with backend='event'")
 
     def _train_task(self, train: ProbeTrain, seed: int) -> RawTrainResult:
         """One batch repetition; subclasses may slim the result.
@@ -179,6 +214,61 @@ class SimulatedWlanChannel(Channel):
             raw.scenario = None
         return raw
 
+    def vector_unsupported_reason(self) -> Optional[str]:
+        """Why this channel cannot run the vector kernel (or ``None``).
+
+        The batched kernel covers the paper's probe-train setting —
+        Poisson cross-traffic, no RTS/CTS, no retry limit, no queue
+        traces; anything else must take the event engine.
+        """
+        if self.log_cross_queues:
+            return "queue traces require the event engine"
+        if self.rts_threshold is not None:
+            return "RTS/CTS protection requires the event engine"
+        if self.retry_limit is not None:
+            return "a retry limit requires the event engine"
+        for name, generator in self.cross_stations:
+            try:
+                PoissonCrossSpec.from_generator(generator)
+            except ValueError as exc:
+                return f"cross station {name!r}: {exc}"
+        if self.fifo_cross is not None:
+            try:
+                PoissonCrossSpec.from_generator(self.fifo_cross)
+            except ValueError as exc:
+                return f"FIFO cross-traffic: {exc}"
+        return None
+
+    def send_trains_batch(self, train: ProbeTrain, repetitions: int,
+                          seed: int = 0) -> ProbeBatchResult:
+        """One vectorized pass over the whole repetition batch.
+
+        Statistically equivalent to mapping :meth:`send_train` over
+        the derived per-repetition seeds (the KS tests in
+        ``tests/test_probe_vector_backend.py`` pin the two); the
+        per-repetition seed mapping is the executor's, so repetition
+        ``r`` refers to the same random universe on either backend.
+        """
+        reason = self.vector_unsupported_reason()
+        if reason is not None:
+            raise ValueError(f"no vector kernel for this channel: {reason}")
+        cross = [PoissonCrossSpec.from_generator(generator)
+                 for _, generator in self.cross_stations]
+        fifo = (PoissonCrossSpec.from_generator(self.fifo_cross)
+                if self.fifo_cross is not None else None)
+        return simulate_probe_train_batch(
+            train.n, train.gap, repetitions,
+            size_bytes=train.size_bytes,
+            cross=cross,
+            fifo_cross=fifo,
+            horizon=self.horizon_for(train),
+            phy=self.phy,
+            warmup=self.warmup,
+            start_jitter=self.start_jitter,
+            seed=seed,
+            immediate_access=self.immediate_access,
+        )
+
     def send_train_sequence(self, sequence: TrainSequence,
                             seed: int) -> List[RawTrainResult]:
         """Send ``m`` Poisson-spaced trains through ONE live system.
@@ -254,4 +344,74 @@ class SimulatedFifoChannel(Channel):
             recv_times=np.array([r.departure for r in probe]),
             size_bytes=train.size_bytes,
             access_delays=np.array([r.access_delay for r in probe]),
+        )
+
+    def send_trains_batch(self, train: ProbeTrain, repetitions: int,
+                          seed: int = 0) -> ProbeBatchResult:
+        """All repetitions through one batched Lindley recursion.
+
+        Each repetition replays :meth:`send_train`'s exact sample path
+        (same per-repetition generator, same draw order, same stable
+        merge of probe and cross arrivals), so the departures agree
+        with the event path to float rounding — the per-packet Python
+        loop of :class:`repro.queueing.fifo.FifoHop` is simply replaced
+        by one ``(repetitions, n)`` cumulative-max pass.
+        """
+        if repetitions < 1:
+            raise ValueError(
+                f"repetitions must be >= 1, got {repetitions}")
+        # Imported lazily: repro.runtime sits above the testbed layer.
+        from repro.runtime.executor import derive_seeds
+        n = train.n
+        probe_services = np.full(
+            n, (train.size_bytes + self.hop.overhead_bytes) * 8
+            / self.hop.capacity_bps)
+        rep_times: List[np.ndarray] = []
+        rep_services: List[np.ndarray] = []
+        rep_probe_pos: List[np.ndarray] = []
+        send = np.zeros((repetitions, n))
+        for r, rep_seed in enumerate(derive_seeds(seed, repetitions)):
+            rng = np.random.default_rng(rep_seed)
+            start = self.warmup + (rng.uniform(0, self.start_jitter)
+                                   if self.start_jitter > 0 else 0.0)
+            drain = n * train.size_bytes * 8 / self.drain_rate_floor
+            horizon = start + train.duration + drain
+            probe_times = train.arrival_times(start=start)
+            times = probe_times
+            services = probe_services
+            if self.cross_generator is not None:
+                schedule = self.cross_generator.generate(horizon, rng)
+                cross_times = schedule.times
+                cross_bytes = np.fromiter(
+                    (p.size_bytes for _, p in schedule), dtype=np.int64,
+                    count=len(schedule))
+                cross_services = ((cross_bytes + self.hop.overhead_bytes)
+                                  * 8 / self.hop.capacity_bps)
+                times = np.concatenate([probe_times, cross_times])
+                services = np.concatenate([probe_services, cross_services])
+            # Stable sort keeps probe packets ahead of simultaneous
+            # cross arrivals, matching FifoHop.run's tie rule.
+            order = np.argsort(times, kind="stable")
+            inverse = np.empty(len(order), dtype=np.int64)
+            inverse[order] = np.arange(len(order))
+            rep_times.append(times[order])
+            rep_services.append(services[order])
+            rep_probe_pos.append(inverse[:n])
+            send[r] = probe_times
+        width = max(len(t) for t in rep_times)
+        arrivals = np.full((repetitions, width), np.inf)
+        services = np.zeros((repetitions, width))
+        probe_pos = np.zeros((repetitions, n), dtype=np.int64)
+        for r in range(repetitions):
+            arrivals[r, :len(rep_times[r])] = rep_times[r]
+            services[r, :len(rep_services[r])] = rep_services[r]
+            probe_pos[r] = rep_probe_pos[r]
+        starts, departures = lindley_batch(arrivals, services)
+        recv = np.take_along_axis(departures, probe_pos, axis=1)
+        hol = np.take_along_axis(starts, probe_pos, axis=1)
+        return ProbeBatchResult(
+            send_times=send,
+            recv_times=recv,
+            access_delays=recv - hol,
+            size_bytes=train.size_bytes,
         )

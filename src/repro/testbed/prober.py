@@ -46,12 +46,19 @@ class ProbeSessionConfig:
         Seed for the clock error models.
     ideal_clocks:
         Disable timestamp errors entirely (simulator ground truth).
+    backend:
+        Repetition backend handed to
+        :meth:`repro.testbed.channel.Channel.send_trains`: ``event``
+        (default) shards event-engine repetitions, ``vector`` resolves
+        the whole batch with the numpy kernel on channels that have
+        one.
     """
 
     size_bytes: int = 1500
     repetitions: int = 40
     clock_seed: int = 1234
     ideal_clocks: bool = False
+    backend: str = "event"
 
 
 class Prober:
@@ -87,7 +94,8 @@ class Prober:
         """Send ``repetitions`` trains of ``n`` packets at ``rate_bps``."""
         train = ProbeTrain.at_rate(n, rate_bps, self.config.size_bytes)
         reps = repetitions if repetitions is not None else self.config.repetitions
-        raws = self.channel.send_trains(train, reps, seed=seed)
+        raws = self.channel.send_trains(train, reps, seed=seed,
+                                        backend=self.config.backend)
         return [self._stamp(raw) for raw in raws]
 
     def measure_pairs(self, repetitions: Optional[int] = None,
@@ -95,7 +103,8 @@ class Prober:
         """Send back-to-back packet pairs."""
         pair = PacketPair(self.config.size_bytes)
         reps = repetitions if repetitions is not None else self.config.repetitions
-        raws = self.channel.send_trains(pair, reps, seed=seed)
+        raws = self.channel.send_trains(pair, reps, seed=seed,
+                                        backend=self.config.backend)
         return [self._stamp(raw) for raw in raws]
 
     def measure_sequence(self, n: int, rate_bps: float, m: int,
@@ -124,7 +133,8 @@ class Prober:
         the channel only needs ``n``, ``duration``, ``size_bytes`` and
         ``packets(start)``)."""
         reps = repetitions if repetitions is not None else self.config.repetitions
-        raws = self.channel.send_trains(chirp, reps, seed=seed)
+        raws = self.channel.send_trains(chirp, reps, seed=seed,
+                                        backend=self.config.backend)
         return [self._stamp(raw) for raw in raws]
 
     # ------------------------------------------------------------------

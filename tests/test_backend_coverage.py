@@ -1,0 +1,91 @@
+"""Tests for the backend-coverage gate (tools/check_backend_coverage.py)."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_backend_coverage as gate  # noqa: E402
+
+from repro.runtime import registry  # noqa: E402
+
+
+@pytest.fixture
+def manifest(tmp_path):
+    path = tmp_path / "coverage.json"
+
+    def write(payload):
+        path.write_text(json.dumps(payload))
+        return path
+
+    return write
+
+
+class TestCompare:
+    def test_clean_when_identical(self, capsys):
+        current = {"a": ["event", "vector"], "b": ["event"]}
+        assert gate.compare(current, dict(current)) == []
+
+    def test_lost_backend_fails(self):
+        failures = gate.compare({"a": ["event"]},
+                                {"a": ["event", "vector"]})
+        assert len(failures) == 1
+        assert "lost backend(s) vector" in failures[0]
+
+    def test_lost_experiment_fails(self):
+        failures = gate.compare({}, {"a": ["event"]})
+        assert len(failures) == 1
+        assert "disappeared" in failures[0]
+
+    def test_gained_backend_passes_with_note(self, capsys):
+        failures = gate.compare({"a": ["event", "vector"]},
+                                {"a": ["event"]})
+        assert failures == []
+        assert "gained backend(s) vector" in capsys.readouterr().out
+
+    def test_new_experiment_passes_with_note(self, capsys):
+        failures = gate.compare({"a": ["event"], "b": ["event"]},
+                                {"a": ["event"]})
+        assert failures == []
+        assert "new experiment" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_passes_against_committed_manifest(self, capsys):
+        assert gate.main([str(gate.DEFAULT_BASELINE)]) == 0
+        assert "gate clean" in capsys.readouterr().out
+
+    def test_fails_on_lost_vector_entry(self, manifest, capsys):
+        current = gate.registry_coverage()
+        doctored = dict(current)
+        doctored["fig1"] = ["event", "vector"]  # pretend fig1 had it
+        path = manifest(doctored)
+        assert gate.main([str(path)]) == 1
+        assert "lost backend(s) vector" in capsys.readouterr().err
+
+    def test_missing_manifest_is_an_error(self, tmp_path, capsys):
+        assert gate.main([str(tmp_path / "nope.json")]) == 2
+
+    def test_refresh_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "coverage.json"
+        assert gate.main([str(path), "--refresh"]) == 0
+        assert gate.main([str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == set(registry.names())
+
+
+class TestCommittedManifest:
+    def test_manifest_matches_registry_exactly(self):
+        committed = gate.load_baseline(gate.DEFAULT_BASELINE)
+        assert committed == gate.registry_coverage()
+
+    def test_dual_backend_floor(self):
+        """The PR's acceptance floor: >= 8 dual-backend experiments."""
+        committed = gate.load_baseline(gate.DEFAULT_BASELINE)
+        dual = [name for name, backends in committed.items()
+                if "vector" in backends]
+        assert len(dual) >= 8

@@ -1,0 +1,80 @@
+"""Tests for the batched Bianchi/backoff delay sampler."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.bianchi import BianchiModel
+from repro.mac.frames import AirtimeModel
+from repro.mac.params import PhyParams
+from repro.sim.delay_model import (
+    sample_access_delays,
+    sample_transient_delay_matrix,
+)
+
+
+class TestSteadySampler:
+    def test_shape_and_positivity(self):
+        sample = sample_access_delays(3, (40, 7), seed=1)
+        assert sample.shape == (40, 7)
+        assert np.all(sample > 0)
+
+    def test_deterministic(self):
+        one = sample_access_delays(4, (200,), seed=5)
+        two = sample_access_delays(4, (200,), seed=5)
+        assert np.array_equal(one, two)
+
+    def test_mean_tracks_bianchi(self):
+        """The sampled mean follows the fixed point's renewal mean.
+
+        The sampler measures to the end of the DATA frame while
+        Bianchi's renewal interval includes the trailing SIFS + ACK,
+        so the ratio sits slightly below 1 at low contention.
+        """
+        for n in (1, 2, 5, 10):
+            sample = sample_access_delays(n, (8000,), seed=2)
+            expected = BianchiModel().solve(n).mean_access_delay
+            assert float(sample.mean()) == pytest.approx(expected, rel=0.2)
+
+    def test_delay_grows_with_contention(self):
+        means = [float(sample_access_delays(n, (4000,), seed=3).mean())
+                 for n in (1, 3, 8)]
+        assert means[0] < means[1] < means[2]
+
+    def test_minimum_is_one_data_airtime(self):
+        airtime = AirtimeModel(PhyParams.dot11b())
+        sample = sample_access_delays(2, (5000,), seed=4)
+        floor = airtime.data_airtime(1500)
+        assert float(sample.min()) >= floor - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_access_delays(0, (10,))
+
+
+class TestTransientSampler:
+    def test_first_packet_accelerated(self):
+        matrix = sample_transient_delay_matrix(3, 400, 15, seed=1)
+        assert matrix.shape == (400, 15)
+        assert matrix[:, 0].mean() < matrix[:, 5:].mean()
+
+    def test_immediate_atom_present(self):
+        airtime = AirtimeModel(PhyParams.dot11b())
+        matrix = sample_transient_delay_matrix(3, 400, 5,
+                                               utilization=0.3, seed=2)
+        atom = np.isclose(matrix[:, 0], airtime.data_airtime(1500))
+        # ~70% of first packets should hit the immediate-access atom.
+        assert 0.5 < atom.mean() < 0.9
+
+    def test_zero_utilization_first_packet_deterministic(self):
+        airtime = AirtimeModel(PhyParams.dot11b())
+        matrix = sample_transient_delay_matrix(2, 50, 4,
+                                               utilization=0.0, seed=3)
+        assert np.allclose(matrix[:, 0], airtime.data_airtime(1500))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_transient_delay_matrix(2, 0, 5)
+        with pytest.raises(ValueError):
+            sample_transient_delay_matrix(2, 5, 1)
+        with pytest.raises(ValueError):
+            sample_transient_delay_matrix(2, 5, 5, utilization=1.0)

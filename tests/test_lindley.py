@@ -4,7 +4,26 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.queueing.lindley import BusyPeriods, lindley_recursion
+from repro.queueing.lindley import (
+    BusyPeriods,
+    lindley_batch,
+    lindley_recursion,
+)
+
+
+def _scalar_reference(arrivals, services):
+    """The original per-packet loop, kept as the batched kernel's
+    ground truth."""
+    n = len(arrivals)
+    starts = np.empty(n)
+    departures = np.empty(n)
+    previous = -np.inf
+    for i in range(n):
+        start = arrivals[i] if arrivals[i] > previous else previous
+        starts[i] = start
+        previous = start + services[i]
+        departures[i] = previous
+    return starts, departures
 
 
 class TestLindleyRecursion:
@@ -149,3 +168,79 @@ class TestBusyPeriods:
         busy = BusyPeriods.from_sample_path(arrivals, starts, departures)
         total = busy.busy_time(0.0, float(departures[-1]) + 1.0)
         assert total == pytest.approx(float(np.sum(services)), rel=1e-9)
+
+
+class TestLindleyBatch:
+    def test_rows_match_scalar_recursion(self):
+        rng = np.random.default_rng(0)
+        arrivals = np.sort(rng.uniform(0, 5.0, (6, 50)), axis=1)
+        services = rng.exponential(0.05, (6, 50))
+        starts, departures = lindley_batch(arrivals, services)
+        for r in range(6):
+            s_ref, d_ref = _scalar_reference(arrivals[r], services[r])
+            assert np.allclose(starts[r], s_ref, atol=1e-9)
+            assert np.allclose(departures[r], d_ref, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=1.0)),
+        min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=5))
+    def test_property_matches_scalar_elementwise(self, pairs, reps):
+        """Random workloads — including zero-service entries — agree
+        with the scalar recursion element-wise on every row."""
+        arrivals = np.sort(np.array([a for a, _ in pairs]))
+        services = np.array([s for _, s in pairs])
+        batch_a = np.tile(arrivals, (reps, 1)) + np.arange(reps)[:, None]
+        batch_s = np.tile(services, (reps, 1))
+        starts, departures = lindley_batch(batch_a, batch_s)
+        for r in range(reps):
+            s_ref, d_ref = _scalar_reference(batch_a[r], batch_s[r])
+            assert np.allclose(starts[r], s_ref, atol=1e-9)
+            assert np.allclose(departures[r], d_ref, atol=1e-9)
+
+    def test_overload_serializes(self):
+        """Overload edge case: arrivals far faster than the service
+        rate collapse to pure serialization of the service times."""
+        arrivals = np.zeros((3, 30))
+        services = np.full((3, 30), 0.25)
+        _, departures = lindley_batch(arrivals, services)
+        assert np.allclose(departures, np.cumsum(services, axis=1))
+
+    def test_zero_service_passes_through(self):
+        arrivals = np.array([[0.0, 1.0, 1.0]])
+        services = np.zeros((1, 3))
+        starts, departures = lindley_batch(arrivals, services)
+        assert np.allclose(departures, arrivals)
+        assert np.allclose(starts, arrivals)
+
+    def test_inf_padding_isolated_to_tail(self):
+        arrivals = np.array([[0.0, 0.1, np.inf, np.inf],
+                             [0.0, 0.2, 0.3, np.inf]])
+        services = np.where(np.isfinite(arrivals), 0.5, 0.0)
+        _, departures = lindley_batch(arrivals, services)
+        assert np.allclose(departures[0, :2], [0.5, 1.0])
+        assert np.allclose(departures[1, :3], [0.5, 1.0, 1.5])
+        assert np.all(np.isinf(departures[0, 2:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lindley_batch(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            lindley_batch(np.zeros((2, 3)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            lindley_batch(np.array([[1.0, 0.5]]), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            lindley_batch(np.zeros((1, 2)), -np.ones((1, 2)))
+
+    def test_1d_recursion_matches_loop_reference(self):
+        """The vectorized 1-D entry point agrees with the loop it
+        replaced."""
+        rng = np.random.default_rng(7)
+        arrivals = np.sort(rng.uniform(0, 100.0, 5000))
+        services = rng.exponential(1e-2, 5000)
+        starts, departures = lindley_recursion(arrivals, services)
+        s_ref, d_ref = _scalar_reference(arrivals, services)
+        assert np.allclose(starts, s_ref, atol=1e-9)
+        assert np.allclose(departures, d_ref, atol=1e-9)

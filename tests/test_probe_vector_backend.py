@@ -1,0 +1,420 @@
+"""Tests for the vectorized probe-train backend (repro.sim.probe_vector).
+
+The load-bearing guarantees:
+
+* the kernel is deterministic, uses the executor's seed-derivation
+  scheme, and repetition streams are independent of the batch size;
+* its access-delay and output-gap distributions are statistically
+  equivalent (KS, alpha=0.01) to the event engine's on the same
+  channel — across multiple cross-traffic rates, with and without
+  FIFO cross-traffic sharing the probe queue;
+* the channel/prober/runner layers route batches to it when (and only
+  when) the ``vector`` backend is selected, and reject channels the
+  kernel cannot model;
+* the wired-FIFO vector path (batched Lindley) replays the event
+  path's sample paths to float rounding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dispersion import TrainBatch, output_gaps_batch
+from repro.core.estimators import (
+    mean_output_rate,
+    packet_pair_capacity,
+    train_dispersion_rate,
+)
+from repro.mac.frames import AirtimeModel
+from repro.mac.params import PhyParams
+from repro.runtime import executor, registry
+from repro.sim.probe_vector import (
+    PoissonCrossSpec,
+    simulate_probe_train_batch,
+)
+from repro.stats.ks import ks_distance, ks_threshold
+from repro.testbed.channel import SimulatedFifoChannel, SimulatedWlanChannel
+from repro.testbed.prober import Prober, ProbeSessionConfig
+from repro.traffic.generators import CBRGenerator, PoissonGenerator
+from repro.traffic.probe import PacketPair, ProbeTrain
+
+L = 1500
+
+
+def _spec(rate_bps, size=L):
+    return PoissonCrossSpec(rate_bps / (size * 8), size)
+
+
+def _kernel_kwargs(channel, train):
+    return dict(size_bytes=train.size_bytes,
+                cross=[PoissonCrossSpec.from_generator(g)
+                       for _, g in channel.cross_stations],
+                horizon=channel.horizon_for(train),
+                warmup=channel.warmup,
+                start_jitter=channel.start_jitter)
+
+
+class TestKernelBasics:
+    def test_shapes_and_validity(self):
+        train = ProbeTrain.at_rate(12, 4e6, L)
+        batch = simulate_probe_train_batch(
+            train.n, train.gap, 9, size_bytes=L, cross=[_spec(2e6)],
+            horizon=0.6, seed=5)
+        assert batch.send_times.shape == (9, 12)
+        assert batch.recv_times.shape == (9, 12)
+        assert batch.access_delays.shape == (9, 12)
+        assert not np.isnan(batch.recv_times).any()
+        assert np.all(np.diff(batch.recv_times, axis=1) > 0)
+        assert np.all(batch.access_delays > 0)
+        assert np.all(batch.recv_times > batch.send_times)
+
+    def test_deterministic_run_to_run(self):
+        kwargs = dict(size_bytes=L, cross=[_spec(3e6)], horizon=0.6, seed=9)
+        one = simulate_probe_train_batch(10, 0.003, 12, **kwargs)
+        two = simulate_probe_train_batch(10, 0.003, 12, **kwargs)
+        assert np.array_equal(one.recv_times, two.recv_times)
+        assert np.array_equal(one.access_delays, two.access_delays)
+
+    def test_seed_changes_results(self):
+        one = simulate_probe_train_batch(10, 0.003, 12, size_bytes=L,
+                                         cross=[_spec(3e6)], horizon=0.6,
+                                         seed=9)
+        other = simulate_probe_train_batch(10, 0.003, 12, size_bytes=L,
+                                           cross=[_spec(3e6)], horizon=0.6,
+                                           seed=10)
+        assert not np.array_equal(one.recv_times, other.recv_times)
+
+    def test_repetition_streams_independent_of_batch_size(self):
+        """Repetition r sees the same universe in any batch that
+        contains it — the executor seed-mapping contract."""
+        kwargs = dict(size_bytes=L, cross=[_spec(4e6)], horizon=0.7, seed=2)
+        small = simulate_probe_train_batch(15, 0.0024, 4, **kwargs)
+        large = simulate_probe_train_batch(15, 0.0024, 16, **kwargs)
+        assert np.array_equal(small.send_times, large.send_times[:4])
+        assert np.array_equal(small.recv_times, large.recv_times[:4])
+        assert np.array_equal(small.access_delays, large.access_delays[:4])
+
+    def test_uncontended_low_rate_train_is_all_immediate(self):
+        """With no cross-traffic and a slow train, every packet meets
+        an idle medium and pays exactly one DATA airtime."""
+        airtime = AirtimeModel(PhyParams.dot11b())
+        batch = simulate_probe_train_batch(8, 0.01, 5, size_bytes=L,
+                                           horizon=0.5, seed=1)
+        assert np.allclose(batch.access_delays, airtime.data_airtime(L))
+
+    def test_backlogged_train_serializes(self):
+        """A back-to-back train with no contention drains as one busy
+        period: consecutive departures one success duration apart."""
+        phy = PhyParams.dot11b()
+        airtime = AirtimeModel(phy)
+        batch = simulate_probe_train_batch(6, 0.0, 4, size_bytes=L,
+                                           horizon=0.5, seed=3)
+        gaps = np.diff(batch.recv_times, axis=1)
+        # Each subsequent packet waits SIFS + ACK + DIFS + backoff
+        # before its own DATA frame; the gap is at least the frame
+        # exchange and at most exchange + CW0 slots.
+        floor = (airtime.data_airtime(L) + phy.sifs
+                 + airtime.ack_airtime() + phy.difs)
+        ceiling = floor + (phy.cw_min + 1) * phy.slot_time
+        assert np.all(gaps >= floor - 1e-12)
+        assert np.all(gaps <= ceiling + 1e-12)
+
+    def test_immediate_access_disabled_first_packet_backs_off(self):
+        airtime = AirtimeModel(PhyParams.dot11b())
+        batch = simulate_probe_train_batch(
+            4, 0.01, 60, size_bytes=L, horizon=0.5, seed=4,
+            immediate_access=False)
+        first = batch.access_delays[:, 0]
+        assert np.any(first > airtime.data_airtime(L) + 1e-9)
+        assert np.all(first >= airtime.data_airtime(L) - 1e-12)
+
+    def test_fifo_cross_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="probe size"):
+            simulate_probe_train_batch(
+                5, 0.01, 3, size_bytes=L, fifo_cross=_spec(1e6, 576),
+                horizon=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_probe_train_batch(1, 0.01, 5, horizon=0.5)
+        with pytest.raises(ValueError):
+            simulate_probe_train_batch(5, -0.01, 5, horizon=0.5)
+        with pytest.raises(ValueError):
+            simulate_probe_train_batch(5, 0.01, 0, horizon=0.5)
+        with pytest.raises(ValueError):
+            simulate_probe_train_batch(5, 0.01, 5, horizon=0.5, warmup=-1)
+
+
+class TestEventEquivalence:
+    """KS equivalence between the backends at three cross-traffic rates.
+
+    Seeds are fixed, so these are deterministic regressions, not flaky
+    statistical tests: the KS distances were measured well under the
+    alpha=0.01 thresholds when the kernel was written, and a protocol
+    change in either backend pushes them over.
+    """
+
+    N, REPS = 20, 50
+    RATES = (1e6, 2.5e6, 4e6)
+
+    @pytest.fixture(scope="class", params=RATES)
+    def pair(self, request):
+        cross_rate = request.param
+        train = ProbeTrain.at_rate(self.N, 5e6, L)
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(cross_rate, L))], warmup=0.1)
+        raws = channel.send_trains(train, self.REPS, seed=11)
+        event_delays = np.vstack([r.access_delays for r in raws])
+        event_gaps = np.array(
+            [(r.recv_times[-1] - r.recv_times[0]) / (self.N - 1)
+             for r in raws])
+        batch = channel.send_trains_batch(train, self.REPS, seed=11)
+        return event_delays, event_gaps, batch
+
+    def test_access_delay_distributions_match(self, pair):
+        event_delays, _, batch = pair
+        a = event_delays.ravel()
+        b = batch.access_delays.ravel()
+        assert ks_distance(a, b) <= ks_threshold(len(a), len(b), alpha=0.01)
+
+    def test_first_packet_delay_distributions_match(self, pair):
+        """The transient-critical index: the very first packet."""
+        event_delays, _, batch = pair
+        a = event_delays[:, 0]
+        b = batch.access_delays[:, 0]
+        assert ks_distance(a, b) <= ks_threshold(len(a), len(b), alpha=0.01)
+
+    def test_output_gap_distributions_match(self, pair):
+        _, event_gaps, batch = pair
+        gaps = batch.output_gaps
+        assert ks_distance(event_gaps, gaps) <= ks_threshold(
+            len(event_gaps), len(gaps), alpha=0.01)
+
+    def test_mean_metrics_close(self, pair):
+        event_delays, event_gaps, batch = pair
+        assert event_delays.mean() == pytest.approx(
+            batch.access_delays.mean(), rel=0.15)
+        assert event_gaps.mean() == pytest.approx(
+            float(batch.output_gaps.mean()), rel=0.1)
+
+
+class TestFifoCrossEquivalence:
+    """The complete system of figure 15: FIFO + contending traffic."""
+
+    N, REPS = 20, 50
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        train = ProbeTrain.at_rate(self.N, 5e6, L)
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(3e6, L))],
+            fifo_cross=PoissonGenerator(1e6, L, flow="fifo"),
+            warmup=0.1)
+        raws = channel.send_trains(train, self.REPS, seed=13)
+        event_delays = np.vstack([r.access_delays for r in raws])
+        batch = channel.send_trains_batch(train, self.REPS, seed=13)
+        return event_delays, batch
+
+    def test_access_delay_distributions_match(self, pair):
+        event_delays, batch = pair
+        a = event_delays.ravel()
+        b = batch.access_delays.ravel()
+        assert ks_distance(a, b) <= ks_threshold(len(a), len(b), alpha=0.01)
+
+    def test_probe_packets_only_in_result(self, pair):
+        _, batch = pair
+        assert batch.recv_times.shape == (self.REPS, self.N)
+        assert np.all(np.diff(batch.recv_times, axis=1) > 0)
+
+
+class TestChannelRouting:
+    def test_vector_raws_match_batch(self):
+        train = ProbeTrain.at_rate(8, 4e6, L)
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, L))], warmup=0.1)
+        raws = channel.send_trains(train, 6, seed=5, backend="vector")
+        batch = channel.send_trains_batch(train, 6, seed=5)
+        assert len(raws) == 6
+        for r, raw in enumerate(raws):
+            assert np.array_equal(raw.send_times, batch.send_times[r])
+            assert np.array_equal(raw.recv_times, batch.recv_times[r])
+            assert np.array_equal(raw.access_delays,
+                                  batch.access_delays[r])
+            assert raw.size_bytes == L
+
+    def test_unknown_backend_rejected(self):
+        channel = SimulatedWlanChannel([])
+        with pytest.raises(ValueError, match="unknown backend"):
+            channel.send_trains(ProbeTrain.at_rate(4, 2e6), 2,
+                                backend="quantum")
+
+    def test_non_poisson_cross_rejected(self):
+        channel = SimulatedWlanChannel([("cbr", CBRGenerator(2e6, L))])
+        assert channel.vector_unsupported_reason() is not None
+        with pytest.raises(ValueError, match="no vector kernel"):
+            channel.send_trains(ProbeTrain.at_rate(4, 2e6), 2,
+                                backend="vector")
+
+    def test_queue_tracking_rejected(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, L))], log_cross_queues=True)
+        assert "queue" in channel.vector_unsupported_reason()
+
+    def test_rts_and_retry_limit_rejected(self):
+        rts = SimulatedWlanChannel([], rts_threshold=1000)
+        assert "RTS" in rts.vector_unsupported_reason()
+        retry = SimulatedWlanChannel([], retry_limit=7)
+        assert "retry" in retry.vector_unsupported_reason()
+
+    def test_supported_channel_reports_none(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, L))],
+            fifo_cross=PoissonGenerator(1e6, L))
+        assert channel.vector_unsupported_reason() is None
+
+
+class TestFifoWiredVector:
+    """The batched-Lindley path replays the event path exactly."""
+
+    def test_matches_event_path_to_float_rounding(self):
+        channel = SimulatedFifoChannel(
+            10e6, cross_generator=PoissonGenerator(4e6, L),
+            drain_rate_floor=2e6)
+        train = ProbeTrain.at_rate(40, 6e6, L)
+        event = channel.send_trains(train, 8, seed=4)
+        vector = channel.send_trains(train, 8, seed=4, backend="vector")
+        for a, b in zip(event, vector):
+            assert np.allclose(a.send_times, b.send_times, atol=1e-9)
+            assert np.allclose(a.recv_times, b.recv_times, atol=1e-9)
+            assert np.allclose(a.access_delays, b.access_delays, atol=1e-9)
+
+    def test_no_cross_traffic(self):
+        channel = SimulatedFifoChannel(10e6)
+        train = ProbeTrain.at_rate(10, 12e6, L)
+        batch = channel.send_trains_batch(train, 3, seed=1)
+        # Overloaded probe: departures serialize at the service rate.
+        service = L * 8 / 10e6
+        assert np.allclose(np.diff(batch.recv_times, axis=1), service)
+
+
+class TestBatchedEstimators:
+    @pytest.fixture(scope="class")
+    def raws(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, L))], warmup=0.1)
+        return channel.send_trains(ProbeTrain.at_rate(10, 4e6, L), 12,
+                                   seed=6)
+
+    def test_train_dispersion_rate_batch_equals_list(self, raws):
+        measurements = [TrainBatchHelper.measurement(r) for r in raws]
+        batch = TrainBatch.from_measurements(measurements)
+        assert train_dispersion_rate(batch) == pytest.approx(
+            train_dispersion_rate(measurements), rel=1e-12)
+
+    def test_packet_pair_batch_equals_list(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, L))], warmup=0.1)
+        raws = channel.send_trains(PacketPair(L), 15, seed=8)
+        measurements = [TrainBatchHelper.measurement(r) for r in raws]
+        batch = TrainBatch.from_measurements(measurements)
+        assert packet_pair_capacity(batch) == pytest.approx(
+            packet_pair_capacity(measurements), rel=1e-12)
+
+    def test_mean_output_rate_batch_equals_list(self, raws):
+        measurements = [TrainBatchHelper.measurement(r) for r in raws]
+        batch = TrainBatch.from_measurements(measurements)
+        for horizon in (False, True):
+            assert mean_output_rate(
+                batch, horizon_from_first_send=horizon) == pytest.approx(
+                mean_output_rate(measurements,
+                                 horizon_from_first_send=horizon),
+                rel=1e-12)
+
+    def test_output_gaps_batch_matches_scalar(self, raws):
+        recv = np.vstack([r.recv_times for r in raws])
+        gaps = output_gaps_batch(recv)
+        for r, raw in enumerate(raws):
+            expected = (raw.recv_times[-1] - raw.recv_times[0]) \
+                / (len(raw.recv_times) - 1)
+            assert gaps[r] == pytest.approx(expected, rel=1e-12)
+
+    def test_batch_round_trip(self, raws):
+        measurements = [TrainBatchHelper.measurement(r) for r in raws]
+        batch = TrainBatch.from_measurements(measurements)
+        back = batch.measurements()
+        assert len(back) == len(measurements)
+        assert np.array_equal(back[0].recv_times,
+                              measurements[0].recv_times)
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            TrainBatch(np.zeros((2, 3)), np.zeros(3), L)
+        with pytest.raises(ValueError):
+            TrainBatch(np.zeros((2, 1)), np.zeros((2, 1)), L)
+        with pytest.raises(ValueError):
+            output_gaps_batch(np.zeros(5))
+        with pytest.raises(ValueError):
+            TrainBatch.from_measurements([])
+
+
+class TrainBatchHelper:
+    """Tiny adapter: RawTrainResult -> TrainMeasurement."""
+
+    @staticmethod
+    def measurement(raw):
+        from repro.core.dispersion import TrainMeasurement
+        return TrainMeasurement(send_times=raw.send_times,
+                                recv_times=raw.recv_times,
+                                size_bytes=raw.size_bytes)
+
+
+class TestProberAndRunners:
+    def test_prober_vector_backend(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, L))], warmup=0.1)
+        prober = Prober(channel, ProbeSessionConfig(
+            repetitions=10, ideal_clocks=True, backend="vector"))
+        rate = prober.dispersion_rate(8, 4e6, seed=3)
+        assert 1e6 < rate < 12e6
+
+    def test_collect_delay_matrix_vector(self):
+        from repro.analysis.transient import collect_delay_matrix
+        collection = collect_delay_matrix(
+            5e6, [("cross", PoissonGenerator(3e6, L))],
+            n_packets=15, repetitions=12, seed=2, backend="vector")
+        assert collection.matrix.delays.shape == (12, 15)
+        assert collection.queue_sizes == {}
+
+    def test_collect_delay_matrix_vector_rejects_queue_tracking(self):
+        from repro.analysis.transient import collect_delay_matrix
+        with pytest.raises(ValueError, match="no vector kernel"):
+            collect_delay_matrix(
+                5e6, [("cross", PoissonGenerator(3e6, L))],
+                n_packets=10, repetitions=4, seed=2,
+                track_queues=True, backend="vector")
+
+    def test_registry_experiment_runs_on_vector(self):
+        report = registry.get("fig6").run(
+            scale=0.05, seed=3, backend="vector",
+            overrides={"n_packets": 60, "repetitions": 25})
+        assert report.kwargs["backend"] == "vector"
+        assert report.result.meta["backend"] == "vector"
+        assert report.result.series["mean_access_delay_s"].shape == (60,)
+
+    def test_eq1_vector_matches_event(self):
+        """Wired FIFO: the two backends agree point by point."""
+        from repro.analysis.baseline import eq1_fifo_rate_response
+        kwargs = dict(probe_rates_bps=[4e6, 8e6], n_packets=120,
+                      repetitions=4, seed=1)
+        event = eq1_fifo_rate_response(backend="event", **kwargs)
+        vector = eq1_fifo_rate_response(backend="vector", **kwargs)
+        assert np.allclose(event.series["measured_bps"],
+                           vector.series["measured_bps"], rtol=1e-9)
+
+    def test_jobs_do_not_change_vector_result(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, L))], warmup=0.1)
+        train = ProbeTrain.at_rate(8, 4e6, L)
+        serial = channel.send_trains_batch(train, 6, seed=3)
+        with executor.parallel_jobs(4):
+            parallel = channel.send_trains_batch(train, 6, seed=3)
+        assert np.array_equal(serial.recv_times, parallel.recv_times)

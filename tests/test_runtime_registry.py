@@ -48,11 +48,17 @@ class TestRegistration:
         groups = {e.group for e in registry.experiments()}
         assert groups == {"figure", "baseline", "ablation", "extension"}
 
-    def test_backends_default_to_event_only(self):
-        multi = [e.name for e in registry.experiments()
-                 if e.backends != ("event",)]
-        assert multi == ["ext-saturation"]
-        assert registry.get("ext-saturation").backends == ("event", "vector")
+    def test_backend_coverage_matches_declared_set(self):
+        multi = {e.name for e in registry.experiments()
+                 if e.backends != ("event",)}
+        assert multi == set(registry.VECTOR_EXPERIMENTS)
+        for name in sorted(multi):
+            assert registry.get(name).backends == ("event", "vector")
+        # The probe-train family is dual-backend; queue-trace and
+        # steady-state CBR experiments stay event-only.
+        assert {"fig6", "fig13", "fig15", "eq1", "bounds",
+                "ext-saturation"} <= multi
+        assert {"fig1", "fig4", "fig8"}.isdisjoint(multi)
 
     def test_descriptions_populated(self):
         for experiment in registry.experiments():

@@ -221,3 +221,61 @@ class TestGeweke:
             geweke_truncation(np.arange(100.0), z_threshold=0.0)
         with pytest.raises(ValueError):
             geweke_truncation(np.arange(100.0), step_fraction=0.9)
+
+
+class TestMserVectorizedRegression:
+    """The vectorized MSER scan is pinned to the original loop."""
+
+    @staticmethod
+    def _loop_reference(sample, max_cut_fraction=0.75):
+        """The pre-vectorization per-cutoff loop, verbatim."""
+        sample = np.asarray(sample, dtype=float)
+        n = len(sample)
+        max_cut = max(1, int(np.floor(n * max_cut_fraction)))
+        suffix_sum = np.cumsum(sample[::-1])[::-1]
+        suffix_sq = np.cumsum((sample ** 2)[::-1])[::-1]
+        scores = np.full(n, np.inf)
+        for d in range(0, max_cut):
+            kept = n - d
+            if kept < 2:
+                break
+            mean = suffix_sum[d] / kept
+            var = suffix_sq[d] / kept - mean ** 2
+            scores[d] = max(var, 0.0) / kept
+        best = int(np.argmin(scores[:max_cut]))
+        return best, scores
+
+    def test_matches_loop_on_random_samples(self):
+        rng = np.random.default_rng(0)
+        for trial in range(30):
+            n = int(rng.integers(2, 200))
+            sample = rng.exponential(1.0, n)
+            if trial % 3 == 0:  # transient-shaped prefix
+                cut = int(rng.integers(0, n))
+                sample[:cut] += rng.uniform(1.0, 5.0)
+            result = mser(sample)
+            best, scores = self._loop_reference(sample)
+            assert result.truncate_before == best
+            # Scalar ``x ** 2`` and the vectorized power can differ in
+            # the last ulp; the scan itself must agree to 1e-12.
+            finite = np.isfinite(scores)
+            assert np.array_equal(finite, np.isfinite(result.scores))
+            assert np.allclose(result.scores[finite], scores[finite],
+                               rtol=1e-12, atol=0.0)
+
+    def test_matches_loop_on_tiny_and_cut_fractions(self):
+        rng = np.random.default_rng(1)
+        for fraction in (0.1, 0.5, 1.0):
+            for n in (2, 3, 5, 17):
+                sample = rng.normal(0, 1, n)
+                result = mser(sample, max_cut_fraction=fraction)
+                best, scores = self._loop_reference(sample, fraction)
+                assert result.truncate_before == best
+                finite = np.isfinite(scores)
+                assert np.array_equal(finite, np.isfinite(result.scores))
+                assert np.allclose(result.scores[finite], scores[finite],
+                                   rtol=1e-12, atol=0.0)
+
+    def test_constant_sample_truncates_nothing(self):
+        result = mser(np.ones(50))
+        assert result.truncate_before == 0

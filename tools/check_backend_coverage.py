@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Backend-coverage gate for CI: dual-backend coverage can only grow.
+
+The experiment registry declares which repetition backends every
+experiment supports (``Experiment.backends``).  This tool compares the
+live registry against the committed manifest
+``benchmarks/results/backend_coverage.json`` and exits non-zero if
+
+* a manifest experiment disappeared from the registry, or
+* an experiment lost a backend it used to offer (e.g. a dual-backend
+  experiment dropping its ``vector`` entry).
+
+New experiments and newly gained backends never fail the gate — they
+are reported with a reminder to refresh the manifest so the new
+coverage becomes load-bearing.  Refresh with::
+
+    PYTHONPATH=src python tools/check_backend_coverage.py --refresh
+
+Usage::
+
+    PYTHONPATH=src python tools/check_backend_coverage.py [BASELINE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Sequence
+
+DEFAULT_BASELINE = (pathlib.Path(__file__).resolve().parent.parent
+                    / "benchmarks" / "results" / "backend_coverage.json")
+
+
+def registry_coverage() -> Dict[str, List[str]]:
+    """``experiment name -> supported backends`` from the live registry."""
+    from repro.runtime import registry
+    return {experiment.name: list(experiment.backends)
+            for experiment in registry.experiments()}
+
+
+def load_baseline(path: pathlib.Path) -> Dict[str, List[str]]:
+    """The committed coverage manifest."""
+    payload = json.loads(path.read_text())
+    return {str(name): [str(b) for b in backends]
+            for name, backends in payload.items()}
+
+
+def compare(current: Dict[str, List[str]],
+            baseline: Dict[str, List[str]]) -> List[str]:
+    """Coverage regressions (one message each); empty means the gate
+    passes."""
+    failures: List[str] = []
+    for name in sorted(baseline):
+        if name not in current:
+            failures.append(
+                f"{name}: experiment disappeared from the registry "
+                f"(was [{', '.join(baseline[name])}])")
+            continue
+        lost = [b for b in baseline[name] if b not in current[name]]
+        if lost:
+            failures.append(
+                f"{name}: lost backend(s) {', '.join(lost)} "
+                f"(was [{', '.join(baseline[name])}], now "
+                f"[{', '.join(current[name])}])")
+        gained = [b for b in current[name] if b not in baseline[name]]
+        if gained:
+            print(f"  {name}: gained backend(s) {', '.join(gained)} — "
+                  "refresh the manifest to make them load-bearing")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name}: new experiment "
+              f"([{', '.join(current[name])}]) — not in the manifest yet")
+    return failures
+
+
+def refresh(path: pathlib.Path, current: Dict[str, List[str]]) -> None:
+    """Rewrite the manifest from the live registry."""
+    path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(current)} experiment(s) to {path}")
+
+
+def main(argv: Sequence[str]) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="fail when an experiment loses a repetition backend")
+    parser.add_argument("baseline", type=pathlib.Path, nargs="?",
+                        default=DEFAULT_BASELINE,
+                        help="committed coverage manifest (default: "
+                             "benchmarks/results/backend_coverage.json)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="rewrite the manifest from the live "
+                             "registry instead of gating against it")
+    args = parser.parse_args(argv)
+    current = registry_coverage()
+    if args.refresh:
+        refresh(args.baseline, current)
+        return 0
+    if not args.baseline.exists():
+        print(f"no manifest at {args.baseline}; run with --refresh first",
+              file=sys.stderr)
+        return 2
+    baseline = load_baseline(args.baseline)
+    dual = sum(1 for backends in current.values() if len(backends) > 1)
+    print(f"checking {len(current)} experiment(s) "
+          f"({dual} dual-backend) against {args.baseline}:")
+    failures = compare(current, baseline)
+    if failures:
+        print(f"\n{len(failures)} backend-coverage regression(s):",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("backend-coverage gate clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
