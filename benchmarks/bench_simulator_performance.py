@@ -18,6 +18,7 @@ import numpy as np
 from conftest import bench_scale
 
 from repro.analysis.saturation import simulate_saturated
+from repro.backends import ScenarioSpec, dispatch
 from repro.mac.scenario import StationSpec, WlanScenario
 from repro.queueing.lindley import lindley_batch, lindley_recursion
 from repro.sim.engine import Simulator
@@ -225,3 +226,56 @@ def test_probe_vector_backend_speedup():
     assert best >= 5.0, (
         f"probe vector backend only {best:.1f}x faster across 3 attempts "
         f"(last: event {event_s:.3f}s vs vector {vector_s:.3f}s)")
+
+
+def test_backend_dispatch_throughput(benchmark):
+    """1000 auto-dispatch resolutions of a probe-train scenario.
+
+    The capability dispatcher sits on every ``--backend auto`` code
+    path (registry kwargs resolution, channel routing), so a
+    regression here taxes every experiment; the companion test below
+    bounds it against a real batch.
+    """
+    spec = ScenarioSpec(system="wlan", workload="train",
+                        cross_traffic="poisson")
+
+    def run():
+        for _ in range(1000):
+            resolution = dispatch.resolve(spec, "auto")
+        return resolution.name
+
+    assert benchmark(run) == "vector"
+
+
+def test_auto_dispatch_overhead_under_one_percent():
+    """Auto-selection must add < 1% to a repetition batch.
+
+    An experiment resolves its backend once per batch, so the bound
+    compares one ``resolve`` call (averaged over many) against the
+    probe-kernel batch the speedup floor uses (60 repetitions of a
+    25-packet train).  Deliberately *not* scaled by
+    ``REPRO_BENCH_SCALE``: the ratio is what is under test.
+    """
+    train = ProbeTrain.at_rate(25, 5e6, 1500)
+
+    start = time.perf_counter()
+    simulate_probe_train_batch(
+        train.n, train.gap, 60, size_bytes=1500,
+        cross=[PoissonCrossSpec(4e6 / (1500 * 8), 1500)],
+        horizon=1.0, seed=1)
+    batch_s = time.perf_counter() - start
+
+    spec = ScenarioSpec(system="wlan", workload="train",
+                        cross_traffic="poisson")
+    rounds = 2000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        dispatch.resolve(spec, "auto")
+    resolve_s = (time.perf_counter() - start) / rounds
+
+    ratio = resolve_s / batch_s
+    print(f"\nauto-dispatch overhead: {resolve_s * 1e6:.1f} us/resolve "
+          f"vs {batch_s * 1e3:.1f} ms/batch ({ratio:.5%})")
+    assert ratio < 0.01, (
+        f"auto dispatch costs {ratio:.3%} of a 60-repetition batch "
+        f"({resolve_s * 1e6:.1f} us vs {batch_s * 1e3:.1f} ms)")

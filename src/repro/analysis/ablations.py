@@ -81,13 +81,16 @@ def ablation_immediate_access(probe_rate_bps: float = 5e6,
                               repetitions: int = 200,
                               size_bytes: int = 1500,
                               phy: Optional[PhyParams] = None,
-                              seed: int = 0) -> ExperimentResult:
+                              seed: int = 0,
+                              backend: str = "event") -> ExperimentResult:
     """The transient with the immediate-access rule on vs. off.
 
     With the rule enabled (802.11 behaviour) the first packet's mean
     access delay sits far below the steady state; with every access
     forced through a backoff, the first-packet acceleration largely
-    disappears — demonstrating the mechanism behind section 4.
+    disappears — demonstrating the mechanism behind section 4.  Both
+    arms run on the selected backend (the probe-train kernel models
+    the immediate-access switch too).
     """
     profiles = {}
     steady = {}
@@ -96,8 +99,9 @@ def ablation_immediate_access(probe_rate_bps: float = 5e6,
             [("cross", PoissonGenerator(cross_rate_bps, size_bytes))],
             phy=phy, immediate_access=immediate)
         train = ProbeTrain.at_rate(n_packets, probe_rate_bps, size_bytes)
-        raws = channel.send_trains(train, repetitions, seed=seed)
-        matrix = DelayMatrix(np.vstack([r.access_delays for r in raws]))
+        batch = channel.send_trains_dense(train, repetitions, seed=seed,
+                                          backend=backend)
+        matrix = DelayMatrix(batch.delay_matrix())
         profiles[label] = matrix.mean_profile()
         steady[label] = matrix.steady_state_mean()
     limit = min(60, n_packets)
@@ -116,6 +120,7 @@ def ablation_immediate_access(probe_rate_bps: float = 5e6,
             "repetitions": repetitions,
             "steady_dcf_s": float(steady["dcf"]),
             "steady_no_immediate_s": float(steady["no_immediate"]),
+            "backend": backend,
         },
     )
     dip_dcf = profiles["dcf"][0] / steady["dcf"]
@@ -131,7 +136,8 @@ def ablation_ks_methods(probe_rate_bps: float = 2e6,
                         repetitions: int = 300,
                         size_bytes: int = 1500,
                         phy: Optional[PhyParams] = None,
-                        seed: int = 0) -> ExperimentResult:
+                        seed: int = 0,
+                        backend: str = "event") -> ExperimentResult:
     """Plain vs. interpolated KS on an atom-bearing delay matrix.
 
     At moderate probing rates a sizable fraction of probe packets gets
@@ -143,8 +149,9 @@ def ablation_ks_methods(probe_rate_bps: float = 2e6,
     channel = SimulatedWlanChannel(
         [("cross", PoissonGenerator(cross_rate_bps, size_bytes))], phy=phy)
     train = ProbeTrain.at_rate(n_packets, probe_rate_bps, size_bytes)
-    raws = channel.send_trains(train, repetitions, seed=seed)
-    matrix = DelayMatrix(np.vstack([r.access_delays for r in raws]))
+    batch = channel.send_trains_dense(train, repetitions, seed=seed,
+                                      backend=backend)
+    matrix = DelayMatrix(batch.delay_matrix())
     plain = ks_profile(matrix, method="plain")
     interp = ks_profile(matrix, method="interpolated")
     limit = len(plain.ks_values)
@@ -162,6 +169,7 @@ def ablation_ks_methods(probe_rate_bps: float = 2e6,
             "probe_rate_bps": probe_rate_bps,
             "cross_rate_bps": cross_rate_bps,
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     tail = slice(limit // 2, limit)
@@ -237,7 +245,8 @@ def ablation_truncation_heuristics(probe_rate_bps: float = 8e6,
                                    size_bytes: int = 1500,
                                    phy: Optional[PhyParams] = None,
                                    fixed_cut: int = 6,
-                                   seed: int = 0) -> ExperimentResult:
+                                   seed: int = 0,
+                                   backend: str = "event") -> ExperimentResult:
     """MSER-2 vs. MSER-1 vs. fixed truncation at a high probing rate.
 
     All heuristics must move the short-train estimate toward the steady
@@ -249,10 +258,13 @@ def ablation_truncation_heuristics(probe_rate_bps: float = 8e6,
     channel = SimulatedWlanChannel(
         [("cross", PoissonGenerator(cross_rate_bps, size_bytes))], phy=phy)
     train = ProbeTrain.at_rate(n_packets, probe_rate_bps, size_bytes)
-    raws = channel.send_trains(train, repetitions, seed=seed)
+    batch = channel.send_trains_dense(train, repetitions, seed=seed,
+                                      backend=backend)
     from repro.core.dispersion import TrainMeasurement
-    measurements = [TrainMeasurement(r.send_times, r.recv_times,
-                                     r.size_bytes) for r in raws]
+    measurements = [TrainMeasurement(batch.send_times[r],
+                                     batch.recv_times[r],
+                                     batch.size_bytes)
+                    for r in range(batch.repetitions)]
     raw_rate = train_dispersion_rate(measurements)
     mser2 = mser_corrected_rate(measurements, m=2)
     mser1 = mser_corrected_rate(measurements, m=1)
@@ -276,6 +288,7 @@ def ablation_truncation_heuristics(probe_rate_bps: float = 8e6,
             "probe_rate_bps": probe_rate_bps,
             "repetitions": repetitions,
             "fair_share_bps": round(fair_share),
+            "backend": backend,
         },
     )
     errors = np.abs(rates - steady)

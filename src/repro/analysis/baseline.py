@@ -51,16 +51,10 @@ def eq1_fifo_rate_response(probe_rates_bps: Optional[Sequence[float]] = None,
     measured = np.zeros(len(rates))
     for k, rate in enumerate(rates):
         train = ProbeTrain.at_rate(n_packets, rate, size_bytes)
-        if backend == "vector":
-            batch = channel.send_trains_batch(train, repetitions,
-                                              seed=seed + 13 * k)
-            gaps = batch.output_gaps
-        else:
-            raws = channel.send_trains(train, repetitions,
-                                       seed=seed + 13 * k, backend=backend)
-            gaps = [(raw.recv_times[-1] - raw.recv_times[0]) / (train.n - 1)
-                    for raw in raws]
-        measured[k] = size_bytes * 8 / float(np.mean(gaps))
+        batch = channel.send_trains_dense(train, repetitions,
+                                          seed=seed + 13 * k,
+                                          backend=backend)
+        measured[k] = size_bytes * 8 / float(np.mean(batch.output_gaps))
     model = fifo_rate_response(rates, capacity_bps, available)
     result = ExperimentResult(
         experiment="eq1",
@@ -115,19 +109,11 @@ def bounds_consistency(probe_rates_bps: Optional[Sequence[float]] = None,
     measured = np.zeros(len(rates))
     for k, rate in enumerate(rates):
         train = ProbeTrain.at_rate(n_packets, rate, size_bytes)
-        if backend == "vector":
-            batch = channel.send_trains_batch(train, repetitions,
-                                              seed=seed + 37 * k)
-            mu_means = batch.access_delays.mean(axis=0)
-            measured[k] = float(output_gaps_batch(batch.recv_times).mean())
-        else:
-            raws = channel.send_trains(train, repetitions,
-                                       seed=seed + 37 * k, backend=backend)
-            mu_means = np.vstack([raw.access_delays
-                                  for raw in raws]).mean(axis=0)
-            gaps = [(raw.recv_times[-1] - raw.recv_times[0]) / (train.n - 1)
-                    for raw in raws]
-            measured[k] = float(np.mean(gaps))
+        batch = channel.send_trains_dense(train, repetitions,
+                                          seed=seed + 37 * k,
+                                          backend=backend)
+        mu_means = batch.access_delays.mean(axis=0)
+        measured[k] = float(output_gaps_batch(batch.recv_times).mean())
         bounds = output_gap_bounds_strict(train.gap, mu_means)
         lower[k] = bounds.lower
         upper[k] = bounds.upper

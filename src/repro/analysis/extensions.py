@@ -35,13 +35,15 @@ def tool_convergence_study(cross_rates_bps: Optional[Sequence[float]] = None,
                            n_packets: int = 50,
                            repetitions: int = 10,
                            phy: Optional[PhyParams] = None,
-                           seed: int = 0) -> ExperimentResult:
+                           seed: int = 0,
+                           backend: str = "event") -> ExperimentResult:
     """Where does a pathload-style tool converge on a CSMA/CA link?
 
     For each contending cross-traffic rate, run the iterative
     turning-point search and compare its estimate with the achievable
     throughput (fluid response) and the available bandwidth.  The
-    estimate must track B and sit far from A once the two separate.
+    estimate must track B and sit far from A once the two separate —
+    every probing train the search sends rides the selected backend.
     """
     if cross_rates_bps is None:
         cross_rates_bps = np.arange(1e6, 5.01e6, 1e6)
@@ -57,7 +59,7 @@ def tool_convergence_study(cross_rates_bps: Optional[Sequence[float]] = None,
             [("cross", PoissonGenerator(cross_rate, size_bytes))], phy=phy)
         prober = Prober(channel, ProbeSessionConfig(
             size_bytes=size_bytes, repetitions=repetitions,
-            ideal_clocks=True))
+            ideal_clocks=True, backend=backend))
         tool = IterativeProbeTool(prober, n=n_packets,
                                   repetitions=repetitions)
         result = tool.search(0.5e6, capacity * 1.3, seed=seed + 11 * k)
@@ -78,6 +80,7 @@ def tool_convergence_study(cross_rates_bps: Optional[Sequence[float]] = None,
             "fair_share_bps": round(fair_share),
             "n_packets": n_packets,
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     rel_to_b = np.abs(estimates - actual_b) / actual_b
@@ -97,7 +100,8 @@ def topp_on_wlan_study(cross_rates_bps: Optional[Sequence[float]] = None,
                        n_packets: int = 300,
                        repetitions: int = 8,
                        phy: Optional[PhyParams] = None,
-                       seed: int = 0) -> ExperimentResult:
+                       seed: int = 0,
+                       backend: str = "event") -> ExperimentResult:
     """TOPP's 'capacity' on a CSMA/CA link is the fair share.
 
     On a FIFO path TOPP's regression slope returns the capacity C; on a
@@ -125,7 +129,7 @@ def topp_on_wlan_study(cross_rates_bps: Optional[Sequence[float]] = None,
             [("cross", PoissonGenerator(cross_rate, size_bytes))], phy=phy)
         prober = Prober(channel, ProbeSessionConfig(
             size_bytes=size_bytes, repetitions=repetitions,
-            ideal_clocks=True))
+            ideal_clocks=True, backend=backend))
         scan_rates = np.arange(0.6 * achievable[k], 2.6 * achievable[k],
                                0.2 * achievable[k])
         estimate = topp_from_prober(prober, scan_rates, n=n_packets,
@@ -148,6 +152,7 @@ def topp_on_wlan_study(cross_rates_bps: Optional[Sequence[float]] = None,
             "fair_share_bps": round(fair_share),
             "n_packets": n_packets,
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     # One-sided margin: the transient bias only pushes the estimate up.
@@ -243,7 +248,8 @@ def transient_b_vs_n(train_lengths: Optional[Sequence[int]] = None,
                      repetitions: int = 300,
                      size_bytes: int = 1500,
                      phy: Optional[PhyParams] = None,
-                     seed: int = 0) -> ExperimentResult:
+                     seed: int = 0,
+                     backend: str = "event") -> ExperimentResult:
     """Equation (31): achievable throughput of an n-packet train.
 
     One delay matrix at a high probing rate yields every B(n):
@@ -259,8 +265,9 @@ def transient_b_vs_n(train_lengths: Optional[Sequence[int]] = None,
     channel = SimulatedWlanChannel(
         [("cross", PoissonGenerator(cross_rate_bps, size_bytes))], phy=phy)
     train = ProbeTrain.at_rate(n_max, probe_rate_bps, size_bytes)
-    raws = channel.send_trains(train, repetitions, seed=seed)
-    mu_means = np.vstack([r.access_delays for r in raws]).mean(axis=0)
+    batch = channel.send_trains_dense(train, repetitions, seed=seed,
+                                      backend=backend)
+    mu_means = batch.access_delays.mean(axis=0)
     b_of_n = np.array([
         transient_achievable_throughput(size_bytes, mu_means[:n])
         for n in lengths
@@ -279,6 +286,7 @@ def transient_b_vs_n(train_lengths: Optional[Sequence[int]] = None,
             "cross_rate_bps": cross_rate_bps,
             "repetitions": repetitions,
             "steady_mu_s": steady_mu,
+            "backend": backend,
         },
     )
     result.add_check("decreasing-in-n",

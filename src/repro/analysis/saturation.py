@@ -59,14 +59,17 @@ def simulate_saturated(n_stations: int, packets_per_station: int,
     and statistically equivalent content.
     """
     # Imported lazily: repro.runtime sits above the analysis layer.
+    from repro.backends import ScenarioSpec, dispatch
     from repro.runtime.executor import run_batch
+    spec = ScenarioSpec(system="wlan", workload="saturated")
+    backend = dispatch.resolve(spec, backend).name
     event_task = functools.partial(_event_repetition, n_stations,
                                    packets_per_station, size_bytes, phy)
     vector_batch = functools.partial(
         simulate_saturated_batch, n_stations, packets_per_station,
         repetitions, size_bytes=size_bytes, phy=phy)
     out = run_batch(event_task, repetitions, seed, backend=backend,
-                    vector_batch=lambda s: vector_batch(seed=s))
+                    vector_batch=lambda s: vector_batch(seed=s), spec=spec)
     if backend == "vector":
         return out
     delays, durations, successes, collisions = zip(*out)

@@ -4,6 +4,13 @@ Both figures probe the link with effectively infinite trains (the paper
 uses >10000 packets and evaluates in steady state), so the runners here
 drive the probing flow as a long CBR flow and measure throughputs over
 a window that skips the warm-up, which is equivalent and cheaper.
+
+Each measurement point is a repetition batch routed through
+:func:`repro.runtime.executor.run_batch`: the ``event`` backend maps
+:func:`steady_state_throughputs` over the derived per-repetition seeds
+(sharded across the ambient worker pool), the ``vector`` backend hands
+the whole batch to
+:func:`repro.sim.probe_vector.simulate_steady_state_batch`.
 """
 
 from __future__ import annotations
@@ -17,6 +24,10 @@ from repro.analytic.bianchi import BianchiModel
 from repro.analytic.rate_response import complete_rate_response
 from repro.mac.params import PhyParams
 from repro.mac.scenario import StationSpec, WlanScenario
+from repro.sim.probe_vector import (
+    PoissonCrossSpec,
+    simulate_steady_state_batch,
+)
 from repro.traffic.generators import CBRGenerator, PoissonGenerator
 
 
@@ -69,6 +80,67 @@ def steady_state_throughputs(probe_rate_bps: float,
     return out
 
 
+def steady_state_samples(probe_rate_bps: float,
+                         cross_rate_bps: float,
+                         fifo_rate_bps: float = 0.0,
+                         phy: Optional[PhyParams] = None,
+                         size_bytes: int = 1500,
+                         duration: float = 4.0,
+                         warmup: float = 0.5,
+                         repetitions: int = 3,
+                         seed: int = 0,
+                         backend: str = "event") -> Dict[str, np.ndarray]:
+    """Per-repetition steady-state throughput samples, any backend.
+
+    One measurement point of figures 1/4 as a repetition batch:
+    returns ``flow -> (repetitions,)`` arrays for the probe, FIFO and
+    contending flows.  The event path maps
+    :func:`steady_state_throughputs` over the canonical per-repetition
+    seeds (honouring the ambient ``--jobs`` scope); the vector path
+    resolves the whole batch in the steady-state mode of the
+    probe-train kernel; ``backend="auto"`` lets the dispatcher decide
+    from this measurement's own scenario spec.  The backends are
+    statistically equivalent —
+    ``tests/test_auto_backend_equivalence.py`` pins the per-flow
+    throughput distributions with KS tests.
+    """
+    # Imported lazily: repro.runtime sits above the analysis layer.
+    from repro.backends import ScenarioSpec, dispatch
+    from repro.runtime.executor import run_batch
+
+    spec = ScenarioSpec(
+        system="wlan", workload="steady-cbr",
+        cross_traffic="poisson" if cross_rate_bps > 0 else "none",
+        fifo_cross="poisson" if fifo_rate_bps > 0 else "none")
+    backend = dispatch.resolve(spec, backend).name
+
+    def event_task(rep_seed: int) -> Dict[str, float]:
+        return steady_state_throughputs(
+            probe_rate_bps, cross_rate_bps, fifo_rate_bps, phy,
+            size_bytes, duration, warmup, seed=rep_seed)
+
+    def vector_batch(batch_seed: int) -> Dict[str, np.ndarray]:
+        batch = simulate_steady_state_batch(
+            probe_rate_bps, repetitions, size_bytes=size_bytes,
+            cross=[PoissonCrossSpec(cross_rate_bps / (size_bytes * 8),
+                                    size_bytes)]
+            if cross_rate_bps > 0 else [],
+            fifo_cross=PoissonCrossSpec(fifo_rate_bps / (size_bytes * 8),
+                                        size_bytes)
+            if fifo_rate_bps > 0 else None,
+            duration=duration, warmup=warmup, phy=phy, seed=batch_seed)
+        return {"probe": batch.probe_throughput_bps(),
+                "fifo": batch.fifo_throughput_bps(),
+                "cross": batch.cross_throughput_bps()}
+
+    out = run_batch(event_task, repetitions, seed, backend=backend,
+                    vector_batch=vector_batch, spec=spec)
+    if isinstance(out, dict):
+        return out
+    return {flow: np.array([sample[flow] for sample in out])
+            for flow in ("probe", "fifo", "cross")}
+
+
 def fig1_rate_response(probe_rates_bps: Optional[Sequence[float]] = None,
                        cross_rate_bps: float = 4.5e6,
                        size_bytes: int = 1500,
@@ -76,7 +148,8 @@ def fig1_rate_response(probe_rates_bps: Optional[Sequence[float]] = None,
                        warmup: float = 0.5,
                        repetitions: int = 3,
                        phy: Optional[PhyParams] = None,
-                       seed: int = 0) -> ExperimentResult:
+                       seed: int = 0,
+                       backend: str = "event") -> ExperimentResult:
     """Figure 1: steady-state rate response with contending cross-traffic.
 
     The paper's setting has C ~ 6.5 Mb/s, one contending flow leaving
@@ -94,16 +167,12 @@ def fig1_rate_response(probe_rates_bps: Optional[Sequence[float]] = None,
     probe_out = np.zeros(len(rates))
     cross_out = np.zeros(len(rates))
     for k, rate in enumerate(rates):
-        samples_probe = []
-        samples_cross = []
-        for rep in range(repetitions):
-            out = steady_state_throughputs(
-                rate, cross_rate_bps, 0.0, phy, size_bytes,
-                duration, warmup, seed=seed + 1000 * rep + k)
-            samples_probe.append(out["probe"])
-            samples_cross.append(out["cross"])
-        probe_out[k] = float(np.mean(samples_probe))
-        cross_out[k] = float(np.mean(samples_cross))
+        samples = steady_state_samples(
+            rate, cross_rate_bps, 0.0, phy, size_bytes, duration,
+            warmup, repetitions=repetitions, seed=seed + k,
+            backend=backend)
+        probe_out[k] = float(samples["probe"].mean())
+        cross_out[k] = float(samples["cross"].mean())
 
     available = max(0.0, capacity - cross_rate_bps)
     result = ExperimentResult(
@@ -119,6 +188,7 @@ def fig1_rate_response(probe_rates_bps: Optional[Sequence[float]] = None,
             "fair_share_bps": round(fair_share),
             "repetitions": repetitions,
             "duration_s": duration,
+            "backend": backend,
         },
     )
     # Shape checks (DESIGN.md, figure 1).
@@ -155,7 +225,8 @@ def fig4_complete_picture(probe_rates_bps: Optional[Sequence[float]] = None,
                           warmup: float = 0.5,
                           repetitions: int = 3,
                           phy: Optional[PhyParams] = None,
-                          seed: int = 0) -> ExperimentResult:
+                          seed: int = 0,
+                          backend: str = "event") -> ExperimentResult:
     """Figure 4: the complete picture with FIFO + contending cross-traffic.
 
     The probe curve deviates when probe + FIFO aggregate reaches the
@@ -172,16 +243,13 @@ def fig4_complete_picture(probe_rates_bps: Optional[Sequence[float]] = None,
     cross_out = np.zeros(len(rates))
     fifo_out = np.zeros(len(rates))
     for k, rate in enumerate(rates):
-        samples = {"probe": [], "cross": [], "fifo": []}
-        for rep in range(repetitions):
-            out = steady_state_throughputs(
-                rate, cross_rate_bps, fifo_rate_bps, phy, size_bytes,
-                duration, warmup, seed=seed + 1000 * rep + k)
-            for key in samples:
-                samples[key].append(out[key])
-        probe_out[k] = float(np.mean(samples["probe"]))
-        cross_out[k] = float(np.mean(samples["cross"]))
-        fifo_out[k] = float(np.mean(samples["fifo"]))
+        samples = steady_state_samples(
+            rate, cross_rate_bps, fifo_rate_bps, phy, size_bytes,
+            duration, warmup, repetitions=repetitions, seed=seed + k,
+            backend=backend)
+        probe_out[k] = float(samples["probe"].mean())
+        cross_out[k] = float(samples["cross"].mean())
+        fifo_out[k] = float(samples["fifo"].mean())
 
     u_fifo = min(0.95, fifo_rate_bps / fair_share)
     model = complete_rate_response(rates, fair_share, u_fifo)
@@ -198,6 +266,7 @@ def fig4_complete_picture(probe_rates_bps: Optional[Sequence[float]] = None,
             "fair_share_bps": round(fair_share),
             "u_fifo": round(u_fifo, 3),
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     b_complete = fair_share * (1 - u_fifo)

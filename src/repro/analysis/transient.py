@@ -59,32 +59,35 @@ def collect_delay_matrix(
     ``probe_rate_bps``; the access delay of the i-th packet across
     repetitions estimates the paper's per-index distribution.
 
-    With ``backend="vector"`` the whole repetition batch is resolved
-    by :mod:`repro.sim.probe_vector` and the delay matrix comes back
-    as one dense array — statistically equivalent, no per-repetition
-    event simulation.  Queue tracking needs the event engine's
-    scenario traces, so the combination is rejected.
+    The repetition batch is routed through
+    :meth:`repro.testbed.channel.Channel.send_trains_dense`, so the
+    delay matrix comes back in the same dense shape on every backend
+    (``vector`` resolves it in one :mod:`repro.sim.probe_vector` pass,
+    ``auto`` lets the dispatcher choose).  Queue tracking needs the
+    event engine's scenario traces, so that path collects the
+    per-repetition results itself — and combining it with the vector
+    backend is rejected by the channel's capability check.
     """
     channel = SimulatedWlanChannel(
         cross_stations, phy=phy, warmup=warmup,
         drain_rate_floor=drain_rate_floor,
         log_cross_queues=track_queues)
     train = ProbeTrain.at_rate(n_packets, probe_rate_bps, size_bytes)
-    if backend == "vector":
-        batch = channel.send_trains_batch(train, repetitions, seed=seed)
-        return DelayCollection(matrix=DelayMatrix(batch.delay_matrix()),
-                               queue_sizes={})
-    raws = channel.send_trains(train, repetitions, seed=seed,
-                               backend=backend)
-    delays = np.vstack([raw.access_delays for raw in raws])
-    queue_sizes: Dict[str, np.ndarray] = {}
-    if track_queues:
+    if track_queues and backend != "vector":
+        raws = channel.send_trains(train, repetitions, seed=seed,
+                                   backend=backend)
+        delays = np.vstack([raw.access_delays for raw in raws])
+        queue_sizes: Dict[str, np.ndarray] = {}
         for name, _ in cross_stations:
             per_rep = [raw.scenario.station(name).queue_size_at(raw.send_times)
                        for raw in raws]
             queue_sizes[name] = np.vstack(per_rep)
-    return DelayCollection(matrix=DelayMatrix(delays),
-                           queue_sizes=queue_sizes)
+        return DelayCollection(matrix=DelayMatrix(delays),
+                               queue_sizes=queue_sizes)
+    batch = channel.send_trains_dense(train, repetitions, seed=seed,
+                                      backend=backend)
+    return DelayCollection(matrix=DelayMatrix(batch.delay_matrix()),
+                           queue_sizes={})
 
 
 # ----------------------------------------------------------------------

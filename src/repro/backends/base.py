@@ -1,0 +1,168 @@
+"""The backend protocol and the concrete execution backends.
+
+A :class:`Backend` is one way to resolve a repetition batch: it has a
+CLI-facing ``name`` (the family users select with ``--backend``), a
+human ``kernel`` label, a ``speed_rank`` (smaller = preferred by
+``auto``), a declarative :meth:`Backend.capabilities` statement over
+the :class:`repro.backends.spec.ScenarioSpec` vocabulary, and a
+:meth:`Backend.run_batch` that executes a whole batch.
+
+Four backends exist:
+
+* :class:`EventBackend` — the discrete-event engine; supports every
+  scenario and shards repetitions over worker processes;
+* :class:`ProbeTrainVectorBackend` — :mod:`repro.sim.probe_vector`:
+  probe trains (and steady CBR flows) through Poisson-contended DCF;
+* :class:`SaturatedVectorBackend` — :mod:`repro.sim.vector`: the
+  saturated Bianchi regime;
+* :class:`LindleyVectorBackend` — the batched Lindley recursion for
+  wired FIFO hops (:mod:`repro.queueing.lindley`).
+
+The three kernels share the CLI family name ``vector``; the dispatcher
+picks among them per scenario, which is why the kernel label is
+recorded separately in result metadata.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Optional
+
+from repro.backends.spec import Capabilities, ScenarioSpec
+
+#: The CLI-facing backend families.
+FAMILIES = ("event", "vector")
+
+
+class Backend(abc.ABC):
+    """One way of executing a repetition batch."""
+
+    #: CLI-facing family name (``event`` or ``vector``).
+    name: str = "event"
+    #: Human label of the concrete kernel (``--explain-backend``, meta).
+    kernel: str = "event engine"
+    #: Dispatch preference; ``auto`` picks the smallest eligible rank.
+    speed_rank: int = 100
+
+    @abc.abstractmethod
+    def capabilities(self) -> Capabilities:
+        """What scenarios this backend can execute."""
+
+    def mismatches(self, spec: ScenarioSpec):
+        """Structured reasons ``spec`` does not fit (empty = eligible)."""
+        return self.capabilities().mismatches(spec)
+
+    def run_batch(self, repetitions: int, seed: int,
+                  event_task: Optional[Callable[[int], Any]] = None,
+                  batch_task: Optional[Callable[[int], Any]] = None):
+        """Execute one repetition batch on this backend.
+
+        ``event_task`` is a pure ``seed -> result`` per-repetition
+        function; ``batch_task`` is a ``seed -> batch`` kernel that
+        derives the same per-repetition seeds internally
+        (:func:`repro.runtime.executor.derive_seeds`) and resolves
+        every repetition in one pass.  Each backend consumes exactly
+        one of the two.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}/{self.kernel}>"
+
+
+class EventBackend(Backend):
+    """The per-repetition event engine — supports everything."""
+
+    name = "event"
+    kernel = "event engine"
+    speed_rank = 100
+
+    def capabilities(self) -> Capabilities:
+        """Every scenario axis, every value."""
+        return Capabilities()
+
+    def run_batch(self, repetitions: int, seed: int,
+                  event_task: Optional[Callable[[int], Any]] = None,
+                  batch_task: Optional[Callable[[int], Any]] = None):
+        """Map ``event_task`` over the derived per-repetition seeds.
+
+        Fans out across the ambient worker pool
+        (:func:`repro.runtime.executor.parallel_jobs`); results come
+        back in repetition order, bit-identical for any job count.
+        """
+        if event_task is None:
+            raise ValueError("the event backend needs an event_task")
+        # Imported lazily: repro.runtime sits above this layer.
+        from repro.runtime.executor import derive_seeds, map_ordered
+        return map_ordered(event_task, derive_seeds(seed, repetitions))
+
+
+class _VectorBackend(Backend):
+    """Shared ``run_batch`` of the numpy batch kernels."""
+
+    name = "vector"
+    speed_rank = 10
+
+    def run_batch(self, repetitions: int, seed: int,
+                  event_task: Optional[Callable[[int], Any]] = None,
+                  batch_task: Optional[Callable[[int], Any]] = None):
+        """Hand the whole batch to the kernel (``batch_task(seed)``)."""
+        if batch_task is None:
+            raise ValueError("this batch has no vector kernel; "
+                             "run it with backend='event'")
+        return batch_task(seed)
+
+
+class ProbeTrainVectorBackend(_VectorBackend):
+    """:mod:`repro.sim.probe_vector` — trains and steady CBR flows
+    through Poisson-contended DCF (FIFO cross-traffic may share the
+    probe queue)."""
+
+    kernel = "probe-train kernel"
+    speed_rank = 10
+
+    def capabilities(self) -> Capabilities:
+        """WLAN trains/steady flows, Poisson-only traffic, no RTS /
+        retry limits / queue traces."""
+        return Capabilities(
+            systems=frozenset({"wlan"}),
+            workloads=frozenset({"train", "steady-cbr"}),
+            cross_traffic=frozenset({"none", "poisson"}),
+            fifo_cross=frozenset({"none", "poisson"}),
+            rts_cts=False, retry_limit=False, queue_traces=False)
+
+
+class SaturatedVectorBackend(_VectorBackend):
+    """:mod:`repro.sim.vector` — every station permanently backlogged
+    (the Bianchi regime)."""
+
+    kernel = "saturated-DCF kernel"
+    speed_rank = 10
+
+    def capabilities(self) -> Capabilities:
+        """Saturated WLAN batches only; no protocol extras."""
+        return Capabilities(
+            systems=frozenset({"wlan"}),
+            workloads=frozenset({"saturated"}),
+            cross_traffic=frozenset({"none"}),
+            fifo_cross=frozenset({"none"}),
+            rts_cts=False, retry_limit=False, queue_traces=False)
+
+
+class LindleyVectorBackend(_VectorBackend):
+    """The batched Lindley recursion for wired FIFO hops.
+
+    Replays the event path's exact sample paths, so any arrival model
+    with a ``generate`` method is fine — the recursion only needs the
+    merged (arrival, service) sequences.
+    """
+
+    kernel = "batched Lindley recursion"
+    speed_rank = 10
+
+    def capabilities(self) -> Capabilities:
+        """FIFO-hop trains with any replayable cross-traffic model."""
+        return Capabilities(
+            systems=frozenset({"fifo"}),
+            workloads=frozenset({"train"}),
+            rts_cts=False, retry_limit=False, queue_traces=False)

@@ -1,0 +1,215 @@
+"""Capability-matching backend dispatcher.
+
+Given a :class:`repro.backends.spec.ScenarioSpec` and a requested
+backend (``auto``, ``event`` or ``vector``), :func:`resolve` picks the
+concrete :class:`repro.backends.base.Backend` that will execute the
+batch:
+
+* ``auto`` — the fastest eligible backend (kernels outrank the event
+  engine); when every kernel is ineligible the event engine wins and
+  the *reason* is recorded as :attr:`Resolution.fallback` instead of
+  being swallowed;
+* ``event`` / ``vector`` — force the family; forcing ``vector`` on an
+  ineligible scenario raises :class:`BackendUnavailableError` carrying
+  the structured :class:`~repro.backends.spec.CapabilityMismatch`
+  records.
+
+Resolution is a pure function of ``(spec, requested)`` — no clocks, no
+environment, no ambient job count — so ``auto`` picks the same backend
+under any ``--jobs`` value and on every worker, which the result-cache
+key relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.backends.base import (
+    Backend,
+    EventBackend,
+    FAMILIES,
+    LindleyVectorBackend,
+    ProbeTrainVectorBackend,
+    SaturatedVectorBackend,
+)
+from repro.backends.spec import (
+    CapabilityMismatch,
+    EVENT_ONLY,
+    ScenarioSpec,
+)
+
+#: Backend choices a caller may request (concrete families + auto).
+REQUESTABLE = ("auto",) + FAMILIES
+
+#: The singleton event backend (the universal fallback).
+EVENT = EventBackend()
+
+#: Every backend, fastest-preference first; ``auto`` scans this order.
+BACKENDS: Tuple[Backend, ...] = (
+    ProbeTrainVectorBackend(),
+    SaturatedVectorBackend(),
+    LindleyVectorBackend(),
+    EVENT,
+)
+
+
+class BackendUnavailableError(ValueError):
+    """A forced backend cannot run the scenario.
+
+    ``mismatches`` maps each rejected kernel label to its structured
+    :class:`~repro.backends.spec.CapabilityMismatch` records, so
+    callers (and tests) can inspect *why* without parsing the message.
+    """
+
+    def __init__(self, message: str,
+                 mismatches: Dict[str, Tuple[CapabilityMismatch, ...]]):
+        super().__init__(message)
+        self.mismatches = mismatches
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of one dispatch decision."""
+
+    requested: str
+    backend: Backend
+    #: Why ``auto`` fell back to the event engine (``None`` when a
+    #: kernel was picked or the caller forced ``event``).
+    fallback: Optional[str]
+    #: Kernel label -> structured mismatches of every rejected kernel.
+    rejected: Tuple[Tuple[str, Tuple[CapabilityMismatch, ...]], ...]
+
+    @property
+    def name(self) -> str:
+        """CLI-facing family name of the chosen backend."""
+        return self.backend.name
+
+    @property
+    def kernel(self) -> str:
+        """Human label of the chosen kernel."""
+        return self.backend.kernel
+
+    def describe(self) -> str:
+        """One line for ``--explain-backend`` output."""
+        line = f"{self.requested} -> {self.name} ({self.kernel})"
+        if self.fallback:
+            line += f"  [fallback: {self.fallback}]"
+        return line
+
+
+def eligible(spec: ScenarioSpec) -> List[Backend]:
+    """Backends that can run ``spec``, fastest-preference first.
+
+    Ordered by :attr:`Backend.speed_rank` (stable, so declaration
+    order breaks ties) — this ordering is what ``auto`` picks from.
+    """
+    return sorted(
+        (backend for backend in BACKENDS if not backend.mismatches(spec)),
+        key=lambda backend: backend.speed_rank)
+
+
+def family_names(spec: ScenarioSpec) -> Tuple[str, ...]:
+    """Supported CLI families for ``spec`` (``event`` always; first).
+
+    This is what :attr:`repro.runtime.registry.Experiment.backends`
+    derives its value from — the hand-maintained frozenset it replaced
+    listed exactly these names.
+    """
+    names = {backend.name for backend in eligible(spec)}
+    return tuple(f for f in FAMILIES if f in names)
+
+
+def _rejections(spec: ScenarioSpec) -> Tuple[
+        Tuple[str, Tuple[CapabilityMismatch, ...]], ...]:
+    """``(kernel label, mismatches)`` of every ineligible kernel."""
+    out = []
+    for backend in BACKENDS:
+        if backend is EVENT:
+            continue
+        found = backend.mismatches(spec)
+        if found:
+            out.append((backend.kernel, tuple(found)))
+    return tuple(out)
+
+
+def _closest_reason(rejected) -> str:
+    """The most informative single-line fallback reason.
+
+    The kernel with the *fewest* mismatches was the nearest miss; its
+    first mismatch names the one capability that kept the scenario on
+    the event engine.
+    """
+    if not rejected:
+        return ""
+    _, mismatches = min(rejected, key=lambda item: len(item[1]))
+    return str(mismatches[0])
+
+
+def resolve(spec: Optional[ScenarioSpec],
+            requested: str = "auto") -> Resolution:
+    """Pick the backend for ``spec``; see the module docstring.
+
+    ``spec=None`` means "nothing declared": only the event engine is
+    eligible (an undeclared scenario must never silently ride a
+    kernel), and ``auto`` records that as the fallback reason.
+    """
+    if requested not in REQUESTABLE:
+        raise ValueError(
+            f"unknown backend {requested!r}; "
+            f"expected one of {REQUESTABLE}")
+    if spec is None:
+        spec = EVENT_ONLY
+    rejected = _rejections(spec)
+    if requested == "event":
+        return Resolution(requested, EVENT, None, rejected)
+    candidates = [backend for backend in eligible(spec)
+                  if backend.name == "vector"]
+    if requested == "vector":
+        if not candidates:
+            reason = _closest_reason(rejected)
+            raise BackendUnavailableError(
+                f"no vector kernel supports this scenario: {reason}",
+                dict(rejected))
+        return Resolution(requested, candidates[0], None, rejected)
+    # auto: fastest eligible kernel, else the event engine + reason.
+    if candidates:
+        return Resolution(requested, candidates[0], None, rejected)
+    return Resolution(requested, EVENT, _closest_reason(rejected), rejected)
+
+
+def vector_mismatch_reason(spec: ScenarioSpec) -> Optional[str]:
+    """Why no vector kernel runs ``spec`` (``None`` when one does).
+
+    The structured replacement for the channel layer's old string
+    matching: the returned sentence is ``str()`` of the nearest
+    kernel's first :class:`CapabilityMismatch`.
+    """
+    resolution = resolve(spec, "auto")
+    if resolution.name == "vector":
+        return None
+    return resolution.fallback
+
+
+def explain(spec: Optional[ScenarioSpec], requested: str = "auto") -> str:
+    """Multi-line dispatch explanation (``--explain-backend``).
+
+    Never raises: a forced-but-ineligible request renders the
+    structured reasons instead.
+    """
+    try:
+        resolution = resolve(spec, requested)
+    except BackendUnavailableError as exc:
+        lines = [f"{requested} -> ERROR: {exc}"]
+        for kernel, mismatches in exc.mismatches.items():
+            for mismatch in mismatches:
+                lines.append(f"    {kernel}: {mismatch} "
+                             f"[{mismatch.capability}: needs "
+                             f"{mismatch.required}, supports "
+                             f"{mismatch.supported}]")
+        return "\n".join(lines)
+    lines = [resolution.describe()]
+    for kernel, mismatches in resolution.rejected:
+        for mismatch in mismatches:
+            lines.append(f"    {kernel}: {mismatch}")
+    return "\n".join(lines)

@@ -6,6 +6,7 @@ Run any of the paper's experiments from a shell::
     python -m repro info
     python -m repro run fig6 --jobs 4 --seed 7
     python -m repro run ext-saturation --backend vector
+    python -m repro run fig8 --explain-backend
     python -m repro run all --scale 0.25
     python -m repro sweep fig6 --param repetitions=100,400,1600
     python -m repro cache ls
@@ -18,10 +19,17 @@ end, never aborting the remaining experiments.  Results are cached on
 disk keyed on (experiment, kwargs, code version) — a repeated
 invocation is served from cache unless ``--no-cache`` or ``--refresh``
 says otherwise.  ``--jobs N`` shards repetitions across N worker
-processes with bit-identical output.  ``--backend vector`` routes the
-repetition batches of experiments that support it (marked ``[backends:
-event, vector]`` in ``list``) to the numpy batch kernel instead of the
-per-repetition event engine.
+processes with bit-identical output.
+
+Backend selection defaults to ``--backend auto``: the capability
+dispatcher (:mod:`repro.backends`) picks the fastest kernel eligible
+for each experiment's declared scenario and records the resolved
+backend (plus any fallback reason) in the result metadata and the
+cache key.  ``--backend event`` / ``--backend vector`` force a family
+(forcing ``vector`` on an ineligible experiment fails with the
+structured reason); ``run EXPERIMENT --explain-backend`` prints the
+dispatch decision without running anything.  ``run`` (including ``run
+all``) and ``sweep`` share the full flag set.
 """
 
 from __future__ import annotations
@@ -107,6 +115,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    if getattr(args, "explain_backend", False):
+        return _explain_backends(experiments, args.backend)
     cache = _cache_from(args)
     failures: Dict[str, str] = {}
     for experiment in experiments:
@@ -130,6 +140,33 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  {name}: {reason}", file=sys.stderr)
         return 1
     return 0
+
+
+def _explain_backends(experiments, requested: str) -> int:
+    """Print the dispatcher's per-scenario decision, without running.
+
+    One line per experiment (rendered by
+    :func:`repro.backends.dispatch.explain`, the single owner of the
+    explanation format) — requested backend, resolved backend,
+    concrete kernel, and the structured fallback reason whenever
+    ``auto`` settles for the event engine.  A single-experiment query
+    also prints every rejected kernel's capability mismatches.  Exits
+    non-zero only when a *forced* backend cannot run some scenario
+    (the decision, with its mismatches, is still printed).
+    """
+    from repro.backends import dispatch
+    code = 0
+    verbose = len(experiments) == 1
+    for experiment in experiments:
+        first, *detail = dispatch.explain(experiment.scenario,
+                                          requested).splitlines()
+        print(f"{experiment.name:<26} {first}")
+        if verbose:
+            for line in detail:
+                print(line)
+        if "-> ERROR" in first:
+            code = 1
+    return code
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -211,14 +248,18 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "(0 = one per CPU; default $REPRO_JOBS or "
                              "1; results are identical for any job "
                              "count)")
-    parser.add_argument("--backend", choices=("event", "vector"),
-                        default=None,
-                        help="repetition backend for experiments that "
-                             "support more than one: 'event' runs each "
-                             "repetition through the event engine, "
-                             "'vector' resolves the whole batch with "
-                             "the numpy kernel (see 'list' for which "
-                             "experiments offer it)")
+    parser.add_argument("--backend", choices=("auto", "event", "vector"),
+                        default="auto",
+                        help="repetition backend: 'auto' (default) "
+                             "lets the capability dispatcher pick the "
+                             "fastest eligible kernel per experiment "
+                             "and records the choice in the result "
+                             "meta; 'event' runs each repetition "
+                             "through the event engine; 'vector' "
+                             "forces the numpy batch kernel (fails "
+                             "with the structured reason on "
+                             "experiments it cannot model — see "
+                             "'list' for which offer it)")
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the result cache")
     parser.add_argument("--refresh", action="store_true",
@@ -243,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run an experiment")
     run.add_argument("experiment",
                      help="experiment name (see 'list'), or 'all'")
+    run.add_argument("--explain-backend", action="store_true",
+                     help="print the backend dispatcher's decision "
+                          "(resolved kernel and any fallback reason) "
+                          "for the experiment(s) and exit without "
+                          "running anything")
     _add_run_options(run)
     run.set_defaults(func=cmd_run)
     sweep = sub.add_parser(

@@ -36,11 +36,16 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from repro.backends import ScenarioSpec, dispatch
+
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Repetition backends an experiment can route batches to.
 BACKENDS = ("event", "vector")
+
+#: Backend choices a caller may request (concrete backends + ``auto``).
+REQUESTABLE = dispatch.REQUESTABLE
 
 #: Environment variable consulted when no ambient job count is set.
 JOBS_ENV = "REPRO_JOBS"
@@ -126,26 +131,40 @@ def derive_seeds(seed: int, repetitions: int) -> List[int]:
 
 def run_batch(event_task: Callable[[int], R], repetitions: int, seed: int,
               backend: str = "event",
-              vector_batch: Optional[Callable[[int], T]] = None):
-    """Route one repetition batch to the selected backend.
+              vector_batch: Optional[Callable[[int], T]] = None,
+              spec: Optional[ScenarioSpec] = None):
+    """Route one repetition batch through the backend dispatcher.
 
-    ``event_task`` is a pure ``seed -> result`` function; with
-    ``backend="event"`` it is mapped over the derived per-repetition
+    ``event_task`` is a pure ``seed -> result`` function; on the
+    ``event`` backend it is mapped over the derived per-repetition
     seeds through :func:`map_ordered` (honouring the ambient job
-    count).  With ``backend="vector"`` the *whole batch* is handed to
+    count).  On the ``vector`` backend the *whole batch* is handed to
     ``vector_batch(seed)`` — a kernel that derives the same
     per-repetition seeds internally and resolves every repetition in
     one vectorized pass, so no worker pool is spawned at all.
+
+    ``backend="auto"`` asks :func:`repro.backends.dispatch.resolve` to
+    pick the fastest backend eligible for ``spec`` (a declarative
+    :class:`~repro.backends.ScenarioSpec`); with no spec declared,
+    ``auto`` always takes the event engine — an undescribed scenario
+    must never silently ride a kernel.
     """
-    if backend not in BACKENDS:
+    if backend not in REQUESTABLE:
         raise ValueError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}")
-    if backend == "vector":
+            f"unknown backend {backend!r}; expected one of {REQUESTABLE}")
+    if spec is None and backend == "vector":
+        # Forced vector without a declarative spec: the caller vouches
+        # for the kernel it supplied.
         if vector_batch is None:
             raise ValueError("this batch has no vector kernel; "
                              "run it with backend='event'")
         return vector_batch(seed)
-    return map_ordered(event_task, derive_seeds(seed, repetitions))
+    resolution = dispatch.resolve(spec, backend)
+    # A vector resolution without a kernel raises inside run_batch
+    # (the backend owns that error message).
+    return resolution.backend.run_batch(repetitions, seed,
+                                        event_task=event_task,
+                                        batch_task=vector_batch)
 
 
 def shard_bounds(n_items: int, shards: int) -> List[Tuple[int, int]]:

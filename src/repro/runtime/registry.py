@@ -22,6 +22,12 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro import analysis
 from repro.analysis.results import ExperimentResult
+from repro.backends import (
+    BackendUnavailableError,
+    Resolution,
+    ScenarioSpec,
+    dispatch,
+)
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import parallel_jobs
 
@@ -59,12 +65,13 @@ class Experiment:
         deterministic runner.
     min_scaled:
         Lower clamp applied to every scaled kwarg.
-    backends:
-        Repetition backends the runner supports (first entry is the
-        default).  Most experiments only run the per-repetition event
-        engine; experiments whose runner takes a ``backend`` kwarg can
-        also offer the vectorized batch kernel — the CLI exposes the
-        choice as ``run --backend``.
+    scenario:
+        Declarative :class:`~repro.backends.ScenarioSpec` of the
+        runner's workload — what the backend dispatcher matches kernel
+        capabilities against.  ``None`` means "nothing declared": the
+        experiment only ever runs the event engine.  The supported
+        backend families (:attr:`backends`) are *derived* from this
+        spec, never hand-maintained.
     """
 
     name: str
@@ -73,7 +80,24 @@ class Experiment:
     group: str = "figure"
     seed_kwarg: Optional[str] = "seed"
     min_scaled: int = 2
-    backends: Tuple[str, ...] = ("event",)
+    scenario: Optional[ScenarioSpec] = None
+
+    @property
+    def backends(self) -> Tuple[str, ...]:
+        """Backend families the dispatcher finds eligible (first =
+        default).  Experiments with a declared scenario gain
+        ``vector`` exactly when some kernel's capabilities cover it."""
+        if self.scenario is None:
+            return ("event",)
+        return dispatch.family_names(self.scenario)
+
+    def resolve_backend(self, requested: str = "auto") -> Resolution:
+        """Dispatch decision for this experiment's scenario.
+
+        Deterministic in ``(scenario, requested)`` — job counts,
+        caches and the environment never change the answer.
+        """
+        return dispatch.resolve(self.scenario, requested)
 
     @property
     def description(self) -> str:
@@ -105,16 +129,20 @@ class Experiment:
         or the runner's default — is always materialised so cache keys
         are canonical; for multi-backend experiments the ``backend``
         choice (default: the first supported one) is materialised too,
-        so each backend caches separately; ``overrides`` wins over
-        everything.  Requesting a backend the experiment does not
-        support raises ``ValueError``.
+        so each backend caches separately.  ``backend="auto"`` is
+        resolved through the dispatcher *before* materialisation, so
+        cache keys always name the resolved — never the requested —
+        backend.  ``overrides`` wins over everything.  Requesting a
+        backend the experiment does not support raises
+        :class:`~repro.backends.BackendUnavailableError` carrying the
+        structured capability mismatches.
         """
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
-        if backend is not None and backend not in self.backends:
-            raise ValueError(
-                f"experiment {self.name!r} supports backend(s) "
-                f"{', '.join(self.backends)}; not {backend!r}")
+        if backend == "auto":
+            backend = self.resolve_backend("auto").name
+        elif backend is not None and backend not in self.backends:
+            raise self._unsupported_backend_error(backend)
         floor = self.min_scaled if minimum is None else minimum
         kwargs: Dict[str, object] = {
             key: max(floor, int(round(value * scale)))
@@ -138,11 +166,33 @@ class Experiment:
                 raise ValueError(
                     f"experiment {self.name!r} takes no backend kwarg "
                     f"(it only runs on the {self.backends[0]!r} backend)")
-            if chosen not in self.backends:
-                raise ValueError(
-                    f"experiment {self.name!r} supports backend(s) "
-                    f"{', '.join(self.backends)}; not {chosen!r}")
+            if chosen == "auto":
+                kwargs["backend"] = self.resolve_backend("auto").name
+            elif chosen not in self.backends:
+                raise self._unsupported_backend_error(chosen)
         return kwargs
+
+    def _unsupported_backend_error(self, backend) -> ValueError:
+        """Build the error for a forced-but-unsupported backend.
+
+        The message keeps the familiar ``supports backend(s) ...``
+        phrasing and appends the dispatcher's structured reason; the
+        :class:`~repro.backends.BackendUnavailableError` carries the
+        per-kernel :class:`~repro.backends.CapabilityMismatch` records
+        for programmatic consumers.
+        """
+        detail, mismatches = "", {}
+        try:
+            self.resolve_backend(backend)
+        except BackendUnavailableError as exc:
+            detail = f": {exc}"
+            mismatches = exc.mismatches
+        except ValueError:
+            pass
+        return BackendUnavailableError(
+            f"experiment {self.name!r} supports backend(s) "
+            f"{', '.join(self.backends)}; not {backend!r}{detail}",
+            mismatches)
 
     def run(self, *, scale: float = 1.0, seed: Optional[int] = None,
             jobs: Optional[int] = None,
@@ -158,12 +208,20 @@ class Experiment:
         for any job count.  ``None`` defers to the ambient
         :func:`~repro.runtime.executor.parallel_jobs` scope and the
         ``REPRO_JOBS`` environment variable.  ``backend`` selects the
-        repetition backend for experiments that offer more than one
-        (``run --backend vector`` routes whole batches to the numpy
-        kernel instead of sharding event-engine runs).  With a
-        ``cache``, a hit skips the simulation entirely unless
-        ``refresh`` forces a re-run; fresh results are stored back.
+        repetition backend: ``event``/``vector`` force one, ``auto``
+        lets the dispatcher pick the fastest eligible kernel — the
+        *resolved* choice is what lands in the kwargs and the cache
+        key, and the result meta records it (plus the structured
+        fallback reason whenever ``auto`` had to settle for the event
+        engine).  With a ``cache``, a hit skips the simulation
+        entirely unless ``refresh`` forces a re-run; fresh results are
+        stored back (annotation stays out of the stored payload — it
+        describes the request, not the result).
         """
+        resolution: Optional[Resolution] = None
+        if backend == "auto":
+            resolution = self.resolve_backend("auto")
+            backend = resolution.name
         kwargs = self.kwargs_for(scale=scale, seed=seed,
                                  overrides=overrides, minimum=minimum,
                                  backend=backend)
@@ -173,6 +231,7 @@ class Experiment:
             if not refresh:
                 hit = cache.load(self.name, key)
                 if hit is not None:
+                    self._annotate_backend(hit, kwargs, resolution)
                     return RunReport(result=hit, kwargs=kwargs,
                                      cached=True, cache_key=key)
         scope = parallel_jobs(jobs) if jobs is not None else nullcontext()
@@ -182,8 +241,25 @@ class Experiment:
         elapsed = time.perf_counter() - start
         if cache is not None and key is not None:
             cache.store(self.name, key, kwargs, result)
+        self._annotate_backend(result, kwargs, resolution)
         return RunReport(result=result, kwargs=kwargs, cached=False,
                          cache_key=key, elapsed_s=elapsed)
+
+    def _annotate_backend(self, result: ExperimentResult,
+                          kwargs: Mapping[str, object],
+                          resolution: Optional[Resolution]) -> None:
+        """Record the resolved backend (and any ``auto`` fallback).
+
+        ``meta["backend"]`` always names the backend that produced the
+        result; ``meta["backend_fallback"]`` carries the structured
+        reason whenever an ``auto`` request fell back to the event
+        engine — instead of the reason being silently swallowed.
+        """
+        final = kwargs.get("backend", "event")
+        result.meta.setdefault("backend", final)
+        if resolution is not None and resolution.fallback \
+                and final == "event":
+            result.meta["backend_fallback"] = resolution.fallback
 
 
 # ----------------------------------------------------------------------
@@ -226,76 +302,112 @@ def experiments() -> List[Experiment]:
     return list(_EXPERIMENTS.values())
 
 
-#: Experiments whose runner can route its repetition batches to the
-#: vectorized numpy kernels (``--backend vector``): the probe-train
-#: family rides :mod:`repro.sim.probe_vector`, ``eq1`` the batched
-#: Lindley kernel, ``ext-saturation`` :mod:`repro.sim.vector`.
-#: ``tools/check_backend_coverage.py`` holds this set against
-#: ``benchmarks/results/backend_coverage.json`` so coverage can only
-#: grow.
-VECTOR_EXPERIMENTS = frozenset({
-    "fig6", "fig7", "fig9", "fig10", "fig13", "fig15", "fig16", "fig17",
-    "eq1", "bounds", "ext-saturation",
-})
+# ----------------------------------------------------------------------
+# Scenario vocabulary of the builtin experiments.  These are the
+# *declared workloads* the backend dispatcher matches kernel
+# capabilities against; which experiments end up dual-backend is
+# derived from them, never listed by hand.
+# ----------------------------------------------------------------------
+
+#: Probe trains against Poisson contenders — the paper's main setting.
+_WLAN_TRAIN = ScenarioSpec(system="wlan", workload="train",
+                           cross_traffic="poisson")
+
+#: The same with Poisson FIFO cross-traffic sharing the probe queue.
+_WLAN_TRAIN_FIFO = ScenarioSpec(system="wlan", workload="train",
+                                cross_traffic="poisson",
+                                fifo_cross="poisson")
+
+#: Steady-state CBR probing flow (figures 1 and 4).
+_WLAN_STEADY = ScenarioSpec(system="wlan", workload="steady-cbr",
+                            cross_traffic="poisson")
+_WLAN_STEADY_FIFO = ScenarioSpec(system="wlan", workload="steady-cbr",
+                                 cross_traffic="poisson",
+                                 fifo_cross="poisson")
 
 
 def _register_builtins() -> None:
     """Populate the registry with every runner the paper needs."""
     builtin: List[Tuple[str, Callable[..., ExperimentResult],
-                        Dict[str, int], str]] = [
-        ("fig1", analysis.fig1_rate_response, {"repetitions": 3}, "figure"),
+                        Dict[str, int], str,
+                        Optional[ScenarioSpec]]] = [
+        ("fig1", analysis.fig1_rate_response, {"repetitions": 3}, "figure",
+         _WLAN_STEADY),
         ("fig4", analysis.fig4_complete_picture, {"repetitions": 3},
-         "figure"),
+         "figure", _WLAN_STEADY_FIFO),
         ("fig6", analysis.fig6_mean_access_delay, {"repetitions": 400},
-         "figure"),
+         "figure", _WLAN_TRAIN),
         ("fig7", analysis.fig7_delay_histograms, {"repetitions": 500},
-         "figure"),
-        ("fig8", analysis.fig8_ks_and_queue, {"repetitions": 400}, "figure"),
-        ("fig9", analysis.fig9_ks_complex, {"repetitions": 400}, "figure"),
+         "figure", _WLAN_TRAIN),
+        ("fig8", analysis.fig8_ks_and_queue, {"repetitions": 400}, "figure",
+         ScenarioSpec(system="wlan", workload="train",
+                      cross_traffic="poisson", queue_traces=True)),
+        ("fig9", analysis.fig9_ks_complex, {"repetitions": 400}, "figure",
+         _WLAN_TRAIN),
         ("fig10", analysis.fig10_transient_duration, {"repetitions": 300},
-         "figure"),
+         "figure", _WLAN_TRAIN),
         ("fig13", analysis.fig13_short_trains, {"repetitions": 80},
-         "figure"),
+         "figure", _WLAN_TRAIN),
         ("fig15", analysis.fig15_short_trains_fifo, {"repetitions": 80},
-         "figure"),
+         "figure", _WLAN_TRAIN_FIFO),
         ("fig16", analysis.fig16_packet_pair, {"pair_repetitions": 400},
-         "figure"),
-        ("fig17", analysis.fig17_mser, {"repetitions": 150}, "figure"),
+         "figure", _WLAN_TRAIN),
+        ("fig17", analysis.fig17_mser, {"repetitions": 150}, "figure",
+         _WLAN_TRAIN),
         ("eq1", analysis.eq1_fifo_rate_response, {"repetitions": 40},
-         "baseline"),
+         "baseline",
+         ScenarioSpec(system="fifo", workload="train",
+                      cross_traffic="poisson")),
         ("bounds", analysis.bounds_consistency, {"repetitions": 300},
-         "baseline"),
+         "baseline", _WLAN_TRAIN),
         ("ablation-bianchi", analysis.ablation_bianchi_calibration, {},
-         "ablation"),
+         "ablation",
+         ScenarioSpec(system="wlan", workload="steady-cbr",
+                      cross_traffic="cbr",
+                      cross_detail="CBR cross-traffic has no batched "
+                                   "sampler; run this scenario with "
+                                   "backend='event'")),
         ("ablation-immediate-access", analysis.ablation_immediate_access,
-         {"repetitions": 250}, "ablation"),
+         {"repetitions": 250}, "ablation", _WLAN_TRAIN),
         ("ablation-ks", analysis.ablation_ks_methods,
-         {"repetitions": 300}, "ablation"),
+         {"repetitions": 300}, "ablation", _WLAN_TRAIN),
         ("ablation-rts", analysis.ablation_rts_cts,
-         {"repetitions": 200}, "ablation"),
+         {"repetitions": 200}, "ablation",
+         ScenarioSpec(system="wlan", workload="train",
+                      cross_traffic="poisson", rts_cts=True)),
         ("ablation-truncation", analysis.ablation_truncation_heuristics,
-         {"repetitions": 150}, "ablation"),
+         {"repetitions": 150}, "ablation", _WLAN_TRAIN),
         ("ext-tool-convergence", analysis.tool_convergence_study,
-         {"repetitions": 10}, "extension"),
+         {"repetitions": 10}, "extension", _WLAN_TRAIN),
         ("ext-b-vs-n", analysis.transient_b_vs_n,
-         {"repetitions": 300}, "extension"),
+         {"repetitions": 300}, "extension", _WLAN_TRAIN),
         ("ext-topp", analysis.topp_on_wlan_study,
-         {"repetitions": 8}, "extension"),
+         {"repetitions": 8}, "extension", _WLAN_TRAIN),
         ("ext-multihop", analysis.multihop_access_path_study,
-         {"repetitions": 20}, "extension"),
+         {"repetitions": 20}, "extension",
+         ScenarioSpec(system="path", workload="train",
+                      cross_traffic="poisson")),
     ]
-    for name, runner, scalable, group in builtin:
-        backends = (("event", "vector") if name in VECTOR_EXPERIMENTS
-                    else ("event",))
+    for name, runner, scalable, group, scenario in builtin:
         register(Experiment(name=name, runner=runner, scalable=scalable,
-                            group=group, backends=backends))
+                            group=group, scenario=scenario))
     register(Experiment(
         name="ext-saturation",
         runner=analysis.dcf_saturation_study,
         scalable={"repetitions": 100},
         group="extension",
-        backends=("event", "vector"),
+        scenario=ScenarioSpec(system="wlan", workload="saturated"),
     ))
 
 
 _register_builtins()
+
+#: Experiments whose batches the dispatcher can route to a vectorized
+#: numpy kernel (``--backend vector`` / the ``auto`` fast path).
+#: *Derived* from the declared scenarios and the kernels' capabilities
+#: — never hand-maintained; ``tools/check_backend_coverage.py`` holds
+#: it against ``benchmarks/results/backend_coverage.json`` so coverage
+#: can only grow.
+VECTOR_EXPERIMENTS = frozenset(
+    experiment.name for experiment in _EXPERIMENTS.values()
+    if "vector" in experiment.backends)

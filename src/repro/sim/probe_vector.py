@@ -172,6 +172,33 @@ def _poisson_arrival_paths(gens: Sequence[np.random.Generator],
     return out, counts
 
 
+def _merge_probe_queue(probe_times: np.ndarray, n_probe: int,
+                       fifo_times: Optional[np.ndarray],
+                       fifo_counts: Optional[np.ndarray]
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge FIFO cross-traffic into the probe station's queue.
+
+    Returns ``(arrivals, flow tags, counts)`` for station 0; tags are
+    the probe packet index or ``-1`` for FIFO packets.  The stable
+    sort keeps probe packets ahead of simultaneous FIFO arrivals,
+    matching the event scheduler's insertion order.
+    """
+    reps = probe_times.shape[0]
+    if fifo_times is None:
+        probe_seq = np.broadcast_to(np.arange(n_probe),
+                                    (reps, n_probe)).copy()
+        return probe_times, probe_seq, np.full(reps, n_probe,
+                                               dtype=np.int64)
+    cat_t = np.concatenate([probe_times, fifo_times], axis=1)
+    cat_q = np.concatenate(
+        [np.broadcast_to(np.arange(n_probe), (reps, n_probe)),
+         np.full(fifo_times.shape, -1, dtype=np.int64)], axis=1)
+    order = np.argsort(cat_t, axis=1, kind="stable")
+    probe_arr = np.take_along_axis(cat_t, order, axis=1)
+    probe_seq = np.take_along_axis(cat_q, order, axis=1)
+    return probe_arr, probe_seq, n_probe + fifo_counts
+
+
 def simulate_probe_train_batch(
         n_probe: int,
         probe_gap: float,
@@ -211,13 +238,6 @@ def simulate_probe_train_batch(
     if warmup < 0 or start_jitter < 0:
         raise ValueError("warmup and start_jitter must be non-negative")
 
-    phy = phy if phy is not None else PhyParams.dot11b()
-    airtime = AirtimeModel(phy)
-    slot, sifs, difs = phy.slot_time, phy.sifs, phy.difs
-    ack_air = airtime.ack_airtime()
-    cw_by_stage = cw_table(phy)
-    max_stage = phy.max_backoff_stage
-
     cross = list(cross)
     if fifo_cross is not None and fifo_cross.size_bytes != size_bytes:
         raise ValueError(
@@ -229,10 +249,6 @@ def simulate_probe_train_batch(
         horizon = warmup + start_jitter + train_span + 1.0
 
     reps = repetitions
-    n_stations = 1 + len(cross)
-    sizes = [size_bytes] + [spec.size_bytes for spec in cross]
-    data_air = np.array([airtime.data_airtime(s) for s in sizes])
-
     # Same derivation scheme as repro.runtime.executor.derive_seeds
     # (not imported: repro.runtime sits above the simulation layer).
     seeds = np.random.SeedSequence(seed).generate_state(repetitions)
@@ -253,22 +269,69 @@ def simulate_probe_train_batch(
     if fifo_cross is not None:
         fifo_times, fifo_counts = _poisson_arrival_paths(
             gens, fifo_cross.packets_per_second, horizon)
-        # Merge the deterministic train into the shared queue; the
-        # stable sort keeps probe packets ahead of simultaneous FIFO
-        # arrivals, matching the event scheduler's insertion order.
-        cat_t = np.concatenate([probe_times, fifo_times], axis=1)
-        cat_q = np.concatenate(
-            [np.broadcast_to(np.arange(n_probe), (reps, n_probe)),
-             np.full(fifo_times.shape, -1, dtype=np.int64)], axis=1)
-        order = np.argsort(cat_t, axis=1, kind="stable")
-        probe_arr = np.take_along_axis(cat_t, order, axis=1)
-        probe_seq = np.take_along_axis(cat_q, order, axis=1)
-        probe_counts = n_probe + fifo_counts
     else:
-        probe_arr = probe_times
-        probe_seq = np.broadcast_to(np.arange(n_probe),
-                                    (reps, n_probe)).copy()
-        probe_counts = np.full(reps, n_probe, dtype=np.int64)
+        fifo_times, fifo_counts = None, None
+    probe_arr, probe_seq, probe_counts = _merge_probe_queue(
+        probe_times, n_probe, fifo_times, fifo_counts)
+
+    recv, delays, _ = _resolve_batch(
+        probe_arr, probe_seq, probe_counts, cross_paths, n_probe,
+        seeds=seeds, size_bytes=size_bytes,
+        cross_sizes=[spec.size_bytes for spec in cross], phy=phy,
+        immediate_access=immediate_access)
+
+    if np.isnan(recv).any():  # pragma: no cover - defensive
+        raise RuntimeError("probe packets were lost")
+    return ProbeBatchResult(
+        send_times=probe_times,
+        recv_times=recv,
+        access_delays=delays,
+        size_bytes=size_bytes,
+    )
+
+
+def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
+                   probe_counts: np.ndarray,
+                   cross_paths: Sequence[Tuple[np.ndarray, np.ndarray]],
+                   n_probe: int, *,
+                   seeds: np.ndarray,
+                   size_bytes: int,
+                   cross_sizes: Sequence[int],
+                   phy: Optional[PhyParams],
+                   immediate_access: bool,
+                   stop_time: Optional[float] = None,
+                   window: Optional[Tuple[float, float]] = None
+                   ) -> Tuple[np.ndarray, np.ndarray,
+                              Optional[Tuple[np.ndarray, np.ndarray,
+                                             np.ndarray]]]:
+    """Advance every repetition event by event until it completes.
+
+    The shared core of the probe-train and steady-state entry points:
+    station 0 replays the (merged) probe-queue arrivals ``probe_arr``
+    tagged by ``probe_seq``, the cross stations replay ``cross_paths``.
+    Without ``stop_time`` a repetition retires events until its last
+    probe packet departs (train mode).  With ``stop_time`` it stops at
+    the first event past that instant instead — the kernel counterpart
+    of the event engine's ``run(until=...)`` — and ``window=(t0, t1]``
+    additionally accumulates the delivered network-layer bits per flow
+    (probe / FIFO / per cross station) whose DATA frame ends inside
+    the window.
+
+    Returns ``(recv, delays, bits)`` where ``bits`` is ``None``
+    without a window and ``(probe_bits, fifo_bits, cross_bits)``
+    otherwise.
+    """
+    phy = phy if phy is not None else PhyParams.dot11b()
+    airtime = AirtimeModel(phy)
+    slot, sifs, difs = phy.slot_time, phy.sifs, phy.difs
+    ack_air = airtime.ack_airtime()
+    cw_by_stage = cw_table(phy)
+    max_stage = phy.max_backoff_stage
+
+    reps = probe_arr.shape[0]
+    n_stations = 1 + len(cross_paths)
+    sizes = [size_bytes] + list(cross_sizes)
+    data_air = np.array([airtime.data_airtime(s) for s in sizes])
 
     width = max(probe_arr.shape[1],
                 max((p.shape[1] for p, _ in cross_paths), default=1))
@@ -280,10 +343,17 @@ def simulate_probe_train_batch(
         arr[:, 1 + c, :times.shape[1]] = times
         n_arr[:, 1 + c] = counts
 
+    # The uniform streams restart from the per-repetition seeds after
+    # the path draws; order is fixed, so repetition streams stay
+    # batch-size independent.
     uniforms = _UniformBlocks(seeds, n_stations)
-    # The arrival paths were drawn from the same per-repetition
-    # generators the uniform blocks now continue; order is fixed, so
-    # repetition streams stay batch-size independent.
+
+    if window is not None:
+        w0, w1 = window
+        probe_bits = np.zeros(reps)
+        fifo_bits = np.zeros(reps)
+        cross_bits = np.zeros((reps, len(cross_paths)))
+        size_bits = np.array(sizes, dtype=float) * 8
 
     nxt = np.zeros((reps, n_stations), dtype=np.int64)
     hol = np.zeros((reps, n_stations), dtype=bool)
@@ -313,6 +383,11 @@ def simulate_probe_train_batch(
         pending = ~hol & (nxt < n_arr)
         next_arr = np.where(pending, gathered, np.inf)
         t_arr = next_arr.min(axis=1)
+
+        # Steady mode: the first event past the stop instant never
+        # fires — the kernel counterpart of ``run(until=stop_time)``.
+        if stop_time is not None:
+            active = active & (np.minimum(t_arr, t_tx) <= stop_time)
 
         # Ties go to the arrival, like the event engine's priorities
         # (the admitted station then collides at the same instant).
@@ -366,6 +441,19 @@ def simulate_probe_train_batch(
                                              - hol_t[pr, 0])
             probe_left[pr] -= 1
 
+            # Per-flow throughput accounting: a packet counts when its
+            # DATA frame ends inside the measurement window.  At most
+            # one success per repetition per iteration, so plain fancy
+            # indexing accumulates safely.
+            if window is not None:
+                in_win = (data_end > w0) & (data_end <= w1)
+                cwin = in_win & (s_sta > 0)
+                cross_bits[s_rep[cwin], s_sta[cwin] - 1] += \
+                    size_bits[s_sta[cwin]]
+                p_in = in_win[probe_tx]
+                probe_bits[p_rep[p_in & is_probe_pkt]] += size_bits[0]
+                fifo_bits[p_rep[p_in & ~is_probe_pkt]] += size_bits[0]
+
             # Advance the winner's queue: the next packet (if it has
             # already arrived) is promoted when the DATA frame ends and
             # draws its backoff immediately (the medium is busy).
@@ -404,16 +492,140 @@ def simulate_probe_train_batch(
             cstart[counting] = np.broadcast_to(
                 (busy_end + difs)[:, None], counting.shape)[counting]
 
-            active = active & (probe_left > 0)
+            if stop_time is None:
+                active = active & (probe_left > 0)
     else:  # pragma: no cover - defensive
         raise RuntimeError(
             f"probe batch did not complete within {max_events} events")
 
-    if np.isnan(recv).any():  # pragma: no cover - defensive
-        raise RuntimeError("probe packets were lost")
-    return ProbeBatchResult(
-        send_times=probe_times,
-        recv_times=recv,
-        access_delays=delays,
+    bits = ((probe_bits, fifo_bits, cross_bits)
+            if window is not None else None)
+    return recv, delays, bits
+
+
+@dataclass
+class SteadyBatchResult:
+    """Per-flow delivered bits of a steady-state repetition batch.
+
+    The dense counterpart of repeating
+    :func:`repro.analysis.steady_state.steady_state_throughputs` over
+    independent repetitions: row ``r`` holds repetition ``r``'s
+    network-layer bits delivered in the measurement window
+    ``(warmup, duration]`` for the probe flow, the FIFO flow sharing
+    the probe queue, and each contending cross station.
+    """
+
+    probe_bits: np.ndarray
+    fifo_bits: np.ndarray
+    cross_bits: np.ndarray
+    warmup: float
+    duration: float
+    size_bytes: int
+
+    @property
+    def repetitions(self) -> int:
+        """Number of repetitions (rows)."""
+        return self.probe_bits.shape[0]
+
+    @property
+    def window_s(self) -> float:
+        """Length of the measurement window."""
+        return self.duration - self.warmup
+
+    def probe_throughput_bps(self) -> np.ndarray:
+        """Per-repetition probe-flow throughput."""
+        return self.probe_bits / self.window_s
+
+    def fifo_throughput_bps(self) -> np.ndarray:
+        """Per-repetition FIFO-flow throughput."""
+        return self.fifo_bits / self.window_s
+
+    def cross_throughput_bps(self) -> np.ndarray:
+        """Per-repetition total contending-station throughput."""
+        return self.cross_bits.sum(axis=1) / self.window_s
+
+
+def simulate_steady_state_batch(
+        probe_rate_bps: float,
+        repetitions: int,
+        *,
+        size_bytes: int = 1500,
+        cross: Sequence[PoissonCrossSpec] = (),
+        fifo_cross: Optional[PoissonCrossSpec] = None,
+        duration: float = 4.0,
+        warmup: float = 0.5,
+        phy: Optional[PhyParams] = None,
+        seed: int = 0,
+        immediate_access: bool = True) -> SteadyBatchResult:
+    """Batched steady-state throughput measurement (figures 1 and 4).
+
+    Each repetition mirrors one
+    :func:`repro.analysis.steady_state.steady_state_throughputs` call:
+    the probe flow is CBR at ``probe_rate_bps`` from time zero
+    (periodic arrivals, exactly the event path's
+    :class:`repro.traffic.generators.CBRGenerator` schedule), optional
+    ``fifo_cross`` Poisson traffic shares the probe station's queue,
+    the ``cross`` stations contend with Poisson traffic, and the
+    simulation stops at ``duration`` — throughputs are read off the
+    bits delivered in ``(warmup, duration]``.
+
+    The contract with the event backend is distributional, like the
+    train kernel's: the per-repetition throughput samples of every
+    flow match under the repo's KS thresholds.
+    """
+    if probe_rate_bps <= 0:
+        raise ValueError(
+            f"probe rate must be positive, got {probe_rate_bps}")
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if duration <= warmup or warmup < 0:
+        raise ValueError("need duration > warmup >= 0")
+
+    cross = list(cross)
+    if fifo_cross is not None and fifo_cross.size_bytes != size_bytes:
+        raise ValueError(
+            "the batched kernel requires FIFO cross-traffic packets of "
+            f"the probe size ({size_bytes} B), got "
+            f"{fifo_cross.size_bytes} B; run with backend='event'")
+
+    # The event path's CBR schedule: packets at k * interval, k >= 0,
+    # clipped to [0, duration).
+    interval = size_bytes * 8 / probe_rate_bps
+    count = int(duration / interval) + 1
+    times = np.arange(count) * interval
+    times = times[times < duration]
+    n_probe = len(times)
+    if n_probe < 1:  # pragma: no cover - degenerate rates only
+        raise ValueError("probe flow emits no packet before duration")
+
+    reps = repetitions
+    # Same derivation scheme as repro.runtime.executor.derive_seeds.
+    seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+    gens = [np.random.default_rng(int(s)) for s in seeds]
+
+    probe_times = np.broadcast_to(times, (reps, n_probe)).copy()
+    cross_paths = [_poisson_arrival_paths(gens, spec.packets_per_second,
+                                          duration) for spec in cross]
+    if fifo_cross is not None:
+        fifo_times, fifo_counts = _poisson_arrival_paths(
+            gens, fifo_cross.packets_per_second, duration)
+    else:
+        fifo_times, fifo_counts = None, None
+    probe_arr, probe_seq, probe_counts = _merge_probe_queue(
+        probe_times, n_probe, fifo_times, fifo_counts)
+
+    _, _, bits = _resolve_batch(
+        probe_arr, probe_seq, probe_counts, cross_paths, n_probe,
+        seeds=seeds, size_bytes=size_bytes,
+        cross_sizes=[spec.size_bytes for spec in cross], phy=phy,
+        immediate_access=immediate_access,
+        stop_time=duration, window=(warmup, duration))
+    probe_bits, fifo_bits, cross_bits = bits
+    return SteadyBatchResult(
+        probe_bits=probe_bits,
+        fifo_bits=fifo_bits,
+        cross_bits=cross_bits,
+        warmup=warmup,
+        duration=duration,
         size_bytes=size_bytes,
     )

@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import ScenarioSpec, dispatch
 from repro.mac.params import PhyParams
 from repro.mac.scenario import ScenarioResult, StationSpec, WlanScenario
 from repro.queueing.fifo import FifoHop
@@ -62,6 +63,31 @@ class Channel(abc.ABC):
     def send_train(self, train: ProbeTrain, seed: int) -> RawTrainResult:
         """Send one train through a fresh repetition of the channel."""
 
+    def scenario_spec(self,
+                      train: Optional[ProbeTrain] = None) -> ScenarioSpec:
+        """Declarative description of this channel for the dispatcher.
+
+        ``train`` sharpens the spec with workload properties only the
+        probing train knows (e.g. whether FIFO cross-traffic matches
+        the probe packet size).  The base class declares nothing
+        (:data:`repro.backends.EVENT_ONLY`-like), so unknown channels
+        only ever run the event engine; simulated channels override
+        this with their actual configuration.
+        """
+        return ScenarioSpec(system="other", workload="train",
+                            cross_traffic="other")
+
+    def resolve_backend(self, requested: str = "auto",
+                        train: Optional[ProbeTrain] = None):
+        """Dispatch decision for this channel's scenario.
+
+        Returns a :class:`repro.backends.Resolution`; forcing
+        ``vector`` on an ineligible channel raises
+        :class:`repro.backends.BackendUnavailableError` carrying the
+        structured capability mismatches.
+        """
+        return dispatch.resolve(self.scenario_spec(train=train), requested)
+
     def send_trains(self, train: ProbeTrain, repetitions: int,
                     seed: int = 0,
                     backend: str = "event") -> List[RawTrainResult]:
@@ -76,15 +102,18 @@ class Channel(abc.ABC):
         resolves the whole batch in one numpy pass instead
         (:meth:`send_trains_batch`) — statistically equivalent, no
         worker pool at all; channels without a vector kernel raise
-        ``ValueError``.
+        ``ValueError``.  ``backend="auto"`` lets the dispatcher pick
+        the fastest backend this channel is eligible for.
         """
         if repetitions < 1:
             raise ValueError(
                 f"repetitions must be >= 1, got {repetitions}")
-        if backend not in ("event", "vector"):
+        if backend not in dispatch.REQUESTABLE:
             raise ValueError(
                 f"unknown backend {backend!r}; expected 'event' or "
-                "'vector'")
+                "'vector' (or 'auto')")
+        if backend == "auto":
+            backend = self.resolve_backend("auto", train=train).name
         if backend == "vector":
             batch = self.send_trains_batch(train, repetitions, seed=seed)
             return [RawTrainResult(send_times=batch.send_times[r],
@@ -108,6 +137,35 @@ class Channel(abc.ABC):
         raise ValueError(
             f"{type(self).__name__} has no vector kernel; "
             "run with backend='event'")
+
+    def send_trains_dense(self, train: ProbeTrain, repetitions: int,
+                          seed: int = 0,
+                          backend: str = "event") -> ProbeBatchResult:
+        """Send a repetition batch and return it in dense batch form.
+
+        The backend-agnostic face of :meth:`send_trains`: the vector
+        path returns the kernel's :class:`ProbeBatchResult` directly,
+        the event path assembles the same shape from the
+        per-repetition results — so runners consume one dense object
+        and never branch on the backend.  The event rows are
+        bit-identical to :meth:`send_trains`'s output.
+        """
+        if backend == "auto":
+            backend = self.resolve_backend("auto", train=train).name
+        if backend == "vector":
+            return self.send_trains_batch(train, repetitions, seed=seed)
+        raws = self.send_trains(train, repetitions, seed=seed,
+                                backend=backend)
+        if all(raw.access_delays is not None for raw in raws):
+            delays = np.vstack([raw.access_delays for raw in raws])
+        else:  # end-to-end channels cannot observe access delays
+            delays = np.full((repetitions, train.n), np.nan)
+        return ProbeBatchResult(
+            send_times=np.vstack([raw.send_times for raw in raws]),
+            recv_times=np.vstack([raw.recv_times for raw in raws]),
+            access_delays=delays,
+            size_bytes=train.size_bytes,
+        )
 
     def _train_task(self, train: ProbeTrain, seed: int) -> RawTrainResult:
         """One batch repetition; subclasses may slim the result.
@@ -214,30 +272,63 @@ class SimulatedWlanChannel(Channel):
             raw.scenario = None
         return raw
 
-    def vector_unsupported_reason(self) -> Optional[str]:
-        """Why this channel cannot run the vector kernel (or ``None``).
+    def scenario_spec(self,
+                      train: Optional[ProbeTrain] = None) -> ScenarioSpec:
+        """Compile this channel's configuration into a ScenarioSpec.
 
         The batched kernel covers the paper's probe-train setting —
         Poisson cross-traffic, no RTS/CTS, no retry limit, no queue
-        traces; anything else must take the event engine.
+        traces, FIFO cross-traffic at the probe packet size; the spec
+        states exactly which of those properties this instance (and,
+        when given, the ``train`` it is about to carry) has, and the
+        dispatcher turns any unsupported one into a structured
+        capability mismatch.
         """
-        if self.log_cross_queues:
-            return "queue traces require the event engine"
-        if self.rts_threshold is not None:
-            return "RTS/CTS protection requires the event engine"
-        if self.retry_limit is not None:
-            return "a retry limit requires the event engine"
+        cross_kind, cross_detail = "none", ""
         for name, generator in self.cross_stations:
             try:
                 PoissonCrossSpec.from_generator(generator)
+                cross_kind = "poisson"
             except ValueError as exc:
-                return f"cross station {name!r}: {exc}"
+                cross_kind = "other"
+                cross_detail = f"cross station {name!r}: {exc}"
+                break
+        fifo_kind, fifo_detail = "none", ""
         if self.fifo_cross is not None:
             try:
-                PoissonCrossSpec.from_generator(self.fifo_cross)
+                spec = PoissonCrossSpec.from_generator(self.fifo_cross)
+                fifo_kind = "poisson"
+                if train is not None and spec.size_bytes != train.size_bytes:
+                    fifo_kind = "other"
+                    fifo_detail = (
+                        "the batched kernel requires FIFO cross-traffic "
+                        f"packets of the probe size ({train.size_bytes} "
+                        f"B), got {spec.size_bytes} B; run with "
+                        "backend='event'")
             except ValueError as exc:
-                return f"FIFO cross-traffic: {exc}"
-        return None
+                fifo_kind = "other"
+                fifo_detail = f"FIFO cross-traffic: {exc}"
+        return ScenarioSpec(
+            system="wlan",
+            workload="train",
+            cross_traffic=cross_kind,
+            fifo_cross=fifo_kind,
+            rts_cts=self.rts_threshold is not None,
+            retry_limit=self.retry_limit is not None,
+            queue_traces=self.log_cross_queues,
+            cross_detail=cross_detail,
+            fifo_detail=fifo_detail,
+        )
+
+    def vector_unsupported_reason(self) -> Optional[str]:
+        """Why this channel cannot run the vector kernel (or ``None``).
+
+        A convenience view over the dispatcher: the returned sentence
+        is the first structured
+        :class:`~repro.backends.CapabilityMismatch` of the probe-train
+        kernel for :meth:`scenario_spec`.
+        """
+        return dispatch.vector_mismatch_reason(self.scenario_spec())
 
     def send_trains_batch(self, train: ProbeTrain, repetitions: int,
                           seed: int = 0) -> ProbeBatchResult:
@@ -327,6 +418,21 @@ class SimulatedFifoChannel(Channel):
         self.warmup = warmup
         self.start_jitter = start_jitter
         self.drain_rate_floor = drain_rate_floor
+
+    def scenario_spec(self,
+                      train: Optional[ProbeTrain] = None) -> ScenarioSpec:
+        """A wired FIFO hop; the batched Lindley kernel replays any
+        cross-traffic model's exact sample path, so neither the
+        traffic model nor the train shape disqualifies it."""
+        kind = "none"
+        if self.cross_generator is not None:
+            try:
+                PoissonCrossSpec.from_generator(self.cross_generator)
+                kind = "poisson"
+            except ValueError:
+                kind = "other"
+        return ScenarioSpec(system="fifo", workload="train",
+                            cross_traffic=kind)
 
     def send_train(self, train: ProbeTrain, seed: int) -> RawTrainResult:
         rng = np.random.default_rng(seed)

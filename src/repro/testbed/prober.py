@@ -51,7 +51,8 @@ class ProbeSessionConfig:
         :meth:`repro.testbed.channel.Channel.send_trains`: ``event``
         (default) shards event-engine repetitions, ``vector`` resolves
         the whole batch with the numpy kernel on channels that have
-        one.
+        one, ``auto`` lets the dispatcher pick the fastest backend the
+        channel is eligible for.
     """
 
     size_bytes: int = 1500

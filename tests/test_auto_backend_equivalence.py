@@ -1,0 +1,163 @@
+"""KS-equivalence pins for the experiments that became dual-backend.
+
+PR 4 grew vector coverage from 11 to 19 registry entries by
+dispatching already-vectorizable batches through the new
+``repro.backends`` layer.  Every *newly* dual-backend experiment is
+pinned to the event engine here, at its own configuration (probing
+rate, cross-traffic, train shape), with the repo's KS machinery at
+``alpha = 0.01`` — fixed seeds make these deterministic regressions,
+not flaky statistical tests.  (The previously covered probe-train
+family is pinned by ``tests/test_probe_vector_backend.py``.)
+
+* figures 1/4 — the steady-state mode of the probe-train kernel
+  (per-flow throughput samples vs. repeated event measurements);
+* ablation-immediate-access — the ``immediate_access=False`` arm;
+* ablation-ks / ablation-truncation / ext-b-vs-n /
+  ext-tool-convergence / ext-topp — trains at each study's setting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.steady_state import steady_state_samples
+from repro.stats.ks import ks_distance, ks_threshold
+from repro.testbed.channel import SimulatedWlanChannel
+from repro.traffic.generators import PoissonGenerator
+from repro.traffic.probe import ProbeTrain
+
+L = 1500
+REPS = 50
+
+
+def assert_ks_close(a, b, alpha=0.01):
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    assert ks_distance(a, b) <= ks_threshold(len(a), len(b), alpha=alpha)
+
+
+def train_pair(probe_rate, cross_rate, n, reps=REPS, seed=17,
+               immediate_access=True):
+    """Dense batches of the same channel/train on both backends."""
+    channel = SimulatedWlanChannel(
+        [("cross", PoissonGenerator(cross_rate, L))], warmup=0.1,
+        immediate_access=immediate_access)
+    train = ProbeTrain.at_rate(n, probe_rate, L)
+    event = channel.send_trains_dense(train, reps, seed=seed,
+                                      backend="event")
+    vector = channel.send_trains_dense(train, reps, seed=seed,
+                                       backend="vector")
+    return event, vector
+
+
+class TestSteadyStateFigures:
+    """Figures 1 and 4: the steady-state kernel mode."""
+
+    N_REPS = 40
+    WINDOW = dict(duration=1.0, warmup=0.3)
+
+    @pytest.fixture(scope="class")
+    def fig1_pair(self):
+        kwargs = dict(repetitions=self.N_REPS, seed=5, **self.WINDOW)
+        event = steady_state_samples(5e6, 4.5e6, 0.0, backend="event",
+                                     **kwargs)
+        vector = steady_state_samples(5e6, 4.5e6, 0.0, backend="vector",
+                                      **kwargs)
+        return event, vector
+
+    @pytest.fixture(scope="class")
+    def fig4_pair(self):
+        kwargs = dict(repetitions=self.N_REPS, seed=6, **self.WINDOW)
+        event = steady_state_samples(6e6, 3e6, 1.5e6, backend="event",
+                                     **kwargs)
+        vector = steady_state_samples(6e6, 3e6, 1.5e6, backend="vector",
+                                      **kwargs)
+        return event, vector
+
+    def test_fig1_probe_throughput_distribution(self, fig1_pair):
+        event, vector = fig1_pair
+        assert_ks_close(event["probe"], vector["probe"])
+
+    def test_fig1_cross_throughput_distribution(self, fig1_pair):
+        event, vector = fig1_pair
+        assert_ks_close(event["cross"], vector["cross"])
+
+    def test_fig1_means_close(self, fig1_pair):
+        event, vector = fig1_pair
+        assert event["probe"].mean() == pytest.approx(
+            vector["probe"].mean(), rel=0.1)
+        assert event["cross"].mean() == pytest.approx(
+            vector["cross"].mean(), rel=0.1)
+
+    def test_fig4_all_flow_distributions(self, fig4_pair):
+        event, vector = fig4_pair
+        for flow in ("probe", "cross", "fifo"):
+            assert_ks_close(event[flow], vector[flow])
+
+    def test_fig4_fifo_crowded_out_on_both(self, fig4_pair):
+        """The figure's qualitative claim holds on either backend: the
+        probe gets well more than the FIFO flow's share."""
+        for samples in fig4_pair:
+            assert samples["probe"].mean() > samples["fifo"].mean()
+
+
+class TestImmediateAccessAblation:
+    """The new arm: immediate access disabled on both backends."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return train_pair(5e6, 4e6, n=20, seed=19,
+                          immediate_access=False)
+
+    def test_delay_distributions_match(self, pair):
+        event, vector = pair
+        assert_ks_close(event.access_delays, vector.access_delays)
+
+    def test_first_packet_distribution_matches(self, pair):
+        event, vector = pair
+        assert_ks_close(event.access_delays[:, 0],
+                        vector.access_delays[:, 0])
+
+    def test_backends_agree_on_residual_dip(self, pair):
+        """Both backends report the same (much weakened) first-packet
+        dip once the rule is off — the ablation's comparison input."""
+        event, vector = pair
+        dips = []
+        for batch in (event, vector):
+            profile = batch.access_delays.mean(axis=0)
+            dips.append(float(profile[0] / profile[10:].mean()))
+        assert dips[0] == pytest.approx(dips[1], rel=0.15)
+
+
+class TestTrainStudies:
+    """The remaining new dual-backend studies, at their settings."""
+
+    def test_ablation_ks_setting(self):
+        event, vector = train_pair(2e6, 2e6, n=20, seed=23)
+        assert_ks_close(event.access_delays, vector.access_delays)
+
+    def test_ablation_truncation_setting(self):
+        event, vector = train_pair(8e6, 3e6, n=20, seed=29)
+        assert_ks_close(event.output_gaps, vector.output_gaps)
+        assert_ks_close(event.access_delays, vector.access_delays)
+
+    def test_ext_b_vs_n_setting(self):
+        event, vector = train_pair(8e6, 4e6, n=20, seed=31)
+        assert_ks_close(event.access_delays, vector.access_delays)
+        # Equation (31) inputs: the per-index mean profiles agree.
+        assert np.allclose(event.access_delays.mean(axis=0),
+                           vector.access_delays.mean(axis=0),
+                           rtol=0.25)
+
+    def test_ext_tool_convergence_setting(self):
+        event, vector = train_pair(3e6, 2e6, n=20, seed=37)
+        assert_ks_close(event.output_gaps, vector.output_gaps)
+
+    def test_ext_topp_setting(self):
+        event, vector = train_pair(4e6, 3e6, n=25, seed=41)
+        assert_ks_close(event.output_gaps, vector.output_gaps)
+        # TOPP regresses ri/ro on ri: the mean dispersion ratio must
+        # agree across backends.
+        gap_in = ProbeTrain.at_rate(25, 4e6, L).gap
+        event_ratio = float(np.mean(event.output_gaps)) / gap_in
+        vector_ratio = float(np.mean(vector.output_gaps)) / gap_in
+        assert event_ratio == pytest.approx(vector_ratio, rel=0.1)

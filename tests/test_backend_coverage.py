@@ -1,4 +1,10 @@
-"""Tests for the backend-coverage gate (tools/check_backend_coverage.py)."""
+"""Tests for the backend-coverage gate and the doc-matrix generator.
+
+Covers ``tools/check_backend_coverage.py`` (coverage can only grow,
+derived from the dispatcher) and ``tools/gen_backend_docs.py`` (the
+README / architecture matrices are generated from the manifest and
+must stay in sync).
+"""
 
 import json
 import pathlib
@@ -10,6 +16,7 @@ TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
 sys.path.insert(0, str(TOOLS))
 
 import check_backend_coverage as gate  # noqa: E402
+import gen_backend_docs as docgen  # noqa: E402
 
 from repro.runtime import registry  # noqa: E402
 
@@ -25,33 +32,55 @@ def manifest(tmp_path):
     return write
 
 
+def entry(*backends, **extra):
+    return {"backends": list(backends), **extra}
+
+
 class TestCompare:
     def test_clean_when_identical(self, capsys):
-        current = {"a": ["event", "vector"], "b": ["event"]}
+        current = {"a": entry("event", "vector"), "b": entry("event")}
         assert gate.compare(current, dict(current)) == []
 
     def test_lost_backend_fails(self):
-        failures = gate.compare({"a": ["event"]},
-                                {"a": ["event", "vector"]})
+        failures = gate.compare({"a": entry("event")},
+                                {"a": entry("event", "vector")})
         assert len(failures) == 1
         assert "lost backend(s) vector" in failures[0]
 
     def test_lost_experiment_fails(self):
-        failures = gate.compare({}, {"a": ["event"]})
+        failures = gate.compare({}, {"a": entry("event")})
         assert len(failures) == 1
         assert "disappeared" in failures[0]
 
     def test_gained_backend_passes_with_note(self, capsys):
-        failures = gate.compare({"a": ["event", "vector"]},
-                                {"a": ["event"]})
+        failures = gate.compare({"a": entry("event", "vector")},
+                                {"a": entry("event")})
         assert failures == []
         assert "gained backend(s) vector" in capsys.readouterr().out
 
     def test_new_experiment_passes_with_note(self, capsys):
-        failures = gate.compare({"a": ["event"], "b": ["event"]},
-                                {"a": ["event"]})
+        failures = gate.compare({"a": entry("event"), "b": entry("event")},
+                                {"a": entry("event")})
         assert failures == []
         assert "new experiment" in capsys.readouterr().out
+
+
+class TestRegistryCoverage:
+    def test_derived_entries_annotated(self):
+        current = gate.registry_coverage()
+        assert set(current) == set(registry.names())
+        for name, info in current.items():
+            if "vector" in info["backends"]:
+                assert info["kernel"], name
+            else:
+                assert info["reason"], name
+
+    def test_kernels_match_dispatcher(self):
+        current = gate.registry_coverage()
+        assert current["ext-saturation"]["kernel"] == "saturated-DCF kernel"
+        assert current["eq1"]["kernel"] == "batched Lindley recursion"
+        assert current["fig6"]["kernel"] == "probe-train kernel"
+        assert "queue traces" in current["fig8"]["reason"]
 
 
 class TestMain:
@@ -62,9 +91,11 @@ class TestMain:
     def test_fails_on_lost_vector_entry(self, manifest, capsys):
         current = gate.registry_coverage()
         doctored = dict(current)
-        doctored["fig1"] = ["event", "vector"]  # pretend fig1 had it
+        # Pretend the (genuinely event-only) fig8 used to have a
+        # vector backend: the gate must flag the loss.
+        doctored["fig8"] = entry("event", "vector")
         path = manifest(doctored)
-        assert gate.main([str(path)]) == 1
+        assert gate.main([str(path), "--skip-docs"]) == 1
         assert "lost backend(s) vector" in capsys.readouterr().err
 
     def test_missing_manifest_is_an_error(self, tmp_path, capsys):
@@ -77,6 +108,46 @@ class TestMain:
         payload = json.loads(path.read_text())
         assert set(payload) == set(registry.names())
 
+    def test_legacy_flat_manifest_still_loads(self, manifest):
+        current = gate.registry_coverage()
+        flat = {name: info["backends"] for name, info in current.items()}
+        path = manifest(flat)
+        loaded = gate.load_baseline(path)
+        assert loaded["fig6"]["backends"] == ["event", "vector"]
+        assert gate.compare(current, loaded) == []
+
+
+class TestDocGeneration:
+    def test_committed_docs_in_sync(self):
+        coverage = docgen.load_manifest()
+        assert docgen.stale_targets(coverage) == []
+
+    def test_check_mode_flags_drift(self, tmp_path):
+        coverage = docgen.load_manifest()
+        target = tmp_path / "doc.md"
+        target.write_text(
+            f"# X\n\n{docgen.BEGIN_MARK}\nstale\n{docgen.END_MARK}\n")
+        assert docgen.stale_targets(coverage, [target])
+        docgen.write_targets(coverage, [target])
+        assert docgen.stale_targets(coverage, [target]) == []
+
+    def test_missing_markers_reported(self, tmp_path):
+        coverage = docgen.load_manifest()
+        target = tmp_path / "bare.md"
+        target.write_text("# no markers here\n")
+        stale = docgen.stale_targets(coverage, [target])
+        assert stale and "markers" in stale[0]
+
+    def test_matrix_mentions_every_experiment(self):
+        block = docgen.render_matrix(docgen.load_manifest())
+        for name in registry.names():
+            assert f"`{name}`" in block
+        assert "dual-backend" in block
+
+    def test_main_check_and_write(self, capsys):
+        assert docgen.main(["--check"]) == 0
+        assert "in sync" in capsys.readouterr().out
+
 
 class TestCommittedManifest:
     def test_manifest_matches_registry_exactly(self):
@@ -84,8 +155,14 @@ class TestCommittedManifest:
         assert committed == gate.registry_coverage()
 
     def test_dual_backend_floor(self):
-        """The PR's acceptance floor: >= 8 dual-backend experiments."""
+        """The PR's acceptance floor: >= 17 dual-backend experiments."""
         committed = gate.load_baseline(gate.DEFAULT_BASELINE)
-        dual = [name for name, backends in committed.items()
-                if "vector" in backends]
-        assert len(dual) >= 8
+        dual = [name for name, info in committed.items()
+                if "vector" in info["backends"]]
+        assert len(dual) >= 17
+
+    def test_manifest_matches_derived_vector_experiments(self):
+        committed = gate.load_baseline(gate.DEFAULT_BASELINE)
+        dual = {name for name, info in committed.items()
+                if "vector" in info["backends"]}
+        assert dual == set(registry.VECTOR_EXPERIMENTS)

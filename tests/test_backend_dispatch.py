@@ -1,0 +1,341 @@
+"""Tests for the capability-based backend dispatcher (repro.backends).
+
+The load-bearing guarantees:
+
+* resolution is a pure function of ``(spec, requested)`` — the same
+  backend is picked under any ambient job count;
+* ``auto`` prefers kernels, falls back to the event engine with a
+  *recorded* structured reason, and forcing ``vector`` on an
+  ineligible scenario raises with the capability mismatches attached;
+* the registry derives coverage from declared scenarios, resolves
+  ``auto`` before kwargs materialisation (cache keys name the
+  resolved backend), and lands fallback reasons in result meta;
+* the CLI default is ``auto`` and ``run --explain-backend`` prints
+  decisions without running anything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendUnavailableError,
+    Capabilities,
+    EVENT,
+    ScenarioSpec,
+    dispatch,
+    eligible,
+    explain,
+    family_names,
+    resolve,
+    vector_mismatch_reason,
+)
+from repro.cli import main
+from repro.runtime import executor, registry
+from repro.runtime.cache import ResultCache
+from repro.testbed.channel import SimulatedFifoChannel, SimulatedWlanChannel
+from repro.traffic.generators import CBRGenerator, PoissonGenerator
+
+WLAN_TRAIN = ScenarioSpec(system="wlan", workload="train",
+                          cross_traffic="poisson")
+
+
+class TestScenarioSpec:
+    def test_defaults(self):
+        spec = ScenarioSpec()
+        assert spec.system == "wlan" and spec.workload == "train"
+
+    def test_rejects_unknown_values(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            ScenarioSpec(system="quantum")
+        with pytest.raises(ValueError, match="unknown workload"):
+            ScenarioSpec(workload="quantum")
+        with pytest.raises(ValueError, match="unknown cross_traffic"):
+            ScenarioSpec(cross_traffic="quantum")
+
+    def test_mismatch_order_is_stable(self):
+        """The first mismatch names the leading reason — the channel
+        layer's legacy strings depend on the order."""
+        caps = Capabilities(rts_cts=False, retry_limit=False,
+                            queue_traces=False)
+        spec = ScenarioSpec(queue_traces=True, rts_cts=True,
+                            retry_limit=True)
+        found = caps.mismatches(spec)
+        assert [m.capability for m in found] == [
+            "queue_traces", "rts_cts", "retry_limit"]
+        assert str(found[0]) == "queue traces require the event engine"
+
+
+class TestResolve:
+    def test_auto_prefers_kernel(self):
+        resolution = resolve(WLAN_TRAIN, "auto")
+        assert resolution.name == "vector"
+        assert resolution.kernel == "probe-train kernel"
+        assert resolution.fallback is None
+
+    def test_auto_falls_back_with_reason(self):
+        spec = ScenarioSpec(system="wlan", workload="train",
+                            cross_traffic="poisson", queue_traces=True)
+        resolution = resolve(spec, "auto")
+        assert resolution.backend is EVENT
+        assert resolution.fallback == \
+            "queue traces require the event engine"
+
+    def test_event_never_records_fallback(self):
+        resolution = resolve(WLAN_TRAIN, "event")
+        assert resolution.backend is EVENT
+        assert resolution.fallback is None
+
+    def test_forced_vector_raises_structured(self):
+        spec = ScenarioSpec(system="wlan", workload="train",
+                            cross_traffic="poisson", rts_cts=True)
+        with pytest.raises(BackendUnavailableError,
+                           match="RTS/CTS") as err:
+            resolve(spec, "vector")
+        mismatches = err.value.mismatches["probe-train kernel"]
+        assert any(m.capability == "rts_cts" for m in mismatches)
+
+    def test_unknown_request_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve(WLAN_TRAIN, "quantum")
+
+    def test_none_spec_is_event_only(self):
+        resolution = resolve(None, "auto")
+        assert resolution.backend is EVENT
+        assert resolution.fallback
+        with pytest.raises(BackendUnavailableError):
+            resolve(None, "vector")
+
+    def test_kernel_per_system(self):
+        assert resolve(ScenarioSpec(system="fifo"), "auto").kernel == \
+            "batched Lindley recursion"
+        assert resolve(ScenarioSpec(workload="saturated",
+                                    cross_traffic="none"),
+                       "auto").kernel == "saturated-DCF kernel"
+
+    def test_family_names(self):
+        assert family_names(WLAN_TRAIN) == ("event", "vector")
+        assert family_names(ScenarioSpec(system="path")) == ("event",)
+        assert eligible(WLAN_TRAIN)[-1] is EVENT
+
+    def test_deterministic_across_jobs(self):
+        """Resolution ignores the ambient worker-pool scope."""
+        outcomes = []
+        for jobs in (1, 4, 8):
+            with executor.parallel_jobs(jobs):
+                outcomes.append(resolve(WLAN_TRAIN, "auto").kernel)
+        assert len(set(outcomes)) == 1
+
+    def test_explain_renders_decision_and_rejections(self):
+        text = explain(ScenarioSpec(system="fifo"), "auto")
+        assert "batched Lindley recursion" in text
+        assert "probe-train kernel" in text  # rejected, with reason
+        forced = explain(ScenarioSpec(system="path"), "vector")
+        assert "ERROR" in forced
+
+
+class TestChannelIntegration:
+    def test_wlan_spec_compiled_from_configuration(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, 1500))],
+            fifo_cross=PoissonGenerator(1e6, 1500),
+            rts_threshold=500, retry_limit=4, log_cross_queues=True)
+        spec = channel.scenario_spec()
+        assert spec.cross_traffic == "poisson"
+        assert spec.fifo_cross == "poisson"
+        assert spec.rts_cts and spec.retry_limit and spec.queue_traces
+
+    def test_cbr_cross_disqualifies_with_detail(self):
+        channel = SimulatedWlanChannel([("cbr", CBRGenerator(2e6, 1500))])
+        spec = channel.scenario_spec()
+        assert spec.cross_traffic == "other"
+        reason = vector_mismatch_reason(spec)
+        assert "cross station 'cbr'" in reason
+        assert channel.vector_unsupported_reason() == reason
+
+    def test_fifo_size_mismatch_falls_back_instead_of_crashing(self):
+        """auto must never pick a kernel that will refuse the batch:
+        FIFO cross-traffic at a different packet size than the probe
+        disqualifies the probe-train kernel (train-aware spec)."""
+        from repro.traffic.probe import ProbeTrain
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, 1500))],
+            fifo_cross=PoissonGenerator(1e6, 800), warmup=0.1)
+        train = ProbeTrain.at_rate(10, 5e6, 1500)
+        resolution = channel.resolve_backend("auto", train=train)
+        assert resolution.name == "event"
+        assert "probe size" in resolution.fallback
+        dense = channel.send_trains_dense(train, 3, seed=3,
+                                          backend="auto")
+        assert dense.recv_times.shape == (3, 10)
+        # A matching probe size keeps the kernel eligible.
+        matching = ProbeTrain.at_rate(10, 5e6, 800)
+        assert channel.resolve_backend("auto",
+                                       train=matching).name == "vector"
+
+    def test_fifo_channel_resolves_to_lindley(self):
+        channel = SimulatedFifoChannel(10e6)
+        assert channel.resolve_backend("auto").kernel == \
+            "batched Lindley recursion"
+
+    def test_send_trains_auto_routes_to_kernel(self):
+        from repro.traffic.probe import ProbeTrain
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, 1500))], warmup=0.1)
+        train = ProbeTrain.at_rate(8, 4e6, 1500)
+        auto = channel.send_trains(train, 5, seed=3, backend="auto")
+        forced = channel.send_trains(train, 5, seed=3, backend="vector")
+        for a, b in zip(auto, forced):
+            assert np.array_equal(a.recv_times, b.recv_times)
+
+    def test_send_trains_dense_event_matches_raws(self):
+        from repro.traffic.probe import ProbeTrain
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, 1500))], warmup=0.1)
+        train = ProbeTrain.at_rate(8, 4e6, 1500)
+        raws = channel.send_trains(train, 5, seed=3)
+        dense = channel.send_trains_dense(train, 5, seed=3,
+                                          backend="event")
+        assert dense.recv_times.shape == (5, 8)
+        for r, raw in enumerate(raws):
+            assert np.array_equal(dense.recv_times[r], raw.recv_times)
+            assert np.array_equal(dense.access_delays[r],
+                                  raw.access_delays)
+
+
+class TestExecutorDelegation:
+    def test_auto_with_spec_picks_kernel(self):
+        out = executor.run_batch(
+            lambda s: ("event", s), 4, 9, backend="auto",
+            vector_batch=lambda s: ("vector", s), spec=WLAN_TRAIN)
+        assert out == ("vector", 9)
+
+    def test_auto_without_spec_stays_on_event(self):
+        out = executor.run_batch(
+            lambda s: ("event", s), 3, 9, backend="auto",
+            vector_batch=lambda s: ("vector", s))
+        assert [flavor for flavor, _ in out] == ["event"] * 3
+
+    def test_forced_vector_without_spec_trusts_caller(self):
+        out = executor.run_batch(
+            lambda s: ("event", s), 3, 9, backend="vector",
+            vector_batch=lambda s: ("vector", s))
+        assert out == ("vector", 9)
+
+    def test_auto_with_ineligible_spec_maps_event(self):
+        spec = ScenarioSpec(system="wlan", workload="train",
+                            cross_traffic="poisson", queue_traces=True)
+        out = executor.run_batch(
+            lambda s: ("event", s), 2, 9, backend="auto",
+            vector_batch=lambda s: ("vector", s), spec=spec)
+        assert [flavor for flavor, _ in out] == ["event"] * 2
+
+
+class TestRegistryCacheInteraction:
+    """The cache/backend satellite: keys name the *resolved* backend."""
+
+    def test_auto_and_forced_vector_share_cache_key(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        experiment = registry.get("fig6")
+        overrides = {"n_packets": 40, "repetitions": 6}
+        auto = experiment.run(scale=0.02, seed=1, backend="auto",
+                              overrides=overrides, cache=cache)
+        forced = experiment.run(scale=0.02, seed=1, backend="vector",
+                                overrides=overrides, cache=cache)
+        assert auto.kwargs["backend"] == "vector"
+        assert forced.cache_key == auto.cache_key
+        assert forced.cached is True  # served from the auto run
+
+    def test_auto_key_differs_from_event_key(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        experiment = registry.get("fig6")
+        overrides = {"n_packets": 40, "repetitions": 6}
+        auto = experiment.run(scale=0.02, seed=1, backend="auto",
+                              overrides=overrides, cache=cache)
+        event = experiment.run(scale=0.02, seed=1, backend="event",
+                               overrides=overrides, cache=cache)
+        assert event.cached is False
+        assert event.cache_key != auto.cache_key
+
+    def test_auto_resolution_deterministic_across_jobs(self):
+        experiment = registry.get("fig6")
+        kwargs = []
+        for jobs in (1, 2, 8):
+            with executor.parallel_jobs(jobs):
+                kwargs.append(experiment.kwargs_for(backend="auto"))
+        assert kwargs[0] == kwargs[1] == kwargs[2]
+        assert kwargs[0]["backend"] == "vector"
+
+    def test_forced_vector_on_ineligible_raises_structured(self):
+        experiment = registry.get("fig8")
+        with pytest.raises(BackendUnavailableError,
+                           match="supports backend") as err:
+            experiment.run(scale=0.02, backend="vector")
+        assert "queue traces" in str(err.value)
+        assert err.value.mismatches  # structured records attached
+
+    def test_fallback_reason_lands_in_meta(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        experiment = registry.get("fig8")
+        overrides = {"repetitions": 4, "n_packets": 12, "plot_limit": 8}
+        report = experiment.run(scale=0.02, seed=2, backend="auto",
+                                overrides=overrides, cache=cache)
+        assert report.result.meta["backend"] == "event"
+        assert report.result.meta["backend_fallback"] == \
+            "queue traces require the event engine"
+        # A cache hit re-annotates per-request instead of trusting the
+        # stored payload.
+        hit = experiment.run(scale=0.02, seed=2, backend="auto",
+                             overrides=overrides, cache=cache)
+        assert hit.cached is True
+        assert hit.result.meta["backend_fallback"] == \
+            "queue traces require the event engine"
+        # ... and an explicit event request gets no fallback note.
+        explicit = experiment.run(scale=0.02, seed=2, backend="event",
+                                  overrides=overrides, cache=cache)
+        assert explicit.cached is True
+        assert "backend_fallback" not in explicit.result.meta
+
+    def test_vector_experiments_is_derived(self):
+        derived = {e.name for e in registry.experiments()
+                   if "vector" in e.backends}
+        assert registry.VECTOR_EXPERIMENTS == frozenset(derived)
+        assert len(registry.VECTOR_EXPERIMENTS) >= 17
+
+
+class TestCliDispatch:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_explain_backend_prints_without_running(self, capsys):
+        assert main(["run", "all", "--explain-backend"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "probe-train kernel" in out
+        assert "queue traces require the event engine" in out
+        assert "==" not in out  # no experiment table was printed
+
+    def test_explain_backend_forced_error_exits_nonzero(self, capsys):
+        assert main(["run", "fig8", "--backend", "vector",
+                     "--explain-backend"]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_default_auto_records_resolved_backend(self, capsys):
+        code = main(["run", "fig6", "--scale", "0.02", "--seed", "3",
+                     "--no-cache"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # tiny scale may fail shape checks
+        assert "backend=vector" in out
+
+    def test_backend_auto_accepted_explicitly(self, capsys):
+        code = main(["run", "ext-saturation", "--backend", "auto",
+                     "--scale", "0.05", "--seed", "1", "--no-cache"])
+        assert code == 0
+        assert "backend=vector" in capsys.readouterr().out
+
+    def test_sweep_has_backend_parity(self, capsys):
+        code = main(["sweep", "fig6", "--backend", "auto", "--param",
+                     "repetitions=4,6",
+                     "--seed", "2", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "backend=vector" in out

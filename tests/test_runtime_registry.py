@@ -54,11 +54,24 @@ class TestRegistration:
         assert multi == set(registry.VECTOR_EXPERIMENTS)
         for name in sorted(multi):
             assert registry.get(name).backends == ("event", "vector")
-        # The probe-train family is dual-backend; queue-trace and
-        # steady-state CBR experiments stay event-only.
-        assert {"fig6", "fig13", "fig15", "eq1", "bounds",
-                "ext-saturation"} <= multi
-        assert {"fig1", "fig4", "fig8"}.isdisjoint(multi)
+        # The probe-train family (including the steady-state CBR
+        # figures, which ride the kernel's steady mode) is
+        # dual-backend; queue-trace, RTS, CBR-saturation and
+        # multi-hop-path experiments stay event-only.
+        assert {"fig1", "fig4", "fig6", "fig13", "fig15", "eq1",
+                "bounds", "ext-saturation"} <= multi
+        assert {"fig8", "ablation-bianchi", "ablation-rts",
+                "ext-multihop"}.isdisjoint(multi)
+
+    def test_backends_derived_from_scenario(self):
+        """The registry never hand-maintains backend lists: stripping
+        the scenario strips the vector backend."""
+        fig6 = registry.get("fig6")
+        assert fig6.backends == ("event", "vector")
+        bare = Experiment(name="bare", runner=fig6.runner,
+                          scalable=dict(fig6.scalable))
+        assert bare.backends == ("event",)
+        assert len(registry.VECTOR_EXPERIMENTS) >= 17
 
     def test_descriptions_populated(self):
         for experiment in registry.experiments():

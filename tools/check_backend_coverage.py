@@ -1,18 +1,23 @@
 #!/usr/bin/env python
 """Backend-coverage gate for CI: dual-backend coverage can only grow.
 
-The experiment registry declares which repetition backends every
-experiment supports (``Experiment.backends``).  This tool compares the
-live registry against the committed manifest
+The experiment registry *derives* which repetition backends every
+experiment supports from its declared scenario and the kernels'
+capabilities (:mod:`repro.backends`).  This tool compares that derived
+coverage against the committed manifest
 ``benchmarks/results/backend_coverage.json`` and exits non-zero if
 
-* a manifest experiment disappeared from the registry, or
+* a manifest experiment disappeared from the registry,
 * an experiment lost a backend it used to offer (e.g. a dual-backend
-  experiment dropping its ``vector`` entry).
+  experiment dropping its ``vector`` entry), or
+* the coverage matrices generated into ``README.md`` and
+  ``docs/architecture.md`` (see ``tools/gen_backend_docs.py``) drifted
+  from the manifest.
 
 New experiments and newly gained backends never fail the gate — they
 are reported with a reminder to refresh the manifest so the new
-coverage becomes load-bearing.  Refresh with::
+coverage becomes load-bearing.  Refresh (manifest *and* generated doc
+matrices) with::
 
     PYTHONPATH=src python tools/check_backend_coverage.py --refresh
 
@@ -29,68 +34,92 @@ import pathlib
 import sys
 from typing import Dict, List, Sequence
 
+import gen_backend_docs
+
 DEFAULT_BASELINE = (pathlib.Path(__file__).resolve().parent.parent
                     / "benchmarks" / "results" / "backend_coverage.json")
 
 
-def registry_coverage() -> Dict[str, List[str]]:
-    """``experiment name -> supported backends`` from the live registry."""
+def registry_coverage() -> Dict[str, Dict]:
+    """Dispatcher-derived coverage of the live registry.
+
+    ``experiment name -> {"backends": [...], "kernel": ...}`` for
+    dual-backend experiments (which concrete kernel ``auto`` picks) or
+    ``{"backends": [...], "reason": ...}`` for event-only ones (the
+    structured reason every kernel was rejected).
+    """
     from repro.runtime import registry
-    return {experiment.name: list(experiment.backends)
-            for experiment in registry.experiments()}
+    out: Dict[str, Dict] = {}
+    for experiment in registry.experiments():
+        entry: Dict[str, object] = {"backends": list(experiment.backends)}
+        resolution = experiment.resolve_backend("auto")
+        if resolution.name == "vector":
+            entry["kernel"] = resolution.kernel
+        else:
+            entry["reason"] = resolution.fallback
+        out[experiment.name] = entry
+    return out
 
 
-def load_baseline(path: pathlib.Path) -> Dict[str, List[str]]:
-    """The committed coverage manifest."""
-    payload = json.loads(path.read_text())
-    return {str(name): [str(b) for b in backends]
-            for name, backends in payload.items()}
+def load_baseline(path: pathlib.Path) -> Dict[str, Dict]:
+    """The committed coverage manifest (legacy flat form normalised)."""
+    return gen_backend_docs.load_manifest(path)
 
 
-def compare(current: Dict[str, List[str]],
-            baseline: Dict[str, List[str]]) -> List[str]:
+def compare(current: Dict[str, Dict],
+            baseline: Dict[str, Dict]) -> List[str]:
     """Coverage regressions (one message each); empty means the gate
     passes."""
     failures: List[str] = []
     for name in sorted(baseline):
+        old = baseline[name]["backends"]
         if name not in current:
             failures.append(
                 f"{name}: experiment disappeared from the registry "
-                f"(was [{', '.join(baseline[name])}])")
+                f"(was [{', '.join(old)}])")
             continue
-        lost = [b for b in baseline[name] if b not in current[name]]
+        now = current[name]["backends"]
+        lost = [b for b in old if b not in now]
         if lost:
             failures.append(
                 f"{name}: lost backend(s) {', '.join(lost)} "
-                f"(was [{', '.join(baseline[name])}], now "
-                f"[{', '.join(current[name])}])")
-        gained = [b for b in current[name] if b not in baseline[name]]
+                f"(was [{', '.join(old)}], now [{', '.join(now)}])")
+        gained = [b for b in now if b not in old]
         if gained:
             print(f"  {name}: gained backend(s) {', '.join(gained)} — "
                   "refresh the manifest to make them load-bearing")
     for name in sorted(set(current) - set(baseline)):
+        backends = current[name]["backends"]
         print(f"  {name}: new experiment "
-              f"([{', '.join(current[name])}]) — not in the manifest yet")
+              f"([{', '.join(backends)}]) — not in the manifest yet")
     return failures
 
 
-def refresh(path: pathlib.Path, current: Dict[str, List[str]]) -> None:
-    """Rewrite the manifest from the live registry."""
-    path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+def refresh(path: pathlib.Path, current: Dict[str, Dict]) -> None:
+    """Rewrite the manifest from the live registry and regenerate the
+    doc matrices from it."""
+    path.write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {len(current)} experiment(s) to {path}")
+    gen_backend_docs.write_targets(current)
 
 
 def main(argv: Sequence[str]) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
-        description="fail when an experiment loses a repetition backend")
+        description="fail when an experiment loses a repetition backend "
+                    "or the generated doc matrices drift")
     parser.add_argument("baseline", type=pathlib.Path, nargs="?",
                         default=DEFAULT_BASELINE,
                         help="committed coverage manifest (default: "
                              "benchmarks/results/backend_coverage.json)")
     parser.add_argument("--refresh", action="store_true",
-                        help="rewrite the manifest from the live "
-                             "registry instead of gating against it")
+                        help="rewrite the manifest (and the generated "
+                             "doc matrices) from the live registry "
+                             "instead of gating against it")
+    parser.add_argument("--skip-docs", action="store_true",
+                        help="skip the generated-doc sync check (e.g. "
+                             "when gating against a non-default "
+                             "baseline in tests)")
     args = parser.parse_args(argv)
     current = registry_coverage()
     if args.refresh:
@@ -101,17 +130,20 @@ def main(argv: Sequence[str]) -> int:
               file=sys.stderr)
         return 2
     baseline = load_baseline(args.baseline)
-    dual = sum(1 for backends in current.values() if len(backends) > 1)
+    dual = sum(1 for entry in current.values()
+               if len(entry["backends"]) > 1)
     print(f"checking {len(current)} experiment(s) "
           f"({dual} dual-backend) against {args.baseline}:")
     failures = compare(current, baseline)
+    if not args.skip_docs:
+        failures += gen_backend_docs.stale_targets(baseline)
     if failures:
         print(f"\n{len(failures)} backend-coverage regression(s):",
               file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print("backend-coverage gate clean")
+    print("backend-coverage gate clean (manifest + generated docs)")
     return 0
 
 

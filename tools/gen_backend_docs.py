@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Generate the backend-coverage matrices from the committed manifest.
+
+``benchmarks/results/backend_coverage.json`` is the single source of
+truth for which experiments run on which backends (it is itself
+refreshed from the dispatcher-derived registry by
+``tools/check_backend_coverage.py --refresh``).  This tool renders it
+as the markdown coverage matrix embedded in ``README.md`` and
+``docs/architecture.md`` between the marker comments, so the docs can
+never drift from the manifest::
+
+    python tools/gen_backend_docs.py --write   # regenerate both docs
+    python tools/gen_backend_docs.py --check   # exit 1 if stale (CI)
+
+The coverage gate runs the ``--check`` mode automatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Sequence
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The committed coverage manifest the matrices are rendered from.
+MANIFEST = ROOT / "benchmarks" / "results" / "backend_coverage.json"
+
+#: Documents carrying a generated matrix between the markers.
+TARGETS = (ROOT / "README.md", ROOT / "docs" / "architecture.md")
+
+BEGIN_MARK = ("<!-- backend-coverage-matrix:begin — generated from "
+              "benchmarks/results/backend_coverage.json by "
+              "tools/gen_backend_docs.py; do not edit by hand -->")
+END_MARK = "<!-- backend-coverage-matrix:end -->"
+
+
+def load_manifest(path: pathlib.Path = MANIFEST) -> Dict[str, Dict]:
+    """The manifest as ``name -> {backends, kernel?/reason?}``.
+
+    Legacy flat entries (``name -> [backends]``) are normalised so the
+    tool keeps working against historic manifests.
+    """
+    payload = json.loads(path.read_text())
+    out: Dict[str, Dict] = {}
+    for name, entry in payload.items():
+        if isinstance(entry, list):
+            entry = {"backends": entry}
+        out[str(name)] = {
+            "backends": [str(b) for b in entry.get("backends", [])],
+            **({"kernel": str(entry["kernel"])} if "kernel" in entry
+               else {}),
+            **({"reason": str(entry["reason"])} if "reason" in entry
+               else {}),
+        }
+    return out
+
+
+def render_matrix(coverage: Dict[str, Dict]) -> str:
+    """The coverage table as a markdown block (markers included)."""
+    lines = [
+        BEGIN_MARK,
+        "| Experiment | `event` | `vector` | Vector kernel / why event-only |",
+        "|---|:-:|:-:|---|",
+    ]
+    dual = 0
+    for name, entry in coverage.items():
+        has_vector = "vector" in entry["backends"]
+        dual += has_vector
+        if has_vector:
+            note = entry.get("kernel", "")
+        else:
+            note = f"event-only: {entry.get('reason', '')}"
+        lines.append(f"| `{name}` | ✓ | {'✓' if has_vector else '—'} "
+                     f"| {note} |")
+    lines.append("")
+    lines.append(f"**{dual} of {len(coverage)} experiments are "
+                 "dual-backend.** The matrix is generated from "
+                 "`benchmarks/results/backend_coverage.json` — edit "
+                 "nothing here by hand; refresh with "
+                 "`python tools/check_backend_coverage.py --refresh`.")
+    lines.append(END_MARK)
+    return "\n".join(lines)
+
+
+def apply_matrix(text: str, block: str, path: pathlib.Path) -> str:
+    """Replace the marker-delimited block inside ``text``."""
+    begin = text.find(BEGIN_MARK)
+    end = text.find(END_MARK)
+    if begin < 0 or end < 0 or end < begin:
+        raise ValueError(
+            f"{path} has no backend-coverage markers; add\n"
+            f"{BEGIN_MARK}\n{END_MARK}\nwhere the matrix belongs")
+    return text[:begin] + block + text[end + len(END_MARK):]
+
+
+def _label(path: pathlib.Path) -> str:
+    """Repo-relative path when possible (tests use temp dirs)."""
+    try:
+        return str(path.relative_to(ROOT))
+    except ValueError:
+        return str(path)
+
+
+def stale_targets(coverage: Dict[str, Dict],
+                  targets: Sequence[pathlib.Path] = TARGETS) -> List[str]:
+    """Targets whose embedded matrix differs from the manifest."""
+    block = render_matrix(coverage)
+    stale: List[str] = []
+    for path in targets:
+        try:
+            fresh = apply_matrix(path.read_text(), block, path)
+        except (OSError, ValueError) as exc:
+            stale.append(f"{_label(path)}: {exc}")
+            continue
+        if fresh != path.read_text():
+            stale.append(f"{_label(path)}: coverage matrix is "
+                         "out of sync with the manifest (run `python "
+                         "tools/gen_backend_docs.py --write`)")
+    return stale
+
+
+def write_targets(coverage: Dict[str, Dict],
+                  targets: Sequence[pathlib.Path] = TARGETS) -> None:
+    """Regenerate the matrix block in every target document."""
+    block = render_matrix(coverage)
+    for path in targets:
+        path.write_text(apply_matrix(path.read_text(), block, path))
+        print(f"wrote coverage matrix to {_label(path)}")
+
+
+def main(argv: Sequence[str]) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="render the backend-coverage matrices from the "
+                    "committed manifest")
+    parser.add_argument("--manifest", type=pathlib.Path, default=MANIFEST,
+                        help="coverage manifest (default: "
+                             "benchmarks/results/backend_coverage.json)")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="regenerate the matrices in place")
+    mode.add_argument("--check", action="store_true",
+                      help="exit non-zero if any matrix is stale")
+    args = parser.parse_args(argv)
+    coverage = load_manifest(args.manifest)
+    if args.write:
+        write_targets(coverage)
+        return 0
+    stale = stale_targets(coverage)
+    if stale:
+        print(f"{len(stale)} stale coverage matrix target(s):",
+              file=sys.stderr)
+        for line in stale:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("coverage matrices in sync with the manifest")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -2,7 +2,8 @@
 """Docstring-presence lint for the public API.
 
 Walks the given files/directories (default: ``src/repro/runtime``,
-``src/repro/analysis``, ``src/repro/sim`` and ``src/repro/mac``) and
+``src/repro/analysis``, ``src/repro/sim``, ``src/repro/mac`` and
+``src/repro/backends``) and
 reports every public module, class, function or method without a
 docstring.  Exit status 1 if anything is missing — CI runs this next
 to the test suite.
@@ -23,7 +24,8 @@ import sys
 from typing import Iterator, List, Sequence
 
 DEFAULT_PATHS = ("src/repro/runtime", "src/repro/analysis",
-                 "src/repro/sim", "src/repro/mac")
+                 "src/repro/sim", "src/repro/mac",
+                 "src/repro/backends")
 
 _DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
 
