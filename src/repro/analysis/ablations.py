@@ -40,35 +40,79 @@ def ablation_bianchi_calibration(station_counts: Sequence[int] = (1, 2, 3, 4, 5)
                                  size_bytes: int = 1500,
                                  duration: float = 4.0,
                                  warmup: float = 0.5,
+                                 repetitions: int = 3,
                                  phy: Optional[PhyParams] = None,
-                                 seed: int = 0) -> ExperimentResult:
-    """Saturation throughput: event simulator vs. Bianchi model.
+                                 seed: int = 0,
+                                 backend: str = "event") -> ExperimentResult:
+    """Saturation throughput: simulator vs. Bianchi model, any backend.
 
-    Every station offers well above its share so the network is
-    saturated; the simulator's aggregate throughput must track the
-    analytical prediction within a few percent for every n.
+    Every station offers well above its share (9 Mb/s CBR each) so the
+    network is saturated; the simulator's aggregate throughput —
+    averaged over ``repetitions`` independent runs per station count —
+    must track the analytical prediction within a few percent for
+    every n.  The ``vector`` arm resolves each station count's whole
+    repetition batch through the probe-train kernel's steady-state
+    mode with batched CBR cross-traffic — station 0 carries the CBR
+    flow as the "probe", the remaining n-1 stations contend with
+    identical CBR sample paths, exactly the event scenario's symmetric
+    configuration.
     """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    # Resolve auto against this study's own scenario, like the
+    # steady-state runners do.
+    from repro.backends import ScenarioSpec, dispatch
+    spec = ScenarioSpec(system="wlan", workload="steady-cbr",
+                        cross_traffic="cbr")
+    backend = dispatch.resolve(spec, backend).name
+
     counts = list(station_counts)
     bianchi = BianchiModel(phy, size_bytes)
-    scenario = WlanScenario(phy)
     simulated = np.zeros(len(counts))
     predicted = np.zeros(len(counts))
-    for k, n in enumerate(counts):
-        specs = [StationSpec(f"s{i}", generator=CBRGenerator(9e6, size_bytes))
-                 for i in range(n)]
-        result = scenario.run(specs, horizon=duration, seed=seed + k,
-                              until=duration)
-        simulated[k] = sum(
-            result.station(f"s{i}").throughput_bps(warmup, duration)
-            for i in range(n))
-        predicted[k] = bianchi.solve(n).total_throughput_bps
+    offered_bps = 9e6
+    if backend == "vector":
+        from repro.sim.probe_vector import (
+            CbrCrossSpec,
+            simulate_steady_state_batch,
+        )
+        pps = offered_bps / (size_bytes * 8)
+        for k, n in enumerate(counts):
+            batch = simulate_steady_state_batch(
+                offered_bps, repetitions, size_bytes=size_bytes,
+                cross=[CbrCrossSpec(pps, size_bytes)] * (n - 1),
+                duration=duration, warmup=warmup, phy=phy, seed=seed + k)
+            simulated[k] = float(np.mean(batch.probe_throughput_bps()
+                                         + batch.cross_throughput_bps()))
+            predicted[k] = bianchi.solve(n).total_throughput_bps
+    else:
+        scenario = WlanScenario(phy)
+        for k, n in enumerate(counts):
+            # Same per-repetition seed scheme as the kernel's batch
+            # (repro.runtime.executor.derive_seeds).
+            rep_seeds = np.random.SeedSequence(seed + k).generate_state(
+                repetitions)
+            totals = np.zeros(repetitions)
+            for j, rep_seed in enumerate(rep_seeds):
+                specs = [StationSpec(f"s{i}",
+                                     generator=CBRGenerator(offered_bps,
+                                                            size_bytes))
+                         for i in range(n)]
+                result = scenario.run(specs, horizon=duration,
+                                      seed=int(rep_seed), until=duration)
+                totals[j] = sum(
+                    result.station(f"s{i}").throughput_bps(warmup, duration)
+                    for i in range(n))
+            simulated[k] = float(totals.mean())
+            predicted[k] = bianchi.solve(n).total_throughput_bps
     result = ExperimentResult(
         experiment="ablation-bianchi",
         title="DCF simulator vs. Bianchi saturation throughput",
         x_label="n_stations",
         x=np.array(counts, dtype=float),
         series={"simulated_bps": simulated, "bianchi_bps": predicted},
-        meta={"duration_s": duration, "size_bytes": size_bytes},
+        meta={"duration_s": duration, "size_bytes": size_bytes,
+              "repetitions": repetitions, "backend": backend},
     )
     rel_err = np.abs(simulated - predicted) / predicted
     result.add_check("within-5pct", bool(np.all(rel_err <= 0.05)))
@@ -189,7 +233,8 @@ def ablation_rts_cts(probe_rate_bps: float = 5e6,
                      repetitions: int = 200,
                      size_bytes: int = 1500,
                      phy: Optional[PhyParams] = None,
-                     seed: int = 0) -> ExperimentResult:
+                     seed: int = 0,
+                     backend: str = "event") -> ExperimentResult:
     """Does RTS/CTS change the access-delay transient?
 
     RTS/CTS cuts the collision cost but adds a fixed per-frame
@@ -197,6 +242,8 @@ def ablation_rts_cts(probe_rate_bps: float = 5e6,
     queue adaptation) is orthogonal to it, so the *relative*
     first-packet acceleration must survive with RTS enabled — evidence
     that the paper's findings carry over to RTS-protected networks.
+    Both arms run on the selected backend (the probe-train kernel
+    applies the same RTS airtime arithmetic as the event medium).
     """
     profiles = {}
     steady = {}
@@ -205,8 +252,9 @@ def ablation_rts_cts(probe_rate_bps: float = 5e6,
             [("cross", PoissonGenerator(cross_rate_bps, size_bytes))],
             phy=phy, rts_threshold=threshold)
         train = ProbeTrain.at_rate(n_packets, probe_rate_bps, size_bytes)
-        raws = channel.send_trains(train, repetitions, seed=seed)
-        matrix = DelayMatrix(np.vstack([r.access_delays for r in raws]))
+        batch = channel.send_trains_dense(train, repetitions, seed=seed,
+                                          backend=backend)
+        matrix = DelayMatrix(batch.delay_matrix())
         profiles[label] = matrix.mean_profile()
         steady[label] = matrix.steady_state_mean()
     limit = min(60, n_packets)
@@ -225,6 +273,7 @@ def ablation_rts_cts(probe_rate_bps: float = 5e6,
             "repetitions": repetitions,
             "steady_basic_s": float(steady["basic"]),
             "steady_rts_s": float(steady["rts"]),
+            "backend": backend,
         },
     )
     result.add_check(

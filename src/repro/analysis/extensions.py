@@ -175,14 +175,16 @@ def multihop_access_path_study(probe_rates_bps: Optional[Sequence[float]] = None
                                n_packets: int = 50,
                                repetitions: int = 20,
                                phy: Optional[PhyParams] = None,
-                               seed: int = 0) -> ExperimentResult:
+                               seed: int = 0,
+                               backend: str = "event") -> ExperimentResult:
     """End-to-end probing of a wired-backbone + WLAN-last-mile path.
 
     The broadband-access setting of the paper's reference [3]: a fast
     wired hop followed by a contended DCF hop.  The end-to-end rate
     response must show the *wireless hop's* signature — knee at its
     achievable throughput — and the end-to-end packet pair must report
-    neither hop's capacity.
+    neither hop's capacity.  The ``vector`` backend chains the hops'
+    batched kernels (each hop's departure matrix feeds the next hop).
     """
     from repro.core.estimators import packet_pair_capacity
     from repro.path import (NetworkPath, SimulatedPathChannel, WiredHop,
@@ -203,7 +205,8 @@ def multihop_access_path_study(probe_rates_bps: Optional[Sequence[float]] = None
     prober = Prober(SimulatedPathChannel(path),
                     ProbeSessionConfig(size_bytes=size_bytes,
                                        repetitions=repetitions,
-                                       ideal_clocks=True))
+                                       ideal_clocks=True,
+                                       backend=backend))
     curve = prober.rate_scan(rates, n=n_packets, seed=seed)
     pair_estimate = packet_pair_capacity(
         prober.measure_pairs(repetitions=max(repetitions * 5, 100),
@@ -224,6 +227,7 @@ def multihop_access_path_study(probe_rates_bps: Optional[Sequence[float]] = None
             "fair_share_bps": round(fair_share),
             "pair_estimate_bps": round(pair_estimate),
             "repetitions": repetitions,
+            "backend": backend,
         },
     )
     low = rates <= 0.7 * fair_share

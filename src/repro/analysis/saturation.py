@@ -33,9 +33,10 @@ from repro.sim.vector import VectorBatchResult, simulate_saturated_batch
 
 def _event_repetition(n_stations: int, packets_per_station: int,
                       size_bytes: int, phy: Optional[PhyParams],
+                      rts_threshold: Optional[int],
                       seed: int) -> Tuple[np.ndarray, float, int, int]:
     """One saturated repetition through the event engine."""
-    scenario = WlanScenario(phy)
+    scenario = WlanScenario(phy, rts_threshold=rts_threshold)
     specs = saturated_station_specs(n_stations, packets_per_station,
                                     size_bytes)
     result = scenario.run(specs, horizon=1.0, seed=seed)
@@ -49,6 +50,7 @@ def simulate_saturated(n_stations: int, packets_per_station: int,
                        size_bytes: int = 1500,
                        phy: Optional[PhyParams] = None,
                        seed: int = 0,
+                       rts_threshold: Optional[int] = None,
                        backend: str = "event") -> VectorBatchResult:
     """Run a saturated batch on the selected backend.
 
@@ -56,18 +58,24 @@ def simulate_saturated(n_stations: int, packets_per_station: int,
     (honouring the ambient ``--jobs`` scope); the vector path hands
     the whole batch to the numpy kernel.  Either way the returned
     :class:`~repro.sim.vector.VectorBatchResult` has identical shape
-    and statistically equivalent content.
+    and statistically equivalent content.  ``rts_threshold`` protects
+    frames with the RTS/CTS handshake on both backends (and is
+    declared in the dispatch spec, so the capability match reflects
+    it).
     """
     # Imported lazily: repro.runtime sits above the analysis layer.
     from repro.backends import ScenarioSpec, dispatch
     from repro.runtime.executor import run_batch
-    spec = ScenarioSpec(system="wlan", workload="saturated")
+    spec = ScenarioSpec(system="wlan", workload="saturated",
+                        rts_cts=rts_threshold is not None)
     backend = dispatch.resolve(spec, backend).name
     event_task = functools.partial(_event_repetition, n_stations,
-                                   packets_per_station, size_bytes, phy)
+                                   packets_per_station, size_bytes, phy,
+                                   rts_threshold)
     vector_batch = functools.partial(
         simulate_saturated_batch, n_stations, packets_per_station,
-        repetitions, size_bytes=size_bytes, phy=phy)
+        repetitions, size_bytes=size_bytes, phy=phy,
+        rts_threshold=rts_threshold)
     out = run_batch(event_task, repetitions, seed, backend=backend,
                     vector_batch=lambda s: vector_batch(seed=s), spec=spec)
     if backend == "vector":

@@ -63,19 +63,31 @@ def collect_delay_matrix(
     :meth:`repro.testbed.channel.Channel.send_trains_dense`, so the
     delay matrix comes back in the same dense shape on every backend
     (``vector`` resolves it in one :mod:`repro.sim.probe_vector` pass,
-    ``auto`` lets the dispatcher choose).  Queue tracking needs the
-    event engine's scenario traces, so that path collects the
-    per-repetition results itself — and combining it with the vector
-    backend is rejected by the channel's capability check.
+    ``auto`` lets the dispatcher choose).  Queue tracking works on
+    both backends: the event path samples the scenario traces, the
+    vector path counts the kernel's arrival/departure sample paths
+    (:class:`repro.sim.probe_vector.QueueTraceBatch`) — statistically
+    equivalent backlog-at-send-time matrices either way.
     """
     channel = SimulatedWlanChannel(
         cross_stations, phy=phy, warmup=warmup,
         drain_rate_floor=drain_rate_floor,
         log_cross_queues=track_queues)
     train = ProbeTrain.at_rate(n_packets, probe_rate_bps, size_bytes)
-    if track_queues and backend != "vector":
+    if track_queues:
+        resolved = backend
+        if backend == "auto":
+            resolved = channel.resolve_backend("auto", train=train).name
+        if resolved == "vector":
+            batch = channel.send_trains_batch(train, repetitions,
+                                              seed=seed)
+            queue_sizes = {
+                name: batch.queue_traces[k].size_at(batch.send_times)
+                for k, (name, _) in enumerate(cross_stations)}
+            return DelayCollection(matrix=DelayMatrix(batch.delay_matrix()),
+                                   queue_sizes=queue_sizes)
         raws = channel.send_trains(train, repetitions, seed=seed,
-                                   backend=backend)
+                                   backend=resolved)
         delays = np.vstack([raw.access_delays for raw in raws])
         queue_sizes: Dict[str, np.ndarray] = {}
         for name, _ in cross_stations:
@@ -215,19 +227,23 @@ def fig8_ks_and_queue(probe_rate_bps: float = 8e6,
                       size_bytes: int = 1500,
                       phy: Optional[PhyParams] = None,
                       alpha: float = 0.05,
-                      seed: int = 0) -> ExperimentResult:
+                      seed: int = 0,
+                      backend: str = "event") -> ExperimentResult:
     """Figure 8: KS-vs-steady-state and the contending queue's growth.
 
     Paper setting: 8 Mb/s probe, 2 Mb/s contending cross-traffic.  The
     KS distance starts far above the 95% threshold and settles within
     tens of packets, tracking the time the contending station's queue
-    needs to reach its (new) stationary size.
+    needs to reach its (new) stationary size.  Both the delay matrix
+    and the queue trace come back from either backend (the kernel
+    emits queue traces since it learned ``track_queues``).
     """
     collection = collect_delay_matrix(
         probe_rate_bps,
         [("cross", PoissonGenerator(cross_rate_bps, size_bytes))],
         n_packets=n_packets, repetitions=repetitions,
-        size_bytes=size_bytes, phy=phy, seed=seed, track_queues=True)
+        size_bytes=size_bytes, phy=phy, seed=seed, track_queues=True,
+        backend=backend)
     matrix = collection.matrix
     profile = ks_profile(matrix, alpha=alpha, max_index=plot_limit)
     queue_profile = collection.mean_queue_profile("cross")[:plot_limit]
@@ -248,6 +264,7 @@ def fig8_ks_and_queue(probe_rate_bps: float = 8e6,
             "repetitions": repetitions,
             "alpha": alpha,
             "settled_index": profile.settled_index + 1,
+            "backend": backend,
         },
     )
     result.add_check(

@@ -20,6 +20,7 @@ from repro.backends.base import (
     EventBackend,
     FAMILIES,
     LindleyVectorBackend,
+    PathVectorBackend,
     ProbeTrainVectorBackend,
     SaturatedVectorBackend,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "EventBackend",
     "FAMILIES",
     "LindleyVectorBackend",
+    "PathVectorBackend",
     "ProbeTrainVectorBackend",
     "REQUESTABLE",
     "Resolution",

@@ -7,18 +7,23 @@ human ``kernel`` label, a ``speed_rank`` (smaller = preferred by
 the :class:`repro.backends.spec.ScenarioSpec` vocabulary, and a
 :meth:`Backend.run_batch` that executes a whole batch.
 
-Four backends exist:
+Five backends exist:
 
 * :class:`EventBackend` — the discrete-event engine; supports every
   scenario and shards repetitions over worker processes;
 * :class:`ProbeTrainVectorBackend` — :mod:`repro.sim.probe_vector`:
-  probe trains (and steady CBR flows) through Poisson-contended DCF;
+  probe trains (and steady CBR flows) through DCF contended by
+  Poisson/CBR traffic, with RTS/CTS and queue traces;
 * :class:`SaturatedVectorBackend` — :mod:`repro.sim.vector`: the
   saturated Bianchi regime;
 * :class:`LindleyVectorBackend` — the batched Lindley recursion for
-  wired FIFO hops (:mod:`repro.queueing.lindley`).
+  wired FIFO hops (:mod:`repro.queueing.lindley`);
+* :class:`PathVectorBackend` — the multihop chain: the probe-train
+  and Lindley kernels run per hop, each hop's departure matrix
+  feeding the next hop's arrival process
+  (:meth:`repro.path.network.NetworkPath.carry_batch`).
 
-The three kernels share the CLI family name ``vector``; the dispatcher
+The four kernels share the CLI family name ``vector``; the dispatcher
 picks among them per scenario, which is why the kernel label is
 recorded separately in result metadata.
 """
@@ -115,21 +120,21 @@ class _VectorBackend(Backend):
 
 class ProbeTrainVectorBackend(_VectorBackend):
     """:mod:`repro.sim.probe_vector` — trains and steady CBR flows
-    through Poisson-contended DCF (FIFO cross-traffic may share the
-    probe queue)."""
+    through contended DCF (FIFO cross-traffic may share the probe
+    queue)."""
 
     kernel = "probe-train kernel"
     speed_rank = 10
 
     def capabilities(self) -> Capabilities:
-        """WLAN trains/steady flows, Poisson-only traffic, no RTS /
-        retry limits / queue traces."""
+        """WLAN trains/steady flows; Poisson and CBR traffic (mixed
+        across stations), RTS/CTS, queue traces; no retry limits."""
         return Capabilities(
             systems=frozenset({"wlan"}),
             workloads=frozenset({"train", "steady-cbr"}),
-            cross_traffic=frozenset({"none", "poisson"}),
-            fifo_cross=frozenset({"none", "poisson"}),
-            rts_cts=False, retry_limit=False, queue_traces=False)
+            cross_traffic=frozenset({"none", "poisson", "cbr", "mixed"}),
+            fifo_cross=frozenset({"none", "poisson", "cbr"}),
+            rts_cts=True, retry_limit=False, queue_traces=True)
 
 
 class SaturatedVectorBackend(_VectorBackend):
@@ -140,13 +145,13 @@ class SaturatedVectorBackend(_VectorBackend):
     speed_rank = 10
 
     def capabilities(self) -> Capabilities:
-        """Saturated WLAN batches only; no protocol extras."""
+        """Saturated WLAN batches (optionally RTS/CTS-protected)."""
         return Capabilities(
             systems=frozenset({"wlan"}),
             workloads=frozenset({"saturated"}),
             cross_traffic=frozenset({"none"}),
             fifo_cross=frozenset({"none"}),
-            rts_cts=False, retry_limit=False, queue_traces=False)
+            rts_cts=True, retry_limit=False, queue_traces=False)
 
 
 class LindleyVectorBackend(_VectorBackend):
@@ -166,3 +171,34 @@ class LindleyVectorBackend(_VectorBackend):
             systems=frozenset({"fifo"}),
             workloads=frozenset({"train"}),
             rts_cts=False, retry_limit=False, queue_traces=False)
+
+
+class PathVectorBackend(_VectorBackend):
+    """Chained per-hop kernels for multihop paths.
+
+    :meth:`repro.path.network.NetworkPath.carry_batch` runs the
+    probe-train kernel on every WLAN hop and the batched Lindley
+    recursion on every wired hop, feeding each hop's departure matrix
+    to the next hop as its arrival process — the kernel analogue of
+    the per-packet :meth:`repro.path.hops.PathHop.carry` chain.  Every
+    hop must carry batch-sampleable cross-traffic (Poisson or CBR);
+    the combined spec compiles the worst hop's traffic model, so one
+    unsupported hop demotes the whole path to the event engine.
+    """
+
+    kernel = "multihop chain kernel"
+    speed_rank = 10
+
+    def capabilities(self) -> Capabilities:
+        """Path trains over batch-sampleable hops (RTS/CTS allowed).
+
+        Both traffic axes accept ``mixed``: each hop resolves its own
+        generators, so different hops may carry different (individually
+        supported) models — including each hop's own FIFO flow.
+        """
+        return Capabilities(
+            systems=frozenset({"path"}),
+            workloads=frozenset({"train"}),
+            cross_traffic=frozenset({"none", "poisson", "cbr", "mixed"}),
+            fifo_cross=frozenset({"none", "poisson", "cbr", "mixed"}),
+            rts_cts=True, retry_limit=False, queue_traces=False)

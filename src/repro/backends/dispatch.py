@@ -30,6 +30,7 @@ from repro.backends.base import (
     EventBackend,
     FAMILIES,
     LindleyVectorBackend,
+    PathVectorBackend,
     ProbeTrainVectorBackend,
     SaturatedVectorBackend,
 )
@@ -46,9 +47,14 @@ REQUESTABLE = ("auto",) + FAMILIES
 EVENT = EventBackend()
 
 #: Every backend, fastest-preference first; ``auto`` scans this order.
+#: The path kernel precedes the Lindley kernel so that, on a path
+#: scenario some hop disqualifies, the nearest-miss tie break
+#: (:func:`_closest_reason`) surfaces the hop's own detail sentence
+#: rather than the Lindley kernel's generic system mismatch.
 BACKENDS: Tuple[Backend, ...] = (
     ProbeTrainVectorBackend(),
     SaturatedVectorBackend(),
+    PathVectorBackend(),
     LindleyVectorBackend(),
     EVENT,
 )

@@ -117,14 +117,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     if getattr(args, "explain_backend", False):
         return _explain_backends(experiments, args.backend)
-    cache = _cache_from(args)
+    profile = getattr(args, "profile", False)
+    # Profiling a cache read would be meaningless: bypass the cache so
+    # the table shows the simulation itself.
+    cache = None if profile else _cache_from(args)
     failures: Dict[str, str] = {}
     for experiment in experiments:
         name = experiment.name
         try:
-            report = experiment.run(
-                scale=args.scale, seed=args.seed, jobs=args.jobs,
-                backend=args.backend, cache=cache, refresh=args.refresh)
+            if profile:
+                report = _profiled_run(experiment, args)
+            else:
+                report = experiment.run(
+                    scale=args.scale, seed=args.seed, jobs=args.jobs,
+                    backend=args.backend, cache=cache,
+                    refresh=args.refresh)
         except Exception as exc:  # aggregate, don't abort the batch
             print(f"== {name}: ERROR ==\n   {exc}\n", file=sys.stderr)
             failures[name] = f"error: {exc}"
@@ -140,6 +147,33 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  {name}: {reason}", file=sys.stderr)
         return 1
     return 0
+
+
+def _profiled_run(experiment, args: argparse.Namespace) -> RunReport:
+    """Run one experiment under cProfile and print the hot-spot table.
+
+    The table (top 25 entries by cumulative time) goes to stdout right
+    before the experiment's own report, so future perf work starts
+    from measured hot paths instead of guesses.  Repetitions stay in
+    this process (``jobs`` is forced to 1): the profiler cannot see
+    into worker processes, and a sharded profile would show only pool
+    bookkeeping.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        report = experiment.run(
+            scale=args.scale, seed=args.seed, jobs=1,
+            backend=args.backend)
+    finally:
+        profiler.disable()
+    print(f"== {experiment.name}: cProfile (top 25, cumulative) ==")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(25)
+    return report
 
 
 def _explain_backends(experiments, requested: str) -> int:
@@ -289,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "(resolved kernel and any fallback reason) "
                           "for the experiment(s) and exit without "
                           "running anything")
+    run.add_argument("--profile", action="store_true",
+                     help="run under cProfile and print the top-25 "
+                          "cumulative hot spots before the report "
+                          "(implies --no-cache and --jobs 1, so the "
+                          "profile measures the simulation in this "
+                          "process)")
     _add_run_options(run)
     run.set_defaults(func=cmd_run)
     sweep = sub.add_parser(

@@ -57,9 +57,14 @@ class SlotTiming:
 
     All values are in seconds (counters in slots).  The vector kernel
     holds one instance and applies it to ``(repetitions, stations)``
-    arrays; for equal-size frames a collision occupies the medium for
-    exactly as long as a success (longest DATA + SIFS + ACK timeout),
-    which is why a single ``busy_period`` covers both outcomes.
+    arrays; for equal-size basic-access frames a collision occupies the
+    medium for exactly as long as a success (longest DATA + SIFS + ACK
+    timeout), which is why a single ``busy_period`` covers both
+    outcomes.  With RTS/CTS protection (``for_size(..., rts=True)``)
+    the two outcomes split: a success pays the RTS+SIFS+CTS+SIFS
+    preamble before the DATA frame, while a collision only occupies
+    the medium for the colliding RTS frames plus the CTS timeout —
+    :attr:`success_busy` and :attr:`collision_busy` carry the split.
 
     Attributes
     ----------
@@ -69,6 +74,12 @@ class SlotTiming:
         On-air duration of one DATA frame of the fixed size.
     ack_airtime:
         On-air duration of an ACK at the basic rate.
+    rts_preamble:
+        RTS + SIFS + CTS + SIFS preceding every protected DATA frame
+        (0 for basic access).
+    contention_airtime:
+        On-air duration of the frame that occupies the medium during a
+        collision: the RTS when protected, the DATA frame otherwise.
     """
 
     slot: float
@@ -76,27 +87,58 @@ class SlotTiming:
     difs: float
     data_airtime: float
     ack_airtime: float
+    rts_preamble: float = 0.0
+    contention_airtime: Optional[float] = None
 
     @classmethod
     def for_size(cls, phy: Optional[PhyParams] = None,
-                 size_bytes: int = 1500) -> "SlotTiming":
-        """Precompute the durations for ``size_bytes`` frames."""
+                 size_bytes: int = 1500,
+                 rts: bool = False) -> "SlotTiming":
+        """Precompute the durations for ``size_bytes`` frames.
+
+        ``rts=True`` precomputes the RTS/CTS-protected variants, using
+        the same :class:`repro.mac.frames.AirtimeModel` arithmetic the
+        event medium applies per packet.
+        """
         phy = phy if phy is not None else PhyParams.dot11b()
         airtime = AirtimeModel(phy)
+        data_airtime = airtime.data_airtime(size_bytes)
         return cls(
             slot=phy.slot_time,
             sifs=phy.sifs,
             difs=phy.difs,
-            data_airtime=airtime.data_airtime(size_bytes),
+            data_airtime=data_airtime,
             ack_airtime=airtime.ack_airtime(),
+            rts_preamble=(airtime.rts_preamble_duration() if rts else 0.0),
+            contention_airtime=(airtime.rts_airtime() if rts
+                                else data_airtime),
         )
 
     @property
     def busy_period(self) -> float:
         """Medium-busy time of an exchange: DATA + SIFS + ACK (timeout).
 
-        For equal-size frames this is the length of a success *and* of
-        a collision, matching
+        For equal-size basic-access frames this is the length of a
+        success *and* of a collision, matching
         :meth:`repro.mac.frames.AirtimeModel.collision_duration`.
         """
         return self.data_airtime + self.sifs + self.ack_airtime
+
+    @property
+    def success_busy(self) -> float:
+        """Busy time of a success, from channel acquisition to idle:
+        (RTS preamble +) DATA + SIFS + ACK."""
+        return self.rts_preamble + self.busy_period
+
+    @property
+    def collision_busy(self) -> float:
+        """Busy time of a collision: contention frame + ACK/CTS timeout.
+
+        With basic access the contention frame is the DATA frame and
+        this equals :attr:`busy_period`; under RTS/CTS it is only the
+        RTS plus the timeout — the handshake's whole point.
+        """
+        contention = (self.contention_airtime
+                      if self.contention_airtime is not None
+                      else self.data_airtime)
+        return contention + self.sifs + self.ack_airtime

@@ -360,13 +360,10 @@ def _register_builtins() -> None:
                       cross_traffic="poisson")),
         ("bounds", analysis.bounds_consistency, {"repetitions": 300},
          "baseline", _WLAN_TRAIN),
-        ("ablation-bianchi", analysis.ablation_bianchi_calibration, {},
-         "ablation",
+        ("ablation-bianchi", analysis.ablation_bianchi_calibration,
+         {"repetitions": 3}, "ablation",
          ScenarioSpec(system="wlan", workload="steady-cbr",
-                      cross_traffic="cbr",
-                      cross_detail="CBR cross-traffic has no batched "
-                                   "sampler; run this scenario with "
-                                   "backend='event'")),
+                      cross_traffic="cbr")),
         ("ablation-immediate-access", analysis.ablation_immediate_access,
          {"repetitions": 250}, "ablation", _WLAN_TRAIN),
         ("ablation-ks", analysis.ablation_ks_methods,

@@ -33,7 +33,7 @@ the sampled mean tracks :class:`repro.analytic.bianchi.BianchiModel`'s
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +44,52 @@ from repro.mac.timing import cw_table
 
 #: Attempt-loop guard: (2p)^k vanishes long before this many retries.
 _MAX_ATTEMPTS = 64
+
+
+def cbr_arrival_paths(gens: Sequence[np.random.Generator],
+                      packets_per_second: float,
+                      horizon: float,
+                      jitter: float = 0.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched CBR arrival sample paths over ``[0, horizon)``.
+
+    The batched counterpart of
+    :meth:`repro.traffic.generators.CBRGenerator.generate`:
+    deterministic inter-arrivals at ``1 / packets_per_second`` plus an
+    optional per-packet phase-jitter stream of up to ``jitter`` seconds
+    (drawn from each repetition's private generator — the same
+    ``derive_seeds`` scheme every kernel stream uses — then re-sorted,
+    exactly the event generator's rule).  Returns ``(times, counts)``
+    where ``times`` is ``(repetitions, width)`` padded with ``inf``
+    past each repetition's count, the shape
+    :func:`repro.sim.probe_vector.simulate_probe_train_batch` replays
+    as cross-traffic.
+    """
+    if jitter < 0:
+        raise ValueError(f"jitter must be non-negative, got {jitter}")
+    reps = len(gens)
+    if packets_per_second <= 0 or horizon <= 0:
+        return np.full((reps, 1), np.inf), np.zeros(reps, dtype=np.int64)
+    interval = 1.0 / packets_per_second
+    count = int(horizon / interval) + 1
+    base = np.arange(count) * interval
+    if jitter == 0:
+        times = base[base < horizon]
+        width = max(1, len(times))
+        out = np.full((reps, width), np.inf)
+        out[:, :len(times)] = times
+        return out, np.full(reps, len(times), dtype=np.int64)
+    rows = []
+    counts = np.zeros(reps, dtype=np.int64)
+    for r, gen in enumerate(gens):
+        jittered = np.sort(base + gen.uniform(0, jitter, size=count))
+        jittered = jittered[jittered < horizon]
+        rows.append(jittered)
+        counts[r] = len(jittered)
+    width = max(1, int(counts.max()))
+    out = np.full((reps, width), np.inf)
+    for r, row in enumerate(rows):
+        out[r, :len(row)] = row
+    return out, counts
 
 
 def _slot_durations(phy: PhyParams, size_bytes: int,

@@ -177,21 +177,42 @@ class Simulator:
         ``until`` at the end of the run, even if the last event fired
         earlier, so that rate computations over a fixed horizon are
         well defined.
+
+        This is the engine's hot loop (every simulated packet passes
+        through it several times), so instead of delegating to
+        :meth:`peek_time` + :meth:`step` it pops inline: the heap and
+        ``heapq.heappop`` are bound to locals and lazily-deleted
+        events are skipped on the raw ``cancelled`` flag — one
+        attribute read per stale entry, no ``pending`` property call,
+        no redundant head re-scan per event.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         fired = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while True:
+            while heap:
                 if max_events is not None and fired >= max_events:
                     break
-                next_time = self.peek_time()
-                if next_time is None:
+                event = heap[0]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                event_time = event.time
+                if until is not None and event_time > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                pop(heap)
+                if event_time < self._now - 1e-12:
+                    raise SimulationError(
+                        f"clock would move backwards: "
+                        f"{event_time} < {self._now}")
+                if event_time > self._now:
+                    self._now = event_time
+                event.fired = True
+                self._events_processed += 1
+                event.callback()
                 fired += 1
         finally:
             self._running = False

@@ -38,6 +38,18 @@ distributional, not bit-level: ``tests/test_probe_vector_backend.py``
 holds KS distances between the backends' access-delay and output-gap
 distributions under the repo's ``alpha = 0.01`` thresholds.
 
+Beyond the Poisson-contended train, the same event loop carries the
+paper's remaining scenarios: CBR cross-traffic
+(:class:`CbrCrossSpec`, batched deterministic sample paths with an
+optional phase-jitter stream), RTS/CTS protection (``rts_threshold``;
+the event medium's exact success/collision airtime split), queue
+traces (``track_queues``; per-station arrival/departure paths that
+reproduce the event engine's backlog step function by counting), a
+steady-state mode with per-flow throughput windows
+(:func:`simulate_steady_state_batch`), and an explicit-arrivals entry
+(:func:`simulate_probe_arrivals_batch`) that lets the multihop
+chaining layer feed one hop's departure matrix to the next.
+
 Randomness is reproducible and batch-size independent: per-repetition
 seeds follow the exact scheme of
 :func:`repro.runtime.executor.derive_seeds`, each repetition owns a
@@ -57,6 +69,7 @@ import numpy as np
 from repro.mac.frames import AirtimeModel
 from repro.mac.params import PhyParams
 from repro.mac.timing import TIME_EPS, cw_table
+from repro.sim.delay_model import cbr_arrival_paths
 from repro.sim.vector import _UniformBlocks
 
 
@@ -84,8 +97,9 @@ class PoissonCrossSpec:
         """Build a spec from a Poisson generator object.
 
         Anything exposing ``packets_per_second`` and ``size_bytes``
-        qualifies; other traffic models (CBR, on-off) have no batched
-        sampler yet and must run on the event backend.
+        qualifies; CBR traffic has its own :class:`CbrCrossSpec` and
+        other models (on-off) have no batched sampler yet and must run
+        on the event backend.
         """
         pps = getattr(generator, "packets_per_second", None)
         size = getattr(generator, "size_bytes", None)
@@ -96,6 +110,155 @@ class PoissonCrossSpec:
                 "run this scenario with backend='event'")
         return cls(packets_per_second=float(pps), size_bytes=int(size))
 
+    def sample_paths(self, gens: Sequence[np.random.Generator],
+                     horizon: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-repetition arrival paths over ``[0, horizon)``."""
+        return _poisson_arrival_paths(gens, self.packets_per_second,
+                                      horizon)
+
+
+@dataclass(frozen=True)
+class CbrCrossSpec:
+    """One CBR cross-traffic contender of a probe-train batch.
+
+    Deterministic inter-arrivals at the packet rate, optionally spread
+    by a per-packet phase jitter of up to ``jitter`` seconds — the
+    batched mirror of :class:`repro.traffic.generators.CBRGenerator`.
+    """
+
+    packets_per_second: float
+    size_bytes: int
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.packets_per_second < 0:
+            raise ValueError(
+                f"rate must be non-negative, got {self.packets_per_second}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {self.size_bytes}")
+        if self.jitter < 0:
+            raise ValueError(
+                f"jitter must be non-negative, got {self.jitter}")
+
+    @classmethod
+    def from_generator(cls, generator: object) -> "CbrCrossSpec":
+        """Build a spec from a CBR generator object.
+
+        Anything exposing ``rate_bps``, ``size_bytes``, ``interval``
+        and ``jitter`` (and no Poisson ``packets_per_second``)
+        qualifies.
+        """
+        rate = getattr(generator, "rate_bps", None)
+        size = getattr(generator, "size_bytes", None)
+        jitter = getattr(generator, "jitter", None)
+        if (rate is None or size is None or jitter is None
+                or not hasattr(generator, "interval")
+                or hasattr(generator, "packets_per_second")):
+            raise ValueError(
+                f"{type(generator).__name__} is not CBR-like "
+                "(needs rate_bps, size_bytes, interval and jitter); "
+                "run this scenario with backend='event'")
+        return cls(packets_per_second=float(rate) / (int(size) * 8),
+                   size_bytes=int(size), jitter=float(jitter))
+
+    def sample_paths(self, gens: Sequence[np.random.Generator],
+                     horizon: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-repetition arrival paths over ``[0, horizon)``."""
+        return cbr_arrival_paths(gens, self.packets_per_second, horizon,
+                                 jitter=self.jitter)
+
+
+def cross_spec_from_generator(generator: object):
+    """Classify a traffic generator into its batched sampler spec.
+
+    Returns a :class:`PoissonCrossSpec` or :class:`CbrCrossSpec`;
+    raises ``ValueError`` for traffic models without a batched sampler
+    (on-off and anything unrecognised) — those scenarios must run on
+    the event backend.
+    """
+    for spec_cls in (PoissonCrossSpec, CbrCrossSpec):
+        try:
+            return spec_cls.from_generator(generator)
+        except ValueError:
+            continue
+    raise ValueError(
+        f"{type(generator).__name__} has no batched arrival sampler "
+        "(Poisson and CBR are supported); run this scenario with "
+        "backend='event'")
+
+
+def classify_cross_generator(generator: object):
+    """``(traffic kind, spec)`` of a batch-sampleable generator.
+
+    The single owner of the kind vocabulary the channel and path
+    layers compile into :class:`repro.backends.ScenarioSpec` traffic
+    axes; raises like :func:`cross_spec_from_generator` when no
+    batched sampler exists.
+    """
+    spec = cross_spec_from_generator(generator)
+    return ("cbr" if isinstance(spec, CbrCrossSpec) else "poisson"), spec
+
+
+def classify_cross_stations(stations: Sequence[Tuple[str, object]]):
+    """Fold ``(name, generator)`` pairs into one traffic-axis value.
+
+    The shared fold rule of the channel and path layers: ``none`` for
+    an empty set, the single kind when every station agrees, ``mixed``
+    otherwise, and ``other`` (with the offending station's detail
+    sentence) as soon as one generator has no batched sampler.
+    Returns ``(kind, detail)``.
+    """
+    folded = "none"
+    for name, generator in stations:
+        try:
+            kind, _ = classify_cross_generator(generator)
+        except ValueError as exc:
+            return "other", f"cross station {name!r}: {exc}"
+        folded = kind if folded in ("none", kind) else "mixed"
+    return folded, ""
+
+
+def fifo_size_mismatch_detail(probe_size: int, fifo_size: int) -> str:
+    """The one sentence every layer uses for the FIFO size limit.
+
+    The batched kernel merges FIFO cross-traffic into the probe
+    station's queue under a single per-station frame size, so the two
+    sizes must agree; this detail appears both in raised errors and in
+    compiled :class:`repro.backends.ScenarioSpec` mismatches.
+    """
+    return ("the batched kernel requires FIFO cross-traffic packets of "
+            f"the probe size ({probe_size} B), got {fifo_size} B; "
+            "run with backend='event'")
+
+
+@dataclass
+class QueueTraceBatch:
+    """Arrival/departure sample paths of one station's queue, batched.
+
+    The kernel computes both arrays anyway (arrivals are the pre-drawn
+    sample paths, departures the success instants); keeping them turns
+    the backlog into pure counting: at time ``t`` the station holds
+    ``#{arrivals <= t} - #{departures <= t}`` packets (queued plus in
+    service), exactly the right-continuous step function the event
+    engine's :meth:`repro.mac.scenario.StationResult.queue_size_at`
+    samples.  Rows are ``inf``-padded past each repetition's count.
+    """
+
+    arrivals: np.ndarray
+    departures: np.ndarray
+
+    def size_at(self, times: np.ndarray) -> np.ndarray:
+        """Backlog sampled at ``times`` (``(repetitions, k)``)."""
+        times = np.asarray(times, dtype=float)
+        out = np.zeros(times.shape)
+        for r in range(times.shape[0]):
+            arrived = np.searchsorted(self.arrivals[r], times[r],
+                                      side="right")
+            departed = np.searchsorted(self.departures[r], times[r],
+                                       side="right")
+            out[r] = arrived - departed
+        return out
+
 
 @dataclass
 class ProbeBatchResult:
@@ -105,13 +268,17 @@ class ProbeBatchResult:
     :class:`repro.testbed.channel.RawTrainResult` objects: row ``r``
     holds repetition ``r``'s send instants ``a_i``, receive instants
     ``d_i`` (end of each probe DATA frame) and access delays ``mu_i``
-    (head-of-line promotion to end of DATA).
+    (head-of-line promotion to end of DATA).  ``queue_traces`` (only
+    populated when queue tracking was requested) carries one
+    :class:`QueueTraceBatch` per cross station, in declaration order —
+    the batched counterpart of the event scenario's queue logs.
     """
 
     send_times: np.ndarray
     recv_times: np.ndarray
     access_delays: np.ndarray
     size_bytes: int
+    queue_traces: Optional[List[QueueTraceBatch]] = None
 
     @property
     def repetitions(self) -> int:
@@ -205,14 +372,16 @@ def simulate_probe_train_batch(
         repetitions: int,
         *,
         size_bytes: int = 1500,
-        cross: Sequence[PoissonCrossSpec] = (),
-        fifo_cross: Optional[PoissonCrossSpec] = None,
+        cross: Sequence[object] = (),
+        fifo_cross: Optional[object] = None,
         horizon: Optional[float] = None,
         phy: Optional[PhyParams] = None,
         warmup: float = 0.25,
         start_jitter: float = 0.01,
         seed: int = 0,
-        immediate_access: bool = True) -> ProbeBatchResult:
+        immediate_access: bool = True,
+        rts_threshold: Optional[int] = None,
+        track_queues: bool = False) -> ProbeBatchResult:
     """Simulate ``repetitions`` independent probe-train sessions at once.
 
     Each repetition mirrors one
@@ -220,10 +389,14 @@ def simulate_probe_train_batch(
     call: cross-traffic warms the channel up for ``warmup`` seconds,
     the ``n_probe``-packet train (input gap ``probe_gap``) starts
     after an extra ``Uniform(0, start_jitter)`` delay, optional
-    ``fifo_cross`` Poisson traffic shares the probe station's FIFO
-    queue, and cross-traffic keeps flowing over ``[0, horizon)``
-    (default: the train window plus one second of drain headroom)
-    while the probe queue drains through DCF contention.
+    ``fifo_cross`` traffic shares the probe station's FIFO queue, and
+    cross-traffic keeps flowing over ``[0, horizon)`` (default: the
+    train window plus one second of drain headroom) while the probe
+    queue drains through DCF contention.  ``cross`` and ``fifo_cross``
+    take :class:`PoissonCrossSpec` / :class:`CbrCrossSpec` values;
+    ``rts_threshold`` enables the RTS/CTS handshake and
+    ``track_queues`` keeps per-cross-station queue traces
+    (:attr:`ProbeBatchResult.queue_traces`).
 
     A repetition stops consuming events once its last probe packet has
     departed; the statistical contract with the event backend is
@@ -241,9 +414,7 @@ def simulate_probe_train_batch(
     cross = list(cross)
     if fifo_cross is not None and fifo_cross.size_bytes != size_bytes:
         raise ValueError(
-            "the batched kernel requires FIFO cross-traffic packets of "
-            f"the probe size ({size_bytes} B), got "
-            f"{fifo_cross.size_bytes} B; run with backend='event'")
+            fifo_size_mismatch_detail(size_bytes, fifo_cross.size_bytes))
     train_span = (n_probe - 1) * probe_gap
     if horizon is None:
         horizon = warmup + start_jitter + train_span + 1.0
@@ -264,21 +435,86 @@ def simulate_probe_train_batch(
     start = warmup + jitter
     probe_times = start[:, None] + np.arange(n_probe) * probe_gap
 
-    cross_paths = [_poisson_arrival_paths(gens, spec.packets_per_second,
-                                          horizon) for spec in cross]
+    cross_paths = [spec.sample_paths(gens, horizon) for spec in cross]
     if fifo_cross is not None:
-        fifo_times, fifo_counts = _poisson_arrival_paths(
-            gens, fifo_cross.packets_per_second, horizon)
+        fifo_times, fifo_counts = fifo_cross.sample_paths(gens, horizon)
     else:
         fifo_times, fifo_counts = None, None
     probe_arr, probe_seq, probe_counts = _merge_probe_queue(
         probe_times, n_probe, fifo_times, fifo_counts)
 
-    recv, delays, _ = _resolve_batch(
+    recv, delays, _, queues = _resolve_batch(
         probe_arr, probe_seq, probe_counts, cross_paths, n_probe,
         seeds=seeds, size_bytes=size_bytes,
         cross_sizes=[spec.size_bytes for spec in cross], phy=phy,
-        immediate_access=immediate_access)
+        immediate_access=immediate_access, rts_threshold=rts_threshold,
+        track_queues=track_queues)
+
+    if np.isnan(recv).any():  # pragma: no cover - defensive
+        raise RuntimeError("probe packets were lost")
+    return ProbeBatchResult(
+        send_times=probe_times,
+        recv_times=recv,
+        access_delays=delays,
+        size_bytes=size_bytes,
+        queue_traces=queues,
+    )
+
+
+def simulate_probe_arrivals_batch(
+        probe_times: np.ndarray,
+        *,
+        size_bytes: int,
+        seeds: np.ndarray,
+        cross: Sequence[object] = (),
+        fifo_cross: Optional[object] = None,
+        horizon: Optional[float] = None,
+        phy: Optional[PhyParams] = None,
+        immediate_access: bool = True,
+        rts_threshold: Optional[int] = None) -> ProbeBatchResult:
+    """Resolve a batch whose probe arrivals are explicit per-repetition.
+
+    The multihop chaining entry point: ``probe_times`` is a
+    ``(repetitions, n)`` matrix of arrival instants at *this* hop —
+    typically the previous hop's departure matrix — and ``seeds`` the
+    per-repetition streams (one uint32 each, the caller derives them
+    per hop).  Everything else matches
+    :func:`simulate_probe_train_batch`; there is no warmup or start
+    jitter because the arrival process already encodes the probing
+    schedule.
+    """
+    probe_times = np.asarray(probe_times, dtype=float)
+    if probe_times.ndim != 2 or probe_times.shape[1] < 2:
+        raise ValueError(
+            f"probe_times must be (repetitions, n >= 2), got "
+            f"{probe_times.shape}")
+    if len(seeds) != probe_times.shape[0]:
+        raise ValueError(
+            f"need one seed per repetition, got {len(seeds)} for "
+            f"{probe_times.shape[0]}")
+    cross = list(cross)
+    if fifo_cross is not None and fifo_cross.size_bytes != size_bytes:
+        raise ValueError(
+            fifo_size_mismatch_detail(size_bytes, fifo_cross.size_bytes))
+    n_probe = probe_times.shape[1]
+    if horizon is None:
+        horizon = float(np.max(probe_times)) + 1.0
+
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    gens = [np.random.default_rng(int(s)) for s in seeds]
+    cross_paths = [spec.sample_paths(gens, horizon) for spec in cross]
+    if fifo_cross is not None:
+        fifo_times, fifo_counts = fifo_cross.sample_paths(gens, horizon)
+    else:
+        fifo_times, fifo_counts = None, None
+    probe_arr, probe_seq, probe_counts = _merge_probe_queue(
+        probe_times, n_probe, fifo_times, fifo_counts)
+
+    recv, delays, _, _ = _resolve_batch(
+        probe_arr, probe_seq, probe_counts, cross_paths, n_probe,
+        seeds=seeds, size_bytes=size_bytes,
+        cross_sizes=[spec.size_bytes for spec in cross], phy=phy,
+        immediate_access=immediate_access, rts_threshold=rts_threshold)
 
     if np.isnan(recv).any():  # pragma: no cover - defensive
         raise RuntimeError("probe packets were lost")
@@ -299,11 +535,14 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
                    cross_sizes: Sequence[int],
                    phy: Optional[PhyParams],
                    immediate_access: bool,
+                   rts_threshold: Optional[int] = None,
                    stop_time: Optional[float] = None,
-                   window: Optional[Tuple[float, float]] = None
+                   window: Optional[Tuple[float, float]] = None,
+                   track_queues: bool = False
                    ) -> Tuple[np.ndarray, np.ndarray,
                               Optional[Tuple[np.ndarray, np.ndarray,
-                                             np.ndarray]]]:
+                                             np.ndarray]],
+                              Optional[List[QueueTraceBatch]]]:
     """Advance every repetition event by event until it completes.
 
     The shared core of the probe-train and steady-state entry points:
@@ -317,9 +556,19 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
     (probe / FIFO / per cross station) whose DATA frame ends inside
     the window.
 
-    Returns ``(recv, delays, bits)`` where ``bits`` is ``None``
+    ``rts_threshold`` protects every frame of at least that many bytes
+    with an RTS/CTS handshake, applying the exact arithmetic of
+    :class:`repro.mac.medium.Medium`: a protected success pays the
+    RTS+SIFS+CTS+SIFS preamble before its DATA frame, a collision
+    occupies the medium only for the colliding contention frames (RTS
+    when protected, DATA otherwise) plus the timeout.
+    ``track_queues`` keeps each cross station's departure instants, so
+    the returned :class:`QueueTraceBatch` objects reproduce the event
+    engine's backlog traces by pure counting.
+
+    Returns ``(recv, delays, bits, queues)`` where ``bits`` is ``None``
     without a window and ``(probe_bits, fifo_bits, cross_bits)``
-    otherwise.
+    otherwise, and ``queues`` is ``None`` unless ``track_queues``.
     """
     phy = phy if phy is not None else PhyParams.dot11b()
     airtime = AirtimeModel(phy)
@@ -332,6 +581,16 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
     n_stations = 1 + len(cross_paths)
     sizes = [size_bytes] + list(cross_sizes)
     data_air = np.array([airtime.data_airtime(s) for s in sizes])
+    # Per-station RTS protection, mirroring Medium._uses_rts: the
+    # preamble precedes a protected DATA frame; during a collision a
+    # protected station only occupies the medium with its RTS.
+    if rts_threshold is not None:
+        protected = np.array([s >= rts_threshold for s in sizes])
+    else:
+        protected = np.zeros(len(sizes), dtype=bool)
+    preamble = np.where(protected, airtime.rts_preamble_duration(), 0.0)
+    contention_air = np.where(protected, airtime.rts_airtime(), data_air)
+    exchange_air = preamble + data_air
 
     width = max(probe_arr.shape[1],
                 max((p.shape[1] for p, _ in cross_paths), default=1))
@@ -367,6 +626,9 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
 
     recv = np.full((reps, n_probe), np.nan)
     delays = np.full((reps, n_probe), np.nan)
+    # FIFO service keeps each station's departures in arrival order, so
+    # indexing this by the served arrival index yields sorted rows.
+    departures = np.full(arr.shape, np.inf) if track_queues else None
 
     # Every event retires an arrival, a success, or (boundedly often)
     # a collision; the guard is far above any real trajectory.
@@ -421,14 +683,23 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
             win = tx_event[:, None] & hol \
                 & (expiry <= t_tx[:, None] + TIME_EPS)
             n_win = win.sum(axis=1)
-            busy_end = (safe_tx + np.where(win, data_air[None, :], 0.0)
+            # A lone winner occupies the medium with its full exchange
+            # (RTS preamble + DATA when protected); colliders only with
+            # their contention frames (RTS when protected) — then both
+            # pay the SIFS + ACK/CTS timeout, like the event medium.
+            frame_air = np.where((n_win == 1)[:, None],
+                                 exchange_air[None, :],
+                                 contention_air[None, :])
+            busy_end = (safe_tx + np.where(win, frame_air, 0.0)
                         .max(axis=1) + sifs + ack_air)
 
             success = tx_event & (n_win == 1)
             solo = win & success[:, None]
             s_rep, s_sta = np.nonzero(solo)
-            data_end = t_tx[s_rep] + data_air[s_sta]
+            data_end = t_tx[s_rep] + preamble[s_sta] + data_air[s_sta]
             served = nxt[s_rep, s_sta]
+            if track_queues:
+                departures[s_rep, s_sta, served] = data_end
 
             probe_tx = s_sta == 0
             p_rep = s_rep[probe_tx]
@@ -500,7 +771,12 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
 
     bits = ((probe_bits, fifo_bits, cross_bits)
             if window is not None else None)
-    return recv, delays, bits
+    queues = None
+    if track_queues:
+        queues = [QueueTraceBatch(arrivals=arr[:, 1 + c, :],
+                                  departures=departures[:, 1 + c, :])
+                  for c in range(len(cross_paths))]
+    return recv, delays, bits, queues
 
 
 @dataclass
@@ -521,6 +797,7 @@ class SteadyBatchResult:
     warmup: float
     duration: float
     size_bytes: int
+    queue_traces: Optional[List[QueueTraceBatch]] = None
 
     @property
     def repetitions(self) -> int:
@@ -550,13 +827,15 @@ def simulate_steady_state_batch(
         repetitions: int,
         *,
         size_bytes: int = 1500,
-        cross: Sequence[PoissonCrossSpec] = (),
-        fifo_cross: Optional[PoissonCrossSpec] = None,
+        cross: Sequence[object] = (),
+        fifo_cross: Optional[object] = None,
         duration: float = 4.0,
         warmup: float = 0.5,
         phy: Optional[PhyParams] = None,
         seed: int = 0,
-        immediate_access: bool = True) -> SteadyBatchResult:
+        immediate_access: bool = True,
+        rts_threshold: Optional[int] = None,
+        track_queues: bool = False) -> SteadyBatchResult:
     """Batched steady-state throughput measurement (figures 1 and 4).
 
     Each repetition mirrors one
@@ -564,10 +843,12 @@ def simulate_steady_state_batch(
     the probe flow is CBR at ``probe_rate_bps`` from time zero
     (periodic arrivals, exactly the event path's
     :class:`repro.traffic.generators.CBRGenerator` schedule), optional
-    ``fifo_cross`` Poisson traffic shares the probe station's queue,
-    the ``cross`` stations contend with Poisson traffic, and the
-    simulation stops at ``duration`` — throughputs are read off the
-    bits delivered in ``(warmup, duration]``.
+    ``fifo_cross`` traffic shares the probe station's queue, the
+    ``cross`` stations contend with their own traffic
+    (:class:`PoissonCrossSpec` or :class:`CbrCrossSpec` — the latter is
+    what the Bianchi-calibration ablation saturates the channel with),
+    and the simulation stops at ``duration`` — throughputs are read
+    off the bits delivered in ``(warmup, duration]``.
 
     The contract with the event backend is distributional, like the
     train kernel's: the per-repetition throughput samples of every
@@ -584,9 +865,7 @@ def simulate_steady_state_batch(
     cross = list(cross)
     if fifo_cross is not None and fifo_cross.size_bytes != size_bytes:
         raise ValueError(
-            "the batched kernel requires FIFO cross-traffic packets of "
-            f"the probe size ({size_bytes} B), got "
-            f"{fifo_cross.size_bytes} B; run with backend='event'")
+            fifo_size_mismatch_detail(size_bytes, fifo_cross.size_bytes))
 
     # The event path's CBR schedule: packets at k * interval, k >= 0,
     # clipped to [0, duration).
@@ -604,22 +883,21 @@ def simulate_steady_state_batch(
     gens = [np.random.default_rng(int(s)) for s in seeds]
 
     probe_times = np.broadcast_to(times, (reps, n_probe)).copy()
-    cross_paths = [_poisson_arrival_paths(gens, spec.packets_per_second,
-                                          duration) for spec in cross]
+    cross_paths = [spec.sample_paths(gens, duration) for spec in cross]
     if fifo_cross is not None:
-        fifo_times, fifo_counts = _poisson_arrival_paths(
-            gens, fifo_cross.packets_per_second, duration)
+        fifo_times, fifo_counts = fifo_cross.sample_paths(gens, duration)
     else:
         fifo_times, fifo_counts = None, None
     probe_arr, probe_seq, probe_counts = _merge_probe_queue(
         probe_times, n_probe, fifo_times, fifo_counts)
 
-    _, _, bits = _resolve_batch(
+    _, _, bits, queues = _resolve_batch(
         probe_arr, probe_seq, probe_counts, cross_paths, n_probe,
         seeds=seeds, size_bytes=size_bytes,
         cross_sizes=[spec.size_bytes for spec in cross], phy=phy,
-        immediate_access=immediate_access,
-        stop_time=duration, window=(warmup, duration))
+        immediate_access=immediate_access, rts_threshold=rts_threshold,
+        stop_time=duration, window=(warmup, duration),
+        track_queues=track_queues)
     probe_bits, fifo_bits, cross_bits = bits
     return SteadyBatchResult(
         probe_bits=probe_bits,
@@ -628,4 +906,5 @@ def simulate_steady_state_batch(
         warmup=warmup,
         duration=duration,
         size_bytes=size_bytes,
+        queue_traces=queues,
     )

@@ -138,7 +138,8 @@ def simulate_saturated_batch(
         size_bytes: int = 1500,
         phy: Optional[PhyParams] = None,
         seed: int = 0,
-        immediate_access: bool = True) -> VectorBatchResult:
+        immediate_access: bool = True,
+        rts_threshold: Optional[int] = None) -> VectorBatchResult:
     """Simulate ``repetitions`` independent saturated BSS runs at once.
 
     Every station starts with ``packets_per_station`` packets queued at
@@ -146,6 +147,10 @@ def simulate_saturated_batch(
     ``immediate_access`` (the 802.11 rule the event engine applies) the
     first round is a simultaneous zero-backoff transmission, i.e. an
     ``n_stations``-way collision for any ``n_stations >= 2``.
+    ``rts_threshold`` protects frames of at least that many bytes with
+    the RTS/CTS handshake: successes pay the RTS+SIFS+CTS+SIFS
+    preamble, collisions only occupy the medium for the RTS plus the
+    timeout (:class:`repro.mac.timing.SlotTiming` carries the split).
 
     Statistically equivalent to running
     :func:`repro.mac.scenario.saturated_station_specs` through the
@@ -161,7 +166,8 @@ def simulate_saturated_batch(
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
 
     phy = phy if phy is not None else PhyParams.dot11b()
-    timing = SlotTiming.for_size(phy, size_bytes)
+    protected = rts_threshold is not None and size_bytes >= rts_threshold
+    timing = SlotTiming.for_size(phy, size_bytes, rts=protected)
     cw_by_stage = cw_table(phy)
     max_stage = phy.max_backoff_stage
 
@@ -203,11 +209,17 @@ def simulate_saturated_batch(
 
         slots = np.where(active, m, 0).astype(float)
         wait = slots * timing.slot + (0.0 if first_round else timing.difs)
-        data_end = now + wait + timing.data_airtime
-        busy_end = data_end + timing.sifs + timing.ack_airtime
+        tx_start = now + wait
+        data_end = tx_start + timing.rts_preamble + timing.data_airtime
 
         success = active & (n_win == 1)
         collision = active & (n_win >= 2)
+        # A success occupies the medium for the full exchange, a
+        # collision only for the contention frames plus the timeout —
+        # identical durations under basic access, split under RTS/CTS.
+        busy_end = np.where(collision,
+                            tx_start + timing.collision_busy,
+                            tx_start + timing.success_busy)
 
         solo = winners & success[:, None]
         rep_idx, sta_idx = np.nonzero(solo)

@@ -35,6 +35,10 @@ from repro.queueing.lindley import lindley_batch
 from repro.sim.probe_vector import (
     PoissonCrossSpec,
     ProbeBatchResult,
+    classify_cross_generator,
+    classify_cross_stations,
+    cross_spec_from_generator,
+    fifo_size_mismatch_detail,
     simulate_probe_train_batch,
 )
 from repro.traffic.probe import ProbeTrain, TrainSequence
@@ -277,34 +281,24 @@ class SimulatedWlanChannel(Channel):
         """Compile this channel's configuration into a ScenarioSpec.
 
         The batched kernel covers the paper's probe-train setting —
-        Poisson cross-traffic, no RTS/CTS, no retry limit, no queue
-        traces, FIFO cross-traffic at the probe packet size; the spec
-        states exactly which of those properties this instance (and,
-        when given, the ``train`` it is about to carry) has, and the
-        dispatcher turns any unsupported one into a structured
+        Poisson/CBR cross-traffic (mixed across stations), RTS/CTS,
+        queue traces, FIFO cross-traffic at the probe packet size; the
+        spec states exactly which properties this instance (and, when
+        given, the ``train`` it is about to carry) has, and the
+        dispatcher turns any unsupported one — an on-off generator, a
+        retry limit, a FIFO size mismatch — into a structured
         capability mismatch.
         """
-        cross_kind, cross_detail = "none", ""
-        for name, generator in self.cross_stations:
-            try:
-                PoissonCrossSpec.from_generator(generator)
-                cross_kind = "poisson"
-            except ValueError as exc:
-                cross_kind = "other"
-                cross_detail = f"cross station {name!r}: {exc}"
-                break
+        cross_kind, cross_detail = classify_cross_stations(
+            self.cross_stations)
         fifo_kind, fifo_detail = "none", ""
         if self.fifo_cross is not None:
             try:
-                spec = PoissonCrossSpec.from_generator(self.fifo_cross)
-                fifo_kind = "poisson"
+                fifo_kind, spec = classify_cross_generator(self.fifo_cross)
                 if train is not None and spec.size_bytes != train.size_bytes:
                     fifo_kind = "other"
-                    fifo_detail = (
-                        "the batched kernel requires FIFO cross-traffic "
-                        f"packets of the probe size ({train.size_bytes} "
-                        f"B), got {spec.size_bytes} B; run with "
-                        "backend='event'")
+                    fifo_detail = fifo_size_mismatch_detail(
+                        train.size_bytes, spec.size_bytes)
             except ValueError as exc:
                 fifo_kind = "other"
                 fifo_detail = f"FIFO cross-traffic: {exc}"
@@ -343,9 +337,9 @@ class SimulatedWlanChannel(Channel):
         reason = self.vector_unsupported_reason()
         if reason is not None:
             raise ValueError(f"no vector kernel for this channel: {reason}")
-        cross = [PoissonCrossSpec.from_generator(generator)
+        cross = [cross_spec_from_generator(generator)
                  for _, generator in self.cross_stations]
-        fifo = (PoissonCrossSpec.from_generator(self.fifo_cross)
+        fifo = (cross_spec_from_generator(self.fifo_cross)
                 if self.fifo_cross is not None else None)
         return simulate_probe_train_batch(
             train.n, train.gap, repetitions,
@@ -358,6 +352,8 @@ class SimulatedWlanChannel(Channel):
             start_jitter=self.start_jitter,
             seed=seed,
             immediate_access=self.immediate_access,
+            rts_threshold=self.rts_threshold,
+            track_queues=self.log_cross_queues,
         )
 
     def send_train_sequence(self, sequence: TrainSequence,

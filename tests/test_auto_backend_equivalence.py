@@ -2,18 +2,24 @@
 
 PR 4 grew vector coverage from 11 to 19 registry entries by
 dispatching already-vectorizable batches through the new
-``repro.backends`` layer.  Every *newly* dual-backend experiment is
-pinned to the event engine here, at its own configuration (probing
-rate, cross-traffic, train shape), with the repo's KS machinery at
-``alpha = 0.01`` — fixed seeds make these deterministic regressions,
-not flaky statistical tests.  (The previously covered probe-train
-family is pinned by ``tests/test_probe_vector_backend.py``.)
+``repro.backends`` layer; PR 5 closed the remaining gap (fig8,
+ablation-rts, ablation-bianchi, ext-multihop -> 23/23).  Every *newly*
+dual-backend experiment is pinned to the event engine here, at its own
+configuration (probing rate, cross-traffic, train shape), with the
+repo's KS machinery at ``alpha = 0.01`` — fixed seeds make these
+deterministic regressions, not flaky statistical tests.  (The
+previously covered probe-train family is pinned by
+``tests/test_probe_vector_backend.py``.)
 
 * figures 1/4 — the steady-state mode of the probe-train kernel
   (per-flow throughput samples vs. repeated event measurements);
 * ablation-immediate-access — the ``immediate_access=False`` arm;
 * ablation-ks / ablation-truncation / ext-b-vs-n /
-  ext-tool-convergence / ext-topp — trains at each study's setting.
+  ext-tool-convergence / ext-topp — trains at each study's setting;
+* fig8 — kernel queue traces vs. the event scenario's backlog logs;
+* ablation-rts — the RTS/CTS airtime mode;
+* ablation-bianchi — batched CBR cross-traffic in steady state;
+* ext-multihop — the chained per-hop kernels end to end.
 """
 
 import numpy as np
@@ -161,3 +167,157 @@ class TestTrainStudies:
         event_ratio = float(np.mean(event.output_gaps)) / gap_in
         vector_ratio = float(np.mean(vector.output_gaps)) / gap_in
         assert event_ratio == pytest.approx(vector_ratio, rel=0.1)
+
+
+class TestFig8QueueTraces:
+    """fig8's setting (8 Mb/s probe, 2 Mb/s cross) with queue tracking:
+    the kernel's counted backlog vs. the event scenario's logs."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.analysis.transient import collect_delay_matrix
+        cross = [("cross", PoissonGenerator(2e6, L))]
+        kwargs = dict(n_packets=40, repetitions=60, seed=13,
+                      track_queues=True)
+        event = collect_delay_matrix(8e6, cross, backend="event",
+                                     **kwargs)
+        vector = collect_delay_matrix(8e6, cross, backend="vector",
+                                      **kwargs)
+        return event, vector
+
+    def test_delay_distributions_match(self, pair):
+        event, vector = pair
+        assert_ks_close(event.matrix.delays, vector.matrix.delays)
+
+    def test_queue_size_distributions_match(self, pair):
+        event, vector = pair
+        assert_ks_close(event.queue_sizes["cross"],
+                        vector.queue_sizes["cross"])
+
+    def test_queue_grows_on_both_backends(self, pair):
+        """Figure 8's qualitative claim — the contending queue builds
+        up while the probe loads the channel — holds on either
+        backend."""
+        for collection in pair:
+            profile = collection.mean_queue_profile("cross")
+            assert profile[-10:].mean() > profile[0]
+
+
+class TestRtsCtsAblation:
+    """ablation-rts's setting (5 Mb/s probe, 4 Mb/s cross, RTS on)."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(4e6, L))], warmup=0.1,
+            rts_threshold=0)
+        train = ProbeTrain.at_rate(20, 5e6, L)
+        event = channel.send_trains_dense(train, REPS, seed=43,
+                                          backend="event")
+        vector = channel.send_trains_dense(train, REPS, seed=43,
+                                           backend="vector")
+        return event, vector
+
+    def test_delay_distributions_match(self, pair):
+        event, vector = pair
+        assert_ks_close(event.access_delays, vector.access_delays)
+
+    def test_first_packet_distribution_matches(self, pair):
+        event, vector = pair
+        assert_ks_close(event.access_delays[:, 0],
+                        vector.access_delays[:, 0])
+
+    def test_rts_overhead_agrees(self, pair):
+        """Both backends report the same handshake-inflated steady
+        mean — the ablation's comparison input."""
+        event, vector = pair
+        assert event.access_delays.mean() == pytest.approx(
+            vector.access_delays.mean(), rel=0.1)
+
+
+class TestBianchiCbrAblation:
+    """ablation-bianchi's setting: n saturated CBR stations."""
+
+    N_STATIONS = 3
+    WINDOW = dict(duration=1.0, warmup=0.3)
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.mac.scenario import StationSpec, WlanScenario
+        from repro.sim.probe_vector import (
+            CbrCrossSpec,
+            simulate_steady_state_batch,
+        )
+        from repro.traffic.generators import CBRGenerator
+        reps, offered = 40, 9e6
+        rep_seeds = np.random.SeedSequence(3).generate_state(reps)
+        scenario = WlanScenario()
+        event = np.zeros(reps)
+        for j, rep_seed in enumerate(rep_seeds):
+            specs = [StationSpec(f"s{i}",
+                                 generator=CBRGenerator(offered, L))
+                     for i in range(self.N_STATIONS)]
+            result = scenario.run(specs,
+                                  horizon=self.WINDOW["duration"],
+                                  seed=int(rep_seed),
+                                  until=self.WINDOW["duration"])
+            event[j] = sum(
+                result.station(f"s{i}").throughput_bps(
+                    self.WINDOW["warmup"], self.WINDOW["duration"])
+                for i in range(self.N_STATIONS))
+        batch = simulate_steady_state_batch(
+            offered, reps, size_bytes=L,
+            cross=[CbrCrossSpec(offered / (L * 8), L)]
+            * (self.N_STATIONS - 1),
+            seed=3, **self.WINDOW)
+        vector = batch.probe_throughput_bps() + batch.cross_throughput_bps()
+        return event, vector
+
+    def test_total_throughput_distribution_matches(self, pair):
+        event, vector = pair
+        assert_ks_close(event, vector)
+
+    def test_means_close(self, pair):
+        event, vector = pair
+        assert event.mean() == pytest.approx(vector.mean(), rel=0.05)
+
+
+class TestMultihopChain:
+    """ext-multihop's setting: 100 Mb/s wired backbone + contended
+    WLAN last mile, probed end to end."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.path import (NetworkPath, SimulatedPathChannel,
+                                WiredHop, WlanHop)
+        path = NetworkPath([
+            WiredHop(100e6, prop_delay=1e-3),
+            WlanHop([("neighbour", PoissonGenerator(4e6, L))]),
+        ])
+        channel = SimulatedPathChannel(path)
+        train = ProbeTrain.at_rate(20, 3e6, L)
+        event = channel.send_trains_dense(train, 2 * REPS, seed=47,
+                                          backend="event")
+        vector = channel.send_trains_dense(train, 2 * REPS, seed=47,
+                                           backend="vector")
+        return event, vector
+
+    def test_output_gap_distribution_matches(self, pair):
+        event, vector = pair
+        assert_ks_close(event.output_gaps, vector.output_gaps)
+
+    def test_per_index_delay_distributions_match(self, pair):
+        """End-to-end per-packet delays at the head, middle and tail
+        of the train (per-index: pooling across a train would mix the
+        transient into the steady state)."""
+        event, vector = pair
+        event_delay = event.recv_times - event.send_times
+        vector_delay = vector.recv_times - vector.send_times
+        for idx in (0, 10, 19):
+            assert_ks_close(event_delay[:, idx], vector_delay[:, idx])
+
+    def test_mean_output_rate_agrees(self, pair):
+        event, vector = pair
+        event_rate = L * 8 / float(np.mean(event.output_gaps))
+        vector_rate = L * 8 / float(np.mean(vector.output_gaps))
+        assert event_rate == pytest.approx(vector_rate, rel=0.1)

@@ -80,7 +80,11 @@ class TestRegistryCoverage:
         assert current["ext-saturation"]["kernel"] == "saturated-DCF kernel"
         assert current["eq1"]["kernel"] == "batched Lindley recursion"
         assert current["fig6"]["kernel"] == "probe-train kernel"
-        assert "queue traces" in current["fig8"]["reason"]
+        # The four formerly event-only experiments now name kernels.
+        assert current["fig8"]["kernel"] == "probe-train kernel"
+        assert current["ablation-rts"]["kernel"] == "probe-train kernel"
+        assert current["ablation-bianchi"]["kernel"] == "probe-train kernel"
+        assert current["ext-multihop"]["kernel"] == "multihop chain kernel"
 
 
 class TestMain:
@@ -91,12 +95,12 @@ class TestMain:
     def test_fails_on_lost_vector_entry(self, manifest, capsys):
         current = gate.registry_coverage()
         doctored = dict(current)
-        # Pretend the (genuinely event-only) fig8 used to have a
-        # vector backend: the gate must flag the loss.
-        doctored["fig8"] = entry("event", "vector")
+        # Every registry entry is dual-backend now, so pretend fig8
+        # used to offer a third backend: the gate must flag the loss.
+        doctored["fig8"] = entry("event", "vector", "cuda")
         path = manifest(doctored)
         assert gate.main([str(path), "--skip-docs"]) == 1
-        assert "lost backend(s) vector" in capsys.readouterr().err
+        assert "lost backend(s) cuda" in capsys.readouterr().err
 
     def test_missing_manifest_is_an_error(self, tmp_path, capsys):
         assert gate.main([str(tmp_path / "nope.json")]) == 2
@@ -155,11 +159,13 @@ class TestCommittedManifest:
         assert committed == gate.registry_coverage()
 
     def test_dual_backend_floor(self):
-        """The PR's acceptance floor: >= 17 dual-backend experiments."""
+        """The PR's acceptance floor: all 23 experiments dual-backend,
+        zero ``reason`` entries left in the manifest."""
         committed = gate.load_baseline(gate.DEFAULT_BASELINE)
         dual = [name for name, info in committed.items()
                 if "vector" in info["backends"]]
-        assert len(dual) >= 17
+        assert len(dual) == len(committed) == 23
+        assert not any("reason" in info for info in committed.values())
 
     def test_manifest_matches_derived_vector_experiments(self):
         committed = gate.load_baseline(gate.DEFAULT_BASELINE)

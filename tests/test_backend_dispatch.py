@@ -39,6 +39,28 @@ WLAN_TRAIN = ScenarioSpec(system="wlan", workload="train",
                           cross_traffic="poisson")
 
 
+def _retry_limited_runner(seed=0, repetitions=2):
+    """A tiny runner whose scenario no kernel can model (retry limit)."""
+    from repro.analysis.results import ExperimentResult
+    return ExperimentResult(
+        experiment="t-retry", title="retry-limited stub",
+        x_label="idx", x=np.arange(repetitions, dtype=float),
+        series={"value": np.full(repetitions, float(seed))},
+        meta={})
+
+
+def _retry_limited_experiment():
+    """An experiment that is still event-only after this PR: a retry
+    limit has no batched kernel, so ``auto`` must fall back (and
+    forcing ``vector`` must raise) — the one mismatch the registry's
+    builtin experiments no longer exercise."""
+    return registry.Experiment(
+        name="t-retry", runner=_retry_limited_runner,
+        scalable={"repetitions": 2},
+        scenario=ScenarioSpec(system="wlan", workload="train",
+                              cross_traffic="poisson", retry_limit=True))
+
+
 class TestScenarioSpec:
     def test_defaults(self):
         spec = ScenarioSpec()
@@ -74,11 +96,11 @@ class TestResolve:
 
     def test_auto_falls_back_with_reason(self):
         spec = ScenarioSpec(system="wlan", workload="train",
-                            cross_traffic="poisson", queue_traces=True)
+                            cross_traffic="poisson", retry_limit=True)
         resolution = resolve(spec, "auto")
         assert resolution.backend is EVENT
         assert resolution.fallback == \
-            "queue traces require the event engine"
+            "a retry limit requires the event engine"
 
     def test_event_never_records_fallback(self):
         resolution = resolve(WLAN_TRAIN, "event")
@@ -87,12 +109,34 @@ class TestResolve:
 
     def test_forced_vector_raises_structured(self):
         spec = ScenarioSpec(system="wlan", workload="train",
-                            cross_traffic="poisson", rts_cts=True)
+                            cross_traffic="poisson", retry_limit=True)
         with pytest.raises(BackendUnavailableError,
-                           match="RTS/CTS") as err:
+                           match="retry limit") as err:
             resolve(spec, "vector")
         mismatches = err.value.mismatches["probe-train kernel"]
-        assert any(m.capability == "rts_cts" for m in mismatches)
+        assert any(m.capability == "retry_limit" for m in mismatches)
+
+    def test_rts_queue_traces_and_cbr_now_dispatch_to_kernels(self):
+        """The PR's tentpole: the former fallback reasons are gone."""
+        for spec in (
+            ScenarioSpec(system="wlan", workload="train",
+                         cross_traffic="poisson", rts_cts=True),
+            ScenarioSpec(system="wlan", workload="train",
+                         cross_traffic="poisson", queue_traces=True),
+            ScenarioSpec(system="wlan", workload="steady-cbr",
+                         cross_traffic="cbr"),
+            ScenarioSpec(system="wlan", workload="train",
+                         cross_traffic="mixed"),
+        ):
+            resolution = resolve(spec, "auto")
+            assert resolution.kernel == "probe-train kernel", spec
+        path = resolve(ScenarioSpec(system="path", workload="train",
+                                    cross_traffic="poisson"), "auto")
+        assert path.kernel == "multihop chain kernel"
+        saturated_rts = resolve(
+            ScenarioSpec(system="wlan", workload="saturated",
+                         rts_cts=True), "auto")
+        assert saturated_rts.kernel == "saturated-DCF kernel"
 
     def test_unknown_request_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
@@ -114,7 +158,10 @@ class TestResolve:
 
     def test_family_names(self):
         assert family_names(WLAN_TRAIN) == ("event", "vector")
-        assert family_names(ScenarioSpec(system="path")) == ("event",)
+        assert family_names(ScenarioSpec(system="other",
+                                         workload="other",
+                                         cross_traffic="other")) \
+            == ("event",)
         assert eligible(WLAN_TRAIN)[-1] is EVENT
 
     def test_deterministic_across_jobs(self):
@@ -129,7 +176,8 @@ class TestResolve:
         text = explain(ScenarioSpec(system="fifo"), "auto")
         assert "batched Lindley recursion" in text
         assert "probe-train kernel" in text  # rejected, with reason
-        forced = explain(ScenarioSpec(system="path"), "vector")
+        forced = explain(ScenarioSpec(system="other", workload="other",
+                                      cross_traffic="other"), "vector")
         assert "ERROR" in forced
 
 
@@ -144,12 +192,25 @@ class TestChannelIntegration:
         assert spec.fifo_cross == "poisson"
         assert spec.rts_cts and spec.retry_limit and spec.queue_traces
 
-    def test_cbr_cross_disqualifies_with_detail(self):
+    def test_cbr_cross_now_compiles_and_dispatches(self):
         channel = SimulatedWlanChannel([("cbr", CBRGenerator(2e6, 1500))])
+        spec = channel.scenario_spec()
+        assert spec.cross_traffic == "cbr"
+        assert vector_mismatch_reason(spec) is None
+        mixed = SimulatedWlanChannel([
+            ("cbr", CBRGenerator(2e6, 1500)),
+            ("poisson", PoissonGenerator(1e6, 1500))])
+        assert mixed.scenario_spec().cross_traffic == "mixed"
+        assert mixed.vector_unsupported_reason() is None
+
+    def test_onoff_cross_disqualifies_with_detail(self):
+        from repro.traffic.generators import OnOffGenerator
+        channel = SimulatedWlanChannel(
+            [("burst", OnOffGenerator(4e6, 0.1, 0.1, 1500))])
         spec = channel.scenario_spec()
         assert spec.cross_traffic == "other"
         reason = vector_mismatch_reason(spec)
-        assert "cross station 'cbr'" in reason
+        assert "cross station 'burst'" in reason
         assert channel.vector_unsupported_reason() == reason
 
     def test_fifo_size_mismatch_falls_back_instead_of_crashing(self):
@@ -223,7 +284,7 @@ class TestExecutorDelegation:
 
     def test_auto_with_ineligible_spec_maps_event(self):
         spec = ScenarioSpec(system="wlan", workload="train",
-                            cross_traffic="poisson", queue_traces=True)
+                            cross_traffic="poisson", retry_limit=True)
         out = executor.run_batch(
             lambda s: ("event", s), 2, 9, backend="auto",
             vector_batch=lambda s: ("vector", s), spec=spec)
@@ -266,32 +327,37 @@ class TestRegistryCacheInteraction:
         assert kwargs[0]["backend"] == "vector"
 
     def test_forced_vector_on_ineligible_raises_structured(self):
-        experiment = registry.get("fig8")
+        experiment = _retry_limited_experiment()
         with pytest.raises(BackendUnavailableError,
                            match="supports backend") as err:
             experiment.run(scale=0.02, backend="vector")
-        assert "queue traces" in str(err.value)
+        assert "retry limit" in str(err.value)
         assert err.value.mismatches  # structured records attached
 
     def test_fallback_reason_lands_in_meta(self, tmp_path):
+        """The cache-hit re-annotation contract: a cached auto->event
+        fallback result must carry ``meta["backend_fallback"]`` on the
+        *second* auto request too — the stored payload has no
+        annotation, so the hit path must re-derive it per request."""
         cache = ResultCache(root=tmp_path)
-        experiment = registry.get("fig8")
-        overrides = {"repetitions": 4, "n_packets": 12, "plot_limit": 8}
-        report = experiment.run(scale=0.02, seed=2, backend="auto",
-                                overrides=overrides, cache=cache)
+        experiment = _retry_limited_experiment()
+        report = experiment.run(scale=1.0, seed=2, backend="auto",
+                                cache=cache)
+        assert report.cached is False
         assert report.result.meta["backend"] == "event"
         assert report.result.meta["backend_fallback"] == \
-            "queue traces require the event engine"
+            "a retry limit requires the event engine"
         # A cache hit re-annotates per-request instead of trusting the
         # stored payload.
-        hit = experiment.run(scale=0.02, seed=2, backend="auto",
-                             overrides=overrides, cache=cache)
+        hit = experiment.run(scale=1.0, seed=2, backend="auto",
+                             cache=cache)
         assert hit.cached is True
+        assert hit.result.meta["backend"] == "event"
         assert hit.result.meta["backend_fallback"] == \
-            "queue traces require the event engine"
+            "a retry limit requires the event engine"
         # ... and an explicit event request gets no fallback note.
-        explicit = experiment.run(scale=0.02, seed=2, backend="event",
-                                  overrides=overrides, cache=cache)
+        explicit = experiment.run(scale=1.0, seed=2, backend="event",
+                                  cache=cache)
         assert explicit.cached is True
         assert "backend_fallback" not in explicit.result.meta
 
@@ -299,7 +365,10 @@ class TestRegistryCacheInteraction:
         derived = {e.name for e in registry.experiments()
                    if "vector" in e.backends}
         assert registry.VECTOR_EXPERIMENTS == frozenset(derived)
-        assert len(registry.VECTOR_EXPERIMENTS) >= 17
+        # The vector-coverage gap is closed: every registry entry is
+        # dual-backend.
+        assert registry.VECTOR_EXPERIMENTS == frozenset(registry.names())
+        assert len(registry.VECTOR_EXPERIMENTS) == 23
 
 
 class TestCliDispatch:
@@ -311,13 +380,21 @@ class TestCliDispatch:
         assert main(["run", "all", "--explain-backend"]) == 0
         out = capsys.readouterr().out
         assert "fig6" in out and "probe-train kernel" in out
-        assert "queue traces require the event engine" in out
+        # 23/23: every experiment resolves to a kernel, nothing falls
+        # back to the event engine any more.
+        assert "multihop chain kernel" in out
+        assert "fallback" not in out
         assert "==" not in out  # no experiment table was printed
 
     def test_explain_backend_forced_error_exits_nonzero(self, capsys):
-        assert main(["run", "fig8", "--backend", "vector",
-                     "--explain-backend"]) == 1
-        assert "ERROR" in capsys.readouterr().out
+        experiment = _retry_limited_experiment()
+        registry.register(experiment)
+        try:
+            assert main(["run", "t-retry", "--backend", "vector",
+                         "--explain-backend"]) == 1
+            assert "ERROR" in capsys.readouterr().out
+        finally:
+            registry.unregister("t-retry")
 
     def test_default_auto_records_resolved_backend(self, capsys):
         code = main(["run", "fig6", "--scale", "0.02", "--seed", "3",

@@ -69,13 +69,45 @@ class TestCommands:
         assert "backend=vector" in out
 
     def test_run_backend_unsupported_fails_cleanly(self, capsys):
-        # fig8 needs the event engine's queue traces, so it never
-        # grows a vector backend.
-        code = main(["run", "fig8", "--backend", "vector", "--scale",
-                     "0.02", "--no-cache"])
+        # A retry limit is the one protocol feature no kernel models;
+        # the registry's builtins are all dual-backend now, so pin the
+        # error path with a temporary event-only experiment.
+        from repro.backends import ScenarioSpec
+        experiment = registry.Experiment(
+            name="t-event-only", runner=registry.get("fig6").runner,
+            scalable={"repetitions": 4},
+            scenario=ScenarioSpec(system="wlan", workload="train",
+                                  cross_traffic="poisson",
+                                  retry_limit=True))
+        registry.register(experiment)
+        try:
+            code = main(["run", "t-event-only", "--backend", "vector",
+                         "--scale", "0.02", "--no-cache"])
+        finally:
+            registry.unregister("t-event-only")
         captured = capsys.readouterr()
         assert code == 1
         assert "supports backend" in captured.err
+
+    def test_run_backend_vector_fig8(self, capsys):
+        # The former poster child of the coverage gap: queue traces
+        # now come from the kernel.
+        code = main(["run", "fig8", "--backend", "vector", "--scale",
+                     "0.05", "--seed", "1", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # tiny scale may fail shape checks
+        assert "backend=vector" in out
+        assert "mean_queue" in out  # the table truncates long headers
+
+    def test_run_profile_prints_cprofile_table(self, capsys):
+        code = main(["run", "fig6", "--profile", "--scale", "0.02",
+                     "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "cProfile (top 25, cumulative)" in out
+        assert "cumtime" in out
+        # The profiled run bypasses the cache entirely.
+        assert "cache hit" not in out and "stored as" not in out
 
     def test_run_backend_rejects_unknown_choice(self):
         with pytest.raises(SystemExit):

@@ -7,6 +7,7 @@ from repro.analytic.bianchi import BianchiModel
 from repro.mac.frames import AirtimeModel
 from repro.mac.params import PhyParams
 from repro.sim.delay_model import (
+    cbr_arrival_paths,
     sample_access_delays,
     sample_transient_delay_matrix,
 )
@@ -78,3 +79,44 @@ class TestTransientSampler:
             sample_transient_delay_matrix(2, 5, 1)
         with pytest.raises(ValueError):
             sample_transient_delay_matrix(2, 5, 5, utilization=1.0)
+
+
+class TestCbrArrivalPaths:
+    def test_deterministic_without_jitter(self):
+        gens = [np.random.default_rng(s) for s in (1, 2, 3)]
+        times, counts = cbr_arrival_paths(gens, 10.0, 1.0)
+        # 10 packets/s over [0, 1): arrivals at 0, 0.1, ..., 0.9.
+        assert np.all(counts == 10)
+        expected = np.arange(10) * 0.1
+        for row in range(3):
+            assert np.allclose(times[row, :10], expected)
+
+    def test_matches_cbr_generator_schedule(self):
+        """The batched sampler replays CBRGenerator.generate exactly
+        (jitter-free): same instants, same horizon clipping."""
+        from repro.traffic.generators import CBRGenerator
+        generator = CBRGenerator(9e6, 1500)
+        schedule = generator.generate(0.5, np.random.default_rng(0))
+        gens = [np.random.default_rng(0)]
+        times, counts = cbr_arrival_paths(
+            gens, generator.rate_bps / (1500 * 8), 0.5)
+        assert counts[0] == len(schedule)
+        assert np.allclose(times[0, :counts[0]], schedule.times)
+
+    def test_jitter_spreads_per_repetition(self):
+        gens = [np.random.default_rng(s) for s in (1, 2)]
+        times, counts = cbr_arrival_paths(gens, 100.0, 1.0, jitter=5e-3)
+        assert not np.allclose(times[0, :counts[0]],
+                               times[1, :counts[1]])
+        # Jittered rows stay sorted and inside the horizon.
+        for row in range(2):
+            real = times[row, :counts[row]]
+            assert np.all(np.diff(real) >= 0)
+            assert real[-1] < 1.0
+
+    def test_degenerate_inputs(self):
+        gens = [np.random.default_rng(0)]
+        times, counts = cbr_arrival_paths(gens, 0.0, 1.0)
+        assert counts[0] == 0 and np.isinf(times).all()
+        with pytest.raises(ValueError):
+            cbr_arrival_paths(gens, 10.0, 1.0, jitter=-1.0)

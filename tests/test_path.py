@@ -144,3 +144,124 @@ class TestAccessNetworkScenario:
         knee = curve.knee_rate(tolerance=0.08)
         fair_share = BianchiModel().fair_share(2)
         assert knee == pytest.approx(fair_share, rel=0.45)
+
+
+class TestPathVectorBackend:
+    """The multihop chaining layer (carry_batch + dispatch)."""
+
+    def _path(self):
+        return NetworkPath([
+            WiredHop(100e6, prop_delay=1e-3),
+            WlanHop([("neighbour", PoissonGenerator(4e6, 1500))]),
+        ])
+
+    def test_wired_hop_batch_replays_event_path_exactly(self):
+        hop = WiredHop(10e6, cross_generator=PoissonGenerator(5e6, 1500))
+        train = ProbeTrain.at_rate(30, 6e6, 1500)
+        times = train.arrival_times(start=1.0)
+        seeds = [11, 12, 13]
+        batch = hop.carry_batch(
+            np.broadcast_to(times, (3, 30)).copy(), 1500, seeds)
+        for r, seed in enumerate(seeds):
+            event = hop.carry(train.packets(start=1.0),
+                              np.random.default_rng(seed))
+            assert np.allclose(batch[r], event, atol=1e-9)
+
+    def test_scenario_spec_compiled_from_hops(self):
+        channel = SimulatedPathChannel(self._path())
+        spec = channel.scenario_spec()
+        assert spec.system == "path"
+        assert spec.cross_traffic == "poisson"
+        assert channel.resolve_backend("auto").kernel == \
+            "multihop chain kernel"
+
+    def test_unknown_hop_type_demotes_to_event(self):
+        from repro.path.hops import PathHop
+
+        class TeleportHop(PathHop):
+            def carry(self, arrivals, rng):
+                return np.array([t for t, _ in arrivals])
+
+            def nominal_capacity_bps(self, size_bytes):
+                return 1e9
+
+        channel = SimulatedPathChannel(NetworkPath([TeleportHop()]))
+        resolution = channel.resolve_backend("auto")
+        assert resolution.name == "event"
+        assert "TeleportHop" in resolution.fallback
+        with pytest.raises(ValueError, match="no vector kernel"):
+            channel.send_trains_batch(ProbeTrain.at_rate(4, 2e6), 2)
+
+    def test_retry_limited_wlan_hop_demotes_to_event(self):
+        path = NetworkPath([
+            WlanHop([("n", PoissonGenerator(2e6, 1500))], retry_limit=4),
+        ])
+        resolution = SimulatedPathChannel(path).resolve_backend("auto")
+        assert resolution.name == "event"
+        assert "retry" in resolution.fallback
+
+    def test_batch_rows_are_plausible_trains(self):
+        channel = SimulatedPathChannel(self._path())
+        train = ProbeTrain.at_rate(10, 3e6, 1500)
+        batch = channel.send_trains_batch(train, 6, seed=5)
+        assert batch.recv_times.shape == (6, 10)
+        # FIFO order survives the whole chain, and every departure
+        # trails its own send instant by at least the wired service
+        # plus both propagation-free airtime floors.
+        assert np.all(np.diff(batch.recv_times, axis=1) > 0)
+        assert np.all(batch.recv_times > batch.send_times)
+        assert np.isnan(batch.access_delays).all()
+
+    def test_prober_rides_vector_backend(self):
+        channel = SimulatedPathChannel(self._path())
+        prober = Prober(channel, ProbeSessionConfig(
+            repetitions=8, ideal_clocks=True, backend="vector"))
+        rate = prober.dispersion_rate(10, 3e6, seed=3)
+        assert 1e6 < rate < 12e6
+
+    def test_packet_pairs_cross_the_chain(self):
+        channel = SimulatedPathChannel(self._path())
+        pairs = channel.send_trains(PacketPair(1500), 10, seed=9,
+                                    backend="vector")
+        estimate = packet_pair_capacity(
+            [TrainMeasurementAdapter.measurement(r) for r in pairs])
+        assert 1e6 < estimate < 20e6
+
+    def test_registry_experiment_runs_on_vector(self):
+        from repro.runtime import registry
+        report = registry.get("ext-multihop").run(
+            scale=0.2, seed=4, backend="vector",
+            overrides={"n_packets": 12,
+                       "probe_rates_bps": [1e6, 2e6, 3e6]})
+        assert report.kwargs["backend"] == "vector"
+        assert report.result.meta["backend"] == "vector"
+
+
+class TrainMeasurementAdapter:
+    """Tiny adapter: RawTrainResult -> TrainMeasurement."""
+
+    @staticmethod
+    def measurement(raw):
+        from repro.core.dispersion import TrainMeasurement
+        return TrainMeasurement(send_times=raw.send_times,
+                                recv_times=raw.recv_times,
+                                size_bytes=raw.size_bytes)
+
+
+class TestMixedFifoPath:
+    def test_mixed_fifo_across_hops_stays_vectorizable(self):
+        """Each hop resolves its own FIFO generator, so hops carrying
+        different (individually supported) FIFO models must not demote
+        the path."""
+        from repro.traffic.generators import CBRGenerator
+        path = NetworkPath([
+            WlanHop([("a", PoissonGenerator(2e6, 1500))],
+                    fifo_cross=PoissonGenerator(1e6, 1500)),
+            WlanHop([("b", PoissonGenerator(2e6, 1500))],
+                    fifo_cross=CBRGenerator(1e6, 1500)),
+        ])
+        channel = SimulatedPathChannel(path)
+        spec = channel.scenario_spec()
+        assert spec.fifo_cross == "mixed"
+        assert channel.resolve_backend("auto").kernel == \
+            "multihop chain kernel"

@@ -247,23 +247,55 @@ class TestChannelRouting:
             channel.send_trains(ProbeTrain.at_rate(4, 2e6), 2,
                                 backend="quantum")
 
-    def test_non_poisson_cross_rejected(self):
-        channel = SimulatedWlanChannel([("cbr", CBRGenerator(2e6, L))])
+    def test_unsampleable_cross_rejected(self):
+        from repro.traffic.generators import OnOffGenerator
+        channel = SimulatedWlanChannel(
+            [("burst", OnOffGenerator(4e6, 0.1, 0.1, L))])
         assert channel.vector_unsupported_reason() is not None
         with pytest.raises(ValueError, match="no vector kernel"):
             channel.send_trains(ProbeTrain.at_rate(4, 2e6), 2,
                                 backend="vector")
 
-    def test_queue_tracking_rejected(self):
-        channel = SimulatedWlanChannel(
-            [("cross", PoissonGenerator(2e6, L))], log_cross_queues=True)
-        assert "queue" in channel.vector_unsupported_reason()
+    def test_cbr_cross_routes_to_kernel(self):
+        channel = SimulatedWlanChannel([("cbr", CBRGenerator(2e6, L))],
+                                       warmup=0.1)
+        assert channel.vector_unsupported_reason() is None
+        batch = channel.send_trains_batch(ProbeTrain.at_rate(6, 4e6, L),
+                                          4, seed=2)
+        assert batch.recv_times.shape == (4, 6)
+        assert np.all(np.diff(batch.recv_times, axis=1) > 0)
 
-    def test_rts_and_retry_limit_rejected(self):
+    def test_queue_tracking_supported(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, L))], warmup=0.1,
+            log_cross_queues=True)
+        assert channel.vector_unsupported_reason() is None
+        train = ProbeTrain.at_rate(8, 6e6, L)
+        batch = channel.send_trains_batch(train, 5, seed=4)
+        assert batch.queue_traces is not None
+        assert len(batch.queue_traces) == 1
+        sizes = batch.queue_traces[0].size_at(batch.send_times)
+        assert sizes.shape == (5, 8)
+        assert np.all(sizes >= 0)
+
+    def test_rts_supported_retry_limit_rejected(self):
         rts = SimulatedWlanChannel([], rts_threshold=1000)
-        assert "RTS" in rts.vector_unsupported_reason()
+        assert rts.vector_unsupported_reason() is None
         retry = SimulatedWlanChannel([], retry_limit=7)
         assert "retry" in retry.vector_unsupported_reason()
+
+    def test_rts_adds_preamble_on_quiet_channel(self):
+        """On an uncontended channel every probe gets immediate access,
+        so the RTS/CTS arm's delays exceed basic access by exactly the
+        RTS + SIFS + CTS + SIFS preamble."""
+        train = ProbeTrain.at_rate(6, 1e6, L)
+        basic = SimulatedWlanChannel([], warmup=0.05) \
+            .send_trains_batch(train, 3, seed=9)
+        rts = SimulatedWlanChannel([], warmup=0.05, rts_threshold=0) \
+            .send_trains_batch(train, 3, seed=9)
+        preamble = AirtimeModel(PhyParams.dot11b()).rts_preamble_duration()
+        assert np.allclose(rts.access_delays - basic.access_delays,
+                           preamble, atol=1e-12)
 
     def test_supported_channel_reports_none(self):
         channel = SimulatedWlanChannel(
@@ -384,13 +416,15 @@ class TestProberAndRunners:
         assert collection.matrix.delays.shape == (12, 15)
         assert collection.queue_sizes == {}
 
-    def test_collect_delay_matrix_vector_rejects_queue_tracking(self):
+    def test_collect_delay_matrix_vector_tracks_queues(self):
         from repro.analysis.transient import collect_delay_matrix
-        with pytest.raises(ValueError, match="no vector kernel"):
-            collect_delay_matrix(
-                5e6, [("cross", PoissonGenerator(3e6, L))],
-                n_packets=10, repetitions=4, seed=2,
-                track_queues=True, backend="vector")
+        collection = collect_delay_matrix(
+            5e6, [("cross", PoissonGenerator(3e6, L))],
+            n_packets=10, repetitions=4, seed=2,
+            track_queues=True, backend="vector")
+        assert collection.matrix.delays.shape == (4, 10)
+        assert collection.queue_sizes["cross"].shape == (4, 10)
+        assert np.all(collection.queue_sizes["cross"] >= 0)
 
     def test_registry_experiment_runs_on_vector(self):
         report = registry.get("fig6").run(
@@ -418,3 +452,23 @@ class TestProberAndRunners:
         with executor.parallel_jobs(4):
             parallel = channel.send_trains_batch(train, 6, seed=3)
         assert np.array_equal(serial.recv_times, parallel.recv_times)
+
+
+class TestSteadyQueueTraces:
+    def test_steady_batch_tracks_queues(self):
+        """The steady-state entry honours track_queues too, so the
+        kernel's queue-trace capability holds for both workloads it
+        advertises."""
+        from repro.sim.probe_vector import (
+            PoissonCrossSpec,
+            simulate_steady_state_batch,
+        )
+        batch = simulate_steady_state_batch(
+            4e6, 3, size_bytes=L,
+            cross=[PoissonCrossSpec(3e6 / (L * 8), L)],
+            duration=0.5, warmup=0.1, seed=2, track_queues=True)
+        assert batch.queue_traces is not None
+        sizes = batch.queue_traces[0].size_at(
+            np.full((3, 4), [0.1, 0.2, 0.3, 0.4]))
+        assert sizes.shape == (3, 4)
+        assert np.all(sizes >= 0)

@@ -54,14 +54,14 @@ class TestRegistration:
         assert multi == set(registry.VECTOR_EXPERIMENTS)
         for name in sorted(multi):
             assert registry.get(name).backends == ("event", "vector")
-        # The probe-train family (including the steady-state CBR
-        # figures, which ride the kernel's steady mode) is
-        # dual-backend; queue-trace, RTS, CBR-saturation and
-        # multi-hop-path experiments stay event-only.
+        # The vector-coverage gap is closed: the queue-trace, RTS,
+        # CBR-saturation and multi-hop-path experiments joined the
+        # probe-train family, so every registry entry is dual-backend.
         assert {"fig1", "fig4", "fig6", "fig13", "fig15", "eq1",
                 "bounds", "ext-saturation"} <= multi
         assert {"fig8", "ablation-bianchi", "ablation-rts",
-                "ext-multihop"}.isdisjoint(multi)
+                "ext-multihop"} <= multi
+        assert multi == set(registry.names())
 
     def test_backends_derived_from_scenario(self):
         """The registry never hand-maintains backend lists: stripping

@@ -64,3 +64,34 @@ class TestSlotTiming:
     def test_default_phy_is_dot11b(self):
         assert SlotTiming.for_size() == SlotTiming.for_size(
             PhyParams.dot11b(), 1500)
+
+
+class TestSlotTimingRts:
+    def test_rts_fields_match_airtime_model(self):
+        phy = PhyParams.dot11b()
+        airtime = AirtimeModel(phy)
+        timing = SlotTiming.for_size(phy, 1500, rts=True)
+        assert timing.rts_preamble == pytest.approx(
+            airtime.rts_preamble_duration())
+        assert timing.contention_airtime == pytest.approx(
+            airtime.rts_airtime())
+        assert timing.success_busy == pytest.approx(
+            airtime.rts_preamble_duration()
+            + airtime.success_duration(1500))
+        assert timing.collision_busy == pytest.approx(
+            airtime.rts_airtime() + phy.sifs + airtime.ack_airtime())
+
+    def test_basic_access_keeps_single_busy_period(self):
+        """Without RTS the success/collision split collapses back to
+        the one busy period the saturated kernel always used."""
+        timing = SlotTiming.for_size(PhyParams.dot11b(), 1500)
+        assert timing.rts_preamble == 0.0
+        assert timing.success_busy == pytest.approx(timing.busy_period)
+        assert timing.collision_busy == pytest.approx(timing.busy_period)
+
+    def test_rts_collision_cheaper_than_basic(self):
+        """The handshake's point: a protected collision occupies the
+        medium for far less than a colliding 1500-byte DATA frame."""
+        basic = SlotTiming.for_size(PhyParams.dot11b(), 1500)
+        rts = SlotTiming.for_size(PhyParams.dot11b(), 1500, rts=True)
+        assert rts.collision_busy < 0.5 * basic.collision_busy

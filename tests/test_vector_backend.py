@@ -190,3 +190,69 @@ class TestSaturationStudy:
     def test_rejects_bad_station_counts(self):
         with pytest.raises(ValueError):
             dcf_saturation_study(station_counts=(0, 2), repetitions=2)
+
+
+class TestRtsSaturatedEquivalence:
+    """The saturated kernel's RTS/CTS mode vs. the event engine.
+
+    Same discipline as TestEventEquivalence (fixed seeds, alpha=0.01),
+    with every frame RTS-protected on both backends.
+    """
+
+    S, P, R = 3, 15, 40
+
+    @pytest.fixture(scope="class")
+    def batches(self):
+        from repro.mac.scenario import (
+            WlanScenario,
+            saturated_station_specs,
+        )
+        from repro.runtime.executor import derive_seeds
+
+        delays = []
+        scenario = WlanScenario(rts_threshold=0)
+        for rep_seed in derive_seeds(0, self.R):
+            specs = saturated_station_specs(self.S, self.P)
+            result = scenario.run(specs, horizon=1.0, seed=rep_seed)
+            delays.append(np.stack([
+                result.station(f"sat{i}").access_delays()
+                for i in range(self.S)]))
+        event = np.stack(delays)
+        vector = simulate_saturated_batch(
+            self.S, self.P, self.R, seed=0, rts_threshold=0)
+        return event, vector
+
+    def test_access_delay_distributions_match(self, batches):
+        event, vector = batches
+        a = event.reshape(-1)
+        b = vector.pooled_access_delays()
+        assert ks_distance(a, b) <= ks_threshold(len(a), len(b),
+                                                 alpha=0.01)
+
+    def test_rts_inflates_success_cost_on_both(self, batches):
+        """Every RTS-protected delay includes the handshake preamble,
+        so the minimum delay exceeds the bare DATA airtime on either
+        backend."""
+        from repro.mac.frames import AirtimeModel
+        from repro.mac.params import PhyParams
+        airtime = AirtimeModel(PhyParams.dot11b())
+        floor = (airtime.rts_preamble_duration()
+                 + airtime.data_airtime(1500))
+        event, vector = batches
+        assert float(event.min()) >= floor - 1e-9
+        assert float(vector.pooled_access_delays().min()) >= floor - 1e-9
+
+    def test_simulate_saturated_threads_rts_through_dispatch(self):
+        """The dispatch-level entry accepts rts_threshold on both
+        backends, so the kernel's rts_cts capability claim is
+        reachable end to end."""
+        from repro.analysis.saturation import simulate_saturated
+        from repro.mac.frames import AirtimeModel
+        from repro.mac.params import PhyParams
+        floor = (AirtimeModel(PhyParams.dot11b()).rts_preamble_duration()
+                 + AirtimeModel(PhyParams.dot11b()).data_airtime(1500))
+        for backend in ("event", "vector"):
+            batch = simulate_saturated(2, 4, 3, seed=1, rts_threshold=0,
+                                       backend=backend)
+            assert float(batch.pooled_access_delays().min()) \
+                >= floor - 1e-9
