@@ -24,13 +24,14 @@ from repro.queueing.lindley import lindley_batch, lindley_recursion
 from repro.sim.engine import Simulator
 from repro.sim.probe_vector import (
     CbrCrossSpec,
+    OnOffCrossSpec,
     PoissonCrossSpec,
     simulate_probe_train_batch,
     simulate_steady_state_batch,
 )
 from repro.sim.vector import simulate_saturated_batch
 from repro.testbed.channel import SimulatedWlanChannel
-from repro.traffic.generators import PoissonGenerator
+from repro.traffic.generators import OnOffGenerator, PoissonGenerator
 from repro.traffic.probe import ProbeTrain
 
 
@@ -409,6 +410,97 @@ def test_multihop_chain_backend_speedup():
           f"(last attempt: event {event_s:.3f}s, vector {vector_s:.4f}s)")
     assert best >= 5.0, (
         f"multihop vector path only {best:.1f}x faster across 3 attempts "
+        f"(last: event {event_s:.3f}s vs vector {vector_s:.3f}s)")
+
+
+def test_retry_limit_batch_throughput(benchmark):
+    """Saturated kernel with a retry cap (ext-retry-limit's setting).
+
+    100 repetitions at full scale; ``REPRO_BENCH_SCALE`` shrinks the
+    batch (clamped at 20 repetitions, below which fixed per-round
+    numpy dispatch dominates).
+    """
+    repetitions = max(20, int(round(100 * bench_scale())))
+
+    def run():
+        batch = simulate_saturated_batch(10, 20, repetitions, seed=1,
+                                         retry_limit=2)
+        return int(batch.successes.sum())
+
+    assert benchmark(run) > 0
+
+
+def test_onoff_probe_batch_throughput(benchmark):
+    """Probe-train kernel against on-off cross-traffic (ext-onoff).
+
+    60 repetitions at full scale; ``REPRO_BENCH_SCALE`` shrinks the
+    batch (clamped at 15 repetitions, below which fixed per-event
+    numpy dispatch dominates).
+    """
+    repetitions = max(15, int(round(60 * bench_scale())))
+    train = ProbeTrain.at_rate(25, 5e6, 1500)
+
+    def run():
+        batch = simulate_probe_train_batch(
+            train.n, train.gap, repetitions, size_bytes=1500,
+            cross=[OnOffCrossSpec(6e6 / (1500 * 8), 1500,
+                                  mean_on=0.05, mean_off=0.05)],
+            horizon=1.0, seed=1)
+        return float(batch.recv_times[:, -1].sum())
+
+    assert benchmark(run) > 0
+
+
+def test_retry_limit_backend_speedup():
+    """ext-retry-limit's vector path must beat the event engine >= 5x.
+
+    Acceptance floor of the retry-capped saturated kernel: 10
+    saturated stations at retry limit 2 with a 100-repetition batch on
+    both backends.  Deliberately *not* scaled by ``REPRO_BENCH_SCALE``:
+    the kernel pays fixed per-round numpy dispatch that only amortises
+    across a real batch.
+    """
+    kwargs = dict(retry_limit=2, seed=2)
+
+    def run_event():
+        batch = simulate_saturated(10, 10, 100, backend="event", **kwargs)
+        assert batch.drops is not None
+
+    def run_vector():
+        batch = simulate_saturated(10, 10, 100, backend="vector", **kwargs)
+        assert batch.drops is not None
+
+    best, (event_s, vector_s) = _best_speedup(run_event, run_vector)
+    print(f"\nretry-limit backend speedup: {best:.1f}x "
+          f"(last attempt: event {event_s:.3f}s, vector {vector_s:.4f}s)")
+    assert best >= 5.0, (
+        f"retry-limit vector path only {best:.1f}x faster across 3 "
+        f"attempts (last: event {event_s:.3f}s vs vector {vector_s:.3f}s)")
+
+
+def test_onoff_backend_speedup():
+    """ext-onoff's vector path must beat the event engine by >= 5x.
+
+    Acceptance floor of the on-off cross-traffic sampler: ext-onoff's
+    configuration shape (4 Mb/s probe train against a 6 Mb/s-peak
+    on-off contender at 50 ms mean burst) with 60 repetitions of a
+    40-packet train on both backends.  Not scaled by
+    ``REPRO_BENCH_SCALE`` (see the probe-kernel floor).
+    """
+    channel = SimulatedWlanChannel(
+        [("burst", OnOffGenerator(6e6, mean_on=0.05, mean_off=0.05,
+                                  size_bytes=1500))], warmup=0.1)
+    train = ProbeTrain.at_rate(40, 4e6, 1500)
+
+    best, (event_s, vector_s) = _best_speedup(
+        lambda: channel.send_trains_dense(train, 60, seed=3,
+                                          backend="event"),
+        lambda: channel.send_trains_dense(train, 60, seed=3,
+                                          backend="vector"))
+    print(f"\non-off backend speedup: {best:.1f}x "
+          f"(last attempt: event {event_s:.3f}s, vector {vector_s:.4f}s)")
+    assert best >= 5.0, (
+        f"on-off vector path only {best:.1f}x faster across 3 attempts "
         f"(last: event {event_s:.3f}s vs vector {vector_s:.3f}s)")
 
 

@@ -71,11 +71,16 @@ from repro.analysis.ablations import (
 )
 from repro.analysis.extensions import (
     multihop_access_path_study,
+    onoff_cross_study,
     tool_convergence_study,
     topp_on_wlan_study,
     transient_b_vs_n,
 )
-from repro.analysis.saturation import dcf_saturation_study, simulate_saturated
+from repro.analysis.saturation import (
+    dcf_saturation_study,
+    retry_limit_study,
+    simulate_saturated,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -85,6 +90,8 @@ __all__ = [
     "ablation_rts_cts",
     "ablation_truncation_heuristics",
     "multihop_access_path_study",
+    "onoff_cross_study",
+    "retry_limit_study",
     "tool_convergence_study",
     "topp_on_wlan_study",
     "transient_b_vs_n",

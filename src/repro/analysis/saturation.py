@@ -28,21 +28,37 @@ from repro.analysis.results import ExperimentResult, monotone_nondecreasing
 from repro.analytic.bianchi import BianchiModel
 from repro.mac.params import PhyParams
 from repro.mac.scenario import WlanScenario, saturated_station_specs
+from repro.sim.delay_model import retry_drop_probability
 from repro.sim.vector import VectorBatchResult, simulate_saturated_batch
 
 
 def _event_repetition(n_stations: int, packets_per_station: int,
                       size_bytes: int, phy: Optional[PhyParams],
                       rts_threshold: Optional[int],
-                      seed: int) -> Tuple[np.ndarray, float, int, int]:
-    """One saturated repetition through the event engine."""
-    scenario = WlanScenario(phy, rts_threshold=rts_threshold)
+                      retry_limit: Optional[int],
+                      seed: int
+                      ) -> Tuple[np.ndarray, float, int, int, np.ndarray]:
+    """One saturated repetition through the event engine.
+
+    Delays come back NaN-padded per station so retry-limited runs —
+    where a dropped packet has no access delay — keep the batch shape.
+    """
+    scenario = WlanScenario(phy, rts_threshold=rts_threshold,
+                            retry_limit=retry_limit)
     specs = saturated_station_specs(n_stations, packets_per_station,
                                     size_bytes)
     result = scenario.run(specs, horizon=1.0, seed=seed)
-    delays = np.stack([result.station(spec.name).access_delays()
-                       for spec in specs])
-    return delays, result.duration, result.successes, result.collisions
+    delays = np.full((n_stations, packets_per_station), np.nan)
+    drops = np.zeros(n_stations, dtype=np.int64)
+    for k, spec in enumerate(specs):
+        records = result.station(spec.name).records
+        for j, record in enumerate(records):
+            if record.dropped:
+                drops[k] += 1
+            elif record.access_delay is not None:
+                delays[k, j] = record.access_delay
+    return delays, result.duration, result.successes, result.collisions, \
+        drops
 
 
 def simulate_saturated(n_stations: int, packets_per_station: int,
@@ -51,6 +67,7 @@ def simulate_saturated(n_stations: int, packets_per_station: int,
                        phy: Optional[PhyParams] = None,
                        seed: int = 0,
                        rts_threshold: Optional[int] = None,
+                       retry_limit: Optional[int] = None,
                        backend: str = "event") -> VectorBatchResult:
     """Run a saturated batch on the selected backend.
 
@@ -59,28 +76,30 @@ def simulate_saturated(n_stations: int, packets_per_station: int,
     the whole batch to the numpy kernel.  Either way the returned
     :class:`~repro.sim.vector.VectorBatchResult` has identical shape
     and statistically equivalent content.  ``rts_threshold`` protects
-    frames with the RTS/CTS handshake on both backends (and is
+    frames with the RTS/CTS handshake and ``retry_limit`` caps
+    per-packet transmission attempts on both backends (both are
     declared in the dispatch spec, so the capability match reflects
-    it).
+    them).
     """
     # Imported lazily: repro.runtime sits above the analysis layer.
     from repro.backends import ScenarioSpec, dispatch
     from repro.runtime.executor import run_batch
     spec = ScenarioSpec(system="wlan", workload="saturated",
-                        rts_cts=rts_threshold is not None)
+                        rts_cts=rts_threshold is not None,
+                        retry_limit=retry_limit is not None)
     backend = dispatch.resolve(spec, backend).name
     event_task = functools.partial(_event_repetition, n_stations,
                                    packets_per_station, size_bytes, phy,
-                                   rts_threshold)
+                                   rts_threshold, retry_limit)
     vector_batch = functools.partial(
         simulate_saturated_batch, n_stations, packets_per_station,
         repetitions, size_bytes=size_bytes, phy=phy,
-        rts_threshold=rts_threshold)
+        rts_threshold=rts_threshold, retry_limit=retry_limit)
     out = run_batch(event_task, repetitions, seed, backend=backend,
                     vector_batch=lambda s: vector_batch(seed=s), spec=spec)
     if backend == "vector":
         return out
-    delays, durations, successes, collisions = zip(*out)
+    delays, durations, successes, collisions, drops = zip(*out)
     return VectorBatchResult(
         access_delays=np.stack(delays),
         durations=np.array(durations, dtype=float),
@@ -89,7 +108,92 @@ def simulate_saturated(n_stations: int, packets_per_station: int,
         n_stations=n_stations,
         packets_per_station=packets_per_station,
         size_bytes=size_bytes,
+        drops=np.stack(drops) if retry_limit is not None else None,
     )
+
+
+def retry_limit_study(
+        retry_limits: Sequence[int] = (0, 1, 2, 4, 6),
+        n_stations: int = 5,
+        packets_per_station: int = 40,
+        repetitions: int = 100,
+        size_bytes: int = 1500,
+        phy: Optional[PhyParams] = None,
+        seed: int = 0,
+        backend: str = "event") -> ExperimentResult:
+    """Retry-capped saturated DCF: drop rates vs. the geometric model.
+
+    A packet is abandoned once its attempt count exceeds the retry
+    limit ``m``; with per-attempt collision probability ``p`` the drop
+    probability is ``p^(m+1)``
+    (:func:`repro.sim.delay_model.retry_drop_probability`).  The
+    measured drop rate must track that geometric prediction with
+    Bianchi's fixed-point ``p`` — the tolerance widens at small ``m``,
+    where the cap resets stations to CW0 and makes them more
+    aggressive than Bianchi's uncapped chain assumes.  Dropping
+    hopeless packets early truncates the longest access delays, so the
+    mean access delay of *delivered* packets grows back toward the
+    uncapped value as the limit rises.
+    """
+    limits = [int(m) for m in retry_limits]
+    if any(m < 0 for m in limits):
+        raise ValueError(f"retry limits must be >= 0, got {limits}")
+    bianchi = BianchiModel(phy, size_bytes)
+    p_collision = bianchi.solve(n_stations).collision_probability
+    drop_rate = np.zeros(len(limits))
+    predicted = np.zeros(len(limits))
+    throughput = np.zeros(len(limits))
+    delay = np.zeros(len(limits))
+    for k, m in enumerate(limits):
+        batch = simulate_saturated(
+            n_stations, packets_per_station, repetitions,
+            size_bytes=size_bytes, phy=phy, seed=seed + 131 * k,
+            retry_limit=m, backend=backend)
+        drop_rate[k] = batch.drop_rate().mean()
+        predicted[k] = retry_drop_probability(p_collision, m)
+        throughput[k] = batch.throughput_bps().mean()
+        delay[k] = batch.pooled_access_delays().mean()
+    uncapped = simulate_saturated(
+        n_stations, packets_per_station, repetitions,
+        size_bytes=size_bytes, phy=phy, seed=seed + 977,
+        backend=backend)
+    uncapped_tput = uncapped.throughput_bps().mean()
+    result = ExperimentResult(
+        experiment="ext-retry-limit",
+        title="Retry-capped saturated DCF vs. the geometric drop model",
+        x_label="retry_limit",
+        x=np.array(limits, dtype=float),
+        series={
+            "drop_rate": drop_rate,
+            "predicted_drop_rate": predicted,
+            "throughput_bps": throughput,
+            "mean_access_delay_s": delay,
+        },
+        meta={
+            "backend": backend,
+            "n_stations": n_stations,
+            "repetitions": repetitions,
+            "packets_per_station": packets_per_station,
+            "size_bytes": size_bytes,
+            "collision_probability": float(p_collision),
+            "uncapped_throughput_bps": float(uncapped_tput),
+        },
+    )
+    result.add_check(
+        "drops-shrink-with-limit",
+        monotone_nondecreasing(drop_rate[::-1], slack=0.005))
+    result.add_check(
+        "drops-track-geometric-model",
+        bool(np.all((drop_rate <= 1.7 * predicted + 0.01)
+                    & (drop_rate >= 0.4 * predicted - 0.01))))
+    result.add_check(
+        "delay-recovers-with-limit",
+        monotone_nondecreasing(delay, slack=0.05 * delay.max()))
+    result.add_check(
+        "throughput-near-uncapped",
+        bool(np.all(np.abs(throughput - uncapped_tput)
+                    <= 0.06 * uncapped_tput)))
+    return result
 
 
 def dcf_saturation_study(

@@ -13,7 +13,8 @@ Five backends exist:
   scenario and shards repetitions over worker processes;
 * :class:`ProbeTrainVectorBackend` — :mod:`repro.sim.probe_vector`:
   probe trains (and steady CBR flows) through DCF contended by
-  Poisson/CBR traffic, with RTS/CTS and queue traces;
+  Poisson/CBR/on-off traffic, with RTS/CTS, retry limits and queue
+  traces;
 * :class:`SaturatedVectorBackend` — :mod:`repro.sim.vector`: the
   saturated Bianchi regime;
 * :class:`LindleyVectorBackend` — the batched Lindley recursion for
@@ -127,14 +128,15 @@ class ProbeTrainVectorBackend(_VectorBackend):
     speed_rank = 10
 
     def capabilities(self) -> Capabilities:
-        """WLAN trains/steady flows; Poisson and CBR traffic (mixed
-        across stations), RTS/CTS, queue traces; no retry limits."""
+        """WLAN trains/steady flows; Poisson, CBR and on-off traffic
+        (mixed across stations), RTS/CTS, retry limits, queue traces."""
         return Capabilities(
             systems=frozenset({"wlan"}),
             workloads=frozenset({"train", "steady-cbr"}),
-            cross_traffic=frozenset({"none", "poisson", "cbr", "mixed"}),
-            fifo_cross=frozenset({"none", "poisson", "cbr"}),
-            rts_cts=True, retry_limit=False, queue_traces=True)
+            cross_traffic=frozenset(
+                {"none", "poisson", "cbr", "onoff", "mixed"}),
+            fifo_cross=frozenset({"none", "poisson", "cbr", "onoff"}),
+            rts_cts=True, retry_limit=True, queue_traces=True)
 
 
 class SaturatedVectorBackend(_VectorBackend):
@@ -145,13 +147,13 @@ class SaturatedVectorBackend(_VectorBackend):
     speed_rank = 10
 
     def capabilities(self) -> Capabilities:
-        """Saturated WLAN batches (optionally RTS/CTS-protected)."""
+        """Saturated WLAN batches (RTS/CTS and retry caps allowed)."""
         return Capabilities(
             systems=frozenset({"wlan"}),
             workloads=frozenset({"saturated"}),
             cross_traffic=frozenset({"none"}),
             fifo_cross=frozenset({"none"}),
-            rts_cts=True, retry_limit=False, queue_traces=False)
+            rts_cts=True, retry_limit=True, queue_traces=False)
 
 
 class LindleyVectorBackend(_VectorBackend):
@@ -181,16 +183,17 @@ class PathVectorBackend(_VectorBackend):
     recursion on every wired hop, feeding each hop's departure matrix
     to the next hop as its arrival process — the kernel analogue of
     the per-packet :meth:`repro.path.hops.PathHop.carry` chain.  Every
-    hop must carry batch-sampleable cross-traffic (Poisson or CBR);
-    the combined spec compiles the worst hop's traffic model, so one
-    unsupported hop demotes the whole path to the event engine.
+    hop must carry batch-sampleable cross-traffic (Poisson, CBR or
+    on-off); the combined spec compiles the worst hop's traffic model,
+    so one unsupported hop demotes the whole path to the event engine.
     """
 
     kernel = "multihop chain kernel"
     speed_rank = 10
 
     def capabilities(self) -> Capabilities:
-        """Path trains over batch-sampleable hops (RTS/CTS allowed).
+        """Path trains over batch-sampleable hops (RTS/CTS and retry
+        caps allowed).
 
         Both traffic axes accept ``mixed``: each hop resolves its own
         generators, so different hops may carry different (individually
@@ -199,6 +202,8 @@ class PathVectorBackend(_VectorBackend):
         return Capabilities(
             systems=frozenset({"path"}),
             workloads=frozenset({"train"}),
-            cross_traffic=frozenset({"none", "poisson", "cbr", "mixed"}),
-            fifo_cross=frozenset({"none", "poisson", "cbr", "mixed"}),
-            rts_cts=True, retry_limit=False, queue_traces=False)
+            cross_traffic=frozenset(
+                {"none", "poisson", "cbr", "onoff", "mixed"}),
+            fifo_cross=frozenset(
+                {"none", "poisson", "cbr", "onoff", "mixed"}),
+            rts_cts=True, retry_limit=True, queue_traces=False)

@@ -31,7 +31,7 @@ SYSTEMS = ("wlan", "fifo", "path", "other")
 WORKLOADS = ("train", "steady-cbr", "saturated", "sequence", "other")
 
 #: Valid traffic-model values (``cross_traffic`` / ``fifo_cross``).
-TRAFFIC_MODELS = ("none", "poisson", "cbr", "mixed", "other")
+TRAFFIC_MODELS = ("none", "poisson", "cbr", "onoff", "mixed", "other")
 
 
 @dataclass(frozen=True)

@@ -321,5 +321,6 @@ class WlanHop(PathHop):
         batch = simulate_probe_arrivals_batch(
             local, size_bytes=size_bytes, seeds=np.asarray(rep_seeds),
             cross=cross, fifo_cross=fifo, horizon=horizon, phy=self.phy,
-            rts_threshold=self.rts_threshold)
+            rts_threshold=self.rts_threshold,
+            retry_limit=self.retry_limit)
         return batch.recv_times + offset[:, None] + self.prop_delay

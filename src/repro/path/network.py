@@ -171,11 +171,9 @@ class SimulatedPathChannel(Channel):
         if repetitions < 1:
             raise ValueError(
                 f"repetitions must be >= 1, got {repetitions}")
-        from repro.backends import dispatch
-        reason = dispatch.vector_mismatch_reason(
-            self.scenario_spec(train=train))
-        if reason is not None:
-            raise ValueError(f"no vector kernel for this channel: {reason}")
+        # An ineligible path raises BackendUnavailableError (a
+        # ValueError) with the structured capability mismatches.
+        self.resolve_backend("vector", train=train)
         # Same derivation scheme as repro.runtime.executor.derive_seeds
         # (not imported: repro.runtime sits above the testbed layer).
         rep_seeds = np.random.SeedSequence(seed).generate_state(repetitions)

@@ -395,6 +395,22 @@ def _register_builtins() -> None:
         group="extension",
         scenario=ScenarioSpec(system="wlan", workload="saturated"),
     ))
+    register(Experiment(
+        name="ext-retry-limit",
+        runner=analysis.retry_limit_study,
+        scalable={"repetitions": 100},
+        group="extension",
+        scenario=ScenarioSpec(system="wlan", workload="saturated",
+                              retry_limit=True),
+    ))
+    register(Experiment(
+        name="ext-onoff",
+        runner=analysis.onoff_cross_study,
+        scalable={"repetitions": 150},
+        group="extension",
+        scenario=ScenarioSpec(system="wlan", workload="train",
+                              cross_traffic="onoff"),
+    ))
 
 
 _register_builtins()

@@ -92,6 +92,76 @@ def cbr_arrival_paths(gens: Sequence[np.random.Generator],
     return out, counts
 
 
+def onoff_arrival_paths(gens: Sequence[np.random.Generator],
+                        peak_packets_per_second: float,
+                        mean_on: float,
+                        mean_off: float,
+                        horizon: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched two-state on-off arrival sample paths over ``[0, horizon)``.
+
+    The batched counterpart of
+    :meth:`repro.traffic.generators.OnOffGenerator.generate`: CBR
+    emission at the peak rate during exponential ON periods, silence
+    during exponential OFF periods, the initial state drawn from the
+    stationary duty cycle.  Each repetition's path comes from its own
+    private generator (the ``derive_seeds`` scheme of every kernel
+    stream).  Returns the same inf-padded ``(times, counts)`` pair as
+    :func:`cbr_arrival_paths`, ready for
+    :func:`repro.sim.probe_vector.simulate_probe_train_batch` to replay
+    as cross-traffic.
+    """
+    if peak_packets_per_second <= 0:
+        raise ValueError(
+            f"peak rate must be positive, got {peak_packets_per_second}")
+    if mean_on <= 0 or mean_off < 0:
+        raise ValueError("mean_on must be > 0 and mean_off >= 0")
+    reps = len(gens)
+    if horizon <= 0:
+        return np.full((reps, 1), np.inf), np.zeros(reps, dtype=np.int64)
+    interval = 1.0 / peak_packets_per_second
+    duty = mean_on / (mean_on + mean_off)
+    rows = []
+    counts = np.zeros(reps, dtype=np.int64)
+    for r, gen in enumerate(gens):
+        pieces = []
+        t = 0.0
+        on = bool(gen.random() < duty)
+        while t < horizon:
+            if on:
+                period = float(gen.exponential(mean_on))
+                burst = t + np.arange(int(period / interval)) * interval
+                pieces.append(burst[burst < horizon])
+                t += period
+            else:
+                t += float(gen.exponential(mean_off))
+            on = not on
+        row = np.concatenate(pieces) if pieces else np.empty(0)
+        rows.append(row)
+        counts[r] = len(row)
+    width = max(1, int(counts.max()))
+    out = np.full((reps, width), np.inf)
+    for r, row in enumerate(rows):
+        out[r, :len(row)] = row
+    return out, counts
+
+
+def retry_drop_probability(collision_probability: float,
+                           retry_limit: int) -> float:
+    """Drop probability of a retry-capped packet under decoupling.
+
+    A packet is abandoned after ``retry_limit + 1`` consecutive
+    collisions, each occurring with the fixed-point probability ``p``
+    independently (the Bianchi decoupling assumption), so the drop
+    probability is ``p ** (retry_limit + 1)``.
+    """
+    if not 0 <= collision_probability <= 1:
+        raise ValueError(
+            f"p must be in [0, 1], got {collision_probability}")
+    if retry_limit < 0:
+        raise ValueError(f"retry limit must be >= 0, got {retry_limit}")
+    return float(collision_probability ** (retry_limit + 1))
+
+
 def _slot_durations(phy: PhyParams, size_bytes: int,
                     solution: BianchiSolution) -> Tuple[float, float, float]:
     """(busy-slot duration, success duration, collision duration).
@@ -165,6 +235,67 @@ def sample_access_delays(n_stations: int,
     else:  # pragma: no cover - p < 1 always terminates far earlier
         delays[active] += data_air
     return delays.reshape(shape)
+
+
+def sample_retry_limited_delays(n_stations: int,
+                                shape: Tuple[int, ...],
+                                *,
+                                retry_limit: int,
+                                phy: Optional[PhyParams] = None,
+                                size_bytes: int = 1500,
+                                seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw retry-capped access delays and their drop indicators.
+
+    The retry-limited mixture of :func:`sample_access_delays`, pinned
+    to the event medium's retry counter semantics: a packet is
+    abandoned after ``retry_limit + 1`` collisions, so the backoff
+    stage distribution truncates at the limit and a
+    ``p ** (retry_limit + 1)`` atom of the probability mass moves to
+    drops (:func:`retry_drop_probability`).  Returns ``(delays,
+    dropped)`` of the given ``shape`` — a dropped element's delay is
+    the time the station wasted on the abandoned packet (its countdowns
+    plus every collision), the quantity the event engine's drop records
+    span.
+    """
+    if n_stations < 1:
+        raise ValueError(f"need at least one station, got {n_stations}")
+    if retry_limit < 0:
+        raise ValueError(f"retry limit must be >= 0, got {retry_limit}")
+    phy = phy if phy is not None else PhyParams.dot11b()
+    model = BianchiModel(phy, size_bytes)
+    solution = model.solve(n_stations)
+    p = solution.collision_probability
+    busy, _, t_collision = _slot_durations(phy, size_bytes, solution)
+    data_air = AirtimeModel(phy).data_airtime(size_bytes)
+    cw_by_stage = cw_table(phy)
+    max_stage = phy.max_backoff_stage
+
+    rng = np.random.default_rng(seed)
+    flat = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    delays = np.zeros(flat)
+    dropped = np.zeros(flat, dtype=bool)
+    active = np.ones(flat, dtype=bool)
+    for attempt in range(retry_limit + 1):
+        count = int(active.sum())
+        if count == 0:
+            break
+        cw = int(cw_by_stage[min(attempt, max_stage)])
+        counters = rng.integers(0, cw + 1, size=count)
+        frozen = rng.binomial(counters, p)
+        delays[active] += (phy.difs + counters * phy.slot_time
+                           + frozen * busy)
+        collided = rng.random(count) < p
+        survivors = np.flatnonzero(active)
+        done = survivors[~collided]
+        delays[done] += data_air
+        delays[survivors[collided]] += t_collision
+        active[done] = False
+        if attempt == retry_limit:
+            # The last permitted attempt: a collision here exhausts
+            # the retry budget and the packet is abandoned.
+            dropped[survivors[collided]] = True
+            active[survivors[collided]] = False
+    return delays.reshape(shape), dropped.reshape(shape)
 
 
 def sample_transient_delay_matrix(n_stations: int,

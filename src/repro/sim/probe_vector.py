@@ -41,9 +41,14 @@ distributions under the repo's ``alpha = 0.01`` thresholds.
 Beyond the Poisson-contended train, the same event loop carries the
 paper's remaining scenarios: CBR cross-traffic
 (:class:`CbrCrossSpec`, batched deterministic sample paths with an
-optional phase-jitter stream), RTS/CTS protection (``rts_threshold``;
-the event medium's exact success/collision airtime split), queue
-traces (``track_queues``; per-station arrival/departure paths that
+optional phase-jitter stream), bursty on-off cross-traffic
+(:class:`OnOffCrossSpec`, exponential ON/OFF periods around CBR
+bursts), RTS/CTS protection (``rts_threshold``; the event medium's
+exact success/collision airtime split), retry-capped transmissions
+(``retry_limit``; the event medium's retry counter — a packet
+colliding past the limit is abandoned at the end of the busy period
+and the next one promoted there at backoff stage 0), queue traces
+(``track_queues``; per-station arrival/departure paths that
 reproduce the event engine's backlog step function by counting), a
 steady-state mode with per-flow throughput windows
 (:func:`simulate_steady_state_batch`), and an explicit-arrivals entry
@@ -69,7 +74,7 @@ import numpy as np
 from repro.mac.frames import AirtimeModel
 from repro.mac.params import PhyParams
 from repro.mac.timing import TIME_EPS, cw_table
-from repro.sim.delay_model import cbr_arrival_paths
+from repro.sim.delay_model import cbr_arrival_paths, onoff_arrival_paths
 from repro.sim.vector import _UniformBlocks
 
 
@@ -97,9 +102,9 @@ class PoissonCrossSpec:
         """Build a spec from a Poisson generator object.
 
         Anything exposing ``packets_per_second`` and ``size_bytes``
-        qualifies; CBR traffic has its own :class:`CbrCrossSpec` and
-        other models (on-off) have no batched sampler yet and must run
-        on the event backend.
+        qualifies; CBR traffic has its own :class:`CbrCrossSpec`,
+        bursty on-off traffic its :class:`OnOffCrossSpec`, and
+        unrecognised models must run on the event backend.
         """
         pps = getattr(generator, "packets_per_second", None)
         size = getattr(generator, "size_bytes", None)
@@ -168,23 +173,80 @@ class CbrCrossSpec:
                                  jitter=self.jitter)
 
 
+@dataclass(frozen=True)
+class OnOffCrossSpec:
+    """One exponential on-off cross-traffic contender of a batch.
+
+    CBR emission at the peak packet rate during exponential ON
+    periods, silence during exponential OFF periods, initial state
+    drawn from the stationary duty cycle — the batched mirror of
+    :class:`repro.traffic.generators.OnOffGenerator`.
+    """
+
+    peak_packets_per_second: float
+    size_bytes: int
+    mean_on: float
+    mean_off: float
+
+    def __post_init__(self) -> None:
+        if self.peak_packets_per_second <= 0:
+            raise ValueError(
+                f"peak rate must be positive, "
+                f"got {self.peak_packets_per_second}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {self.size_bytes}")
+        if self.mean_on <= 0 or self.mean_off < 0:
+            raise ValueError("mean_on must be > 0 and mean_off >= 0")
+
+    @classmethod
+    def from_generator(cls, generator: object) -> "OnOffCrossSpec":
+        """Build a spec from an on-off generator object.
+
+        Anything exposing ``peak_rate_bps``, ``mean_on``, ``mean_off``
+        and ``size_bytes`` qualifies.
+        """
+        peak = getattr(generator, "peak_rate_bps", None)
+        size = getattr(generator, "size_bytes", None)
+        mean_on = getattr(generator, "mean_on", None)
+        mean_off = getattr(generator, "mean_off", None)
+        if peak is None or size is None or mean_on is None \
+                or mean_off is None:
+            raise ValueError(
+                f"{type(generator).__name__} is not on-off-like "
+                "(needs peak_rate_bps, mean_on, mean_off and "
+                "size_bytes); run this scenario with backend='event'")
+        return cls(peak_packets_per_second=float(peak) / (int(size) * 8),
+                   size_bytes=int(size), mean_on=float(mean_on),
+                   mean_off=float(mean_off))
+
+    def sample_paths(self, gens: Sequence[np.random.Generator],
+                     horizon: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-repetition arrival paths over ``[0, horizon)``."""
+        return onoff_arrival_paths(gens, self.peak_packets_per_second,
+                                   self.mean_on, self.mean_off, horizon)
+
+
 def cross_spec_from_generator(generator: object):
     """Classify a traffic generator into its batched sampler spec.
 
-    Returns a :class:`PoissonCrossSpec` or :class:`CbrCrossSpec`;
-    raises ``ValueError`` for traffic models without a batched sampler
-    (on-off and anything unrecognised) — those scenarios must run on
-    the event backend.
+    Returns a :class:`PoissonCrossSpec`, :class:`CbrCrossSpec` or
+    :class:`OnOffCrossSpec`; raises ``ValueError`` for traffic models
+    without a batched sampler (trace replay and anything
+    unrecognised) — those scenarios must run on the event backend.
     """
-    for spec_cls in (PoissonCrossSpec, CbrCrossSpec):
+    for spec_cls in (PoissonCrossSpec, CbrCrossSpec, OnOffCrossSpec):
         try:
             return spec_cls.from_generator(generator)
         except ValueError:
             continue
     raise ValueError(
         f"{type(generator).__name__} has no batched arrival sampler "
-        "(Poisson and CBR are supported); run this scenario with "
-        "backend='event'")
+        "(Poisson, CBR and on-off are supported); run this scenario "
+        "with backend='event'")
+
+
+_SPEC_KINDS = ((CbrCrossSpec, "cbr"), (OnOffCrossSpec, "onoff"),
+               (PoissonCrossSpec, "poisson"))
 
 
 def classify_cross_generator(generator: object):
@@ -196,7 +258,11 @@ def classify_cross_generator(generator: object):
     batched sampler exists.
     """
     spec = cross_spec_from_generator(generator)
-    return ("cbr" if isinstance(spec, CbrCrossSpec) else "poisson"), spec
+    for spec_cls, kind in _SPEC_KINDS:
+        if isinstance(spec, spec_cls):
+            return kind, spec
+    raise AssertionError(  # pragma: no cover - kinds mirror the specs
+        f"unclassified spec {type(spec).__name__}")
 
 
 def classify_cross_stations(stations: Sequence[Tuple[str, object]]):
@@ -381,6 +447,7 @@ def simulate_probe_train_batch(
         seed: int = 0,
         immediate_access: bool = True,
         rts_threshold: Optional[int] = None,
+        retry_limit: Optional[int] = None,
         track_queues: bool = False) -> ProbeBatchResult:
     """Simulate ``repetitions`` independent probe-train sessions at once.
 
@@ -393,9 +460,12 @@ def simulate_probe_train_batch(
     cross-traffic keeps flowing over ``[0, horizon)`` (default: the
     train window plus one second of drain headroom) while the probe
     queue drains through DCF contention.  ``cross`` and ``fifo_cross``
-    take :class:`PoissonCrossSpec` / :class:`CbrCrossSpec` values;
-    ``rts_threshold`` enables the RTS/CTS handshake and
-    ``track_queues`` keeps per-cross-station queue traces
+    take :class:`PoissonCrossSpec` / :class:`CbrCrossSpec` /
+    :class:`OnOffCrossSpec` values; ``rts_threshold`` enables the
+    RTS/CTS handshake, ``retry_limit`` caps per-packet transmission
+    attempts (a probe packet lost at the limit raises, exactly like
+    the event channel's lost-probe guard), and ``track_queues`` keeps
+    per-cross-station queue traces
     (:attr:`ProbeBatchResult.queue_traces`).
 
     A repetition stops consuming events once its last probe packet has
@@ -445,12 +515,12 @@ def simulate_probe_train_batch(
 
     recv, delays, _, queues = _resolve_batch(
         probe_arr, probe_seq, probe_counts, cross_paths, n_probe,
-        seeds=seeds, size_bytes=size_bytes,
+        gens=gens, size_bytes=size_bytes,
         cross_sizes=[spec.size_bytes for spec in cross], phy=phy,
         immediate_access=immediate_access, rts_threshold=rts_threshold,
-        track_queues=track_queues)
+        retry_limit=retry_limit, track_queues=track_queues)
 
-    if np.isnan(recv).any():  # pragma: no cover - defensive
+    if np.isnan(recv).any():
         raise RuntimeError("probe packets were lost")
     return ProbeBatchResult(
         send_times=probe_times,
@@ -471,7 +541,8 @@ def simulate_probe_arrivals_batch(
         horizon: Optional[float] = None,
         phy: Optional[PhyParams] = None,
         immediate_access: bool = True,
-        rts_threshold: Optional[int] = None) -> ProbeBatchResult:
+        rts_threshold: Optional[int] = None,
+        retry_limit: Optional[int] = None) -> ProbeBatchResult:
     """Resolve a batch whose probe arrivals are explicit per-repetition.
 
     The multihop chaining entry point: ``probe_times`` is a
@@ -512,11 +583,12 @@ def simulate_probe_arrivals_batch(
 
     recv, delays, _, _ = _resolve_batch(
         probe_arr, probe_seq, probe_counts, cross_paths, n_probe,
-        seeds=seeds, size_bytes=size_bytes,
+        gens=gens, size_bytes=size_bytes,
         cross_sizes=[spec.size_bytes for spec in cross], phy=phy,
-        immediate_access=immediate_access, rts_threshold=rts_threshold)
+        immediate_access=immediate_access, rts_threshold=rts_threshold,
+        retry_limit=retry_limit)
 
-    if np.isnan(recv).any():  # pragma: no cover - defensive
+    if np.isnan(recv).any():
         raise RuntimeError("probe packets were lost")
     return ProbeBatchResult(
         send_times=probe_times,
@@ -530,12 +602,13 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
                    probe_counts: np.ndarray,
                    cross_paths: Sequence[Tuple[np.ndarray, np.ndarray]],
                    n_probe: int, *,
-                   seeds: np.ndarray,
+                   gens: Sequence[np.random.Generator],
                    size_bytes: int,
                    cross_sizes: Sequence[int],
                    phy: Optional[PhyParams],
                    immediate_access: bool,
                    rts_threshold: Optional[int] = None,
+                   retry_limit: Optional[int] = None,
                    stop_time: Optional[float] = None,
                    window: Optional[Tuple[float, float]] = None,
                    track_queues: bool = False
@@ -561,7 +634,12 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
     :class:`repro.mac.medium.Medium`: a protected success pays the
     RTS+SIFS+CTS+SIFS preamble before its DATA frame, a collision
     occupies the medium only for the colliding contention frames (RTS
-    when protected, DATA otherwise) plus the timeout.
+    when protected, DATA otherwise) plus the timeout.  ``retry_limit``
+    applies the event medium's retry counter: a station whose packet
+    has collided more than ``retry_limit`` times abandons it at the
+    end of the busy period — its delay slot stays ``NaN`` — and
+    promotes the next queued packet there, re-entering contention at
+    backoff stage 0 with a fresh CW0 draw.
     ``track_queues`` keeps each cross station's departure instants, so
     the returned :class:`QueueTraceBatch` objects reproduce the event
     engine's backlog traces by pure counting.
@@ -602,10 +680,13 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
         arr[:, 1 + c, :times.shape[1]] = times
         n_arr[:, 1 + c] = counts
 
-    # The uniform streams restart from the per-repetition seeds after
-    # the path draws; order is fixed, so repetition streams stay
-    # batch-size independent.
-    uniforms = _UniformBlocks(seeds, n_stations)
+    # The backoff uniforms continue each repetition's private stream
+    # where the jitter and sample-path draws left off — the event
+    # engine's draw order (paths first, then contention randomness from
+    # the same generator).  Restarting from the seeds instead would
+    # replay the path draws as backoff uniforms and correlate bursty
+    # cross-traffic periods with contention outcomes.
+    uniforms = _UniformBlocks((), n_stations, gens=gens)
 
     if window is not None:
         w0, w1 = window
@@ -620,6 +701,7 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
     rem = np.zeros((reps, n_stations), dtype=np.int64)
     cstart = np.full((reps, n_stations), np.inf)
     stage = np.zeros((reps, n_stations), dtype=np.int64)
+    attempts = np.zeros((reps, n_stations), dtype=np.int64)
     idle_start = np.full(reps, -np.inf)
     probe_left = np.full(reps, n_probe, dtype=np.int64)
     active = np.ones(reps, dtype=bool)
@@ -730,6 +812,7 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
             # draws its backoff immediately (the medium is busy).
             nxt[s_rep, s_sta] += 1
             stage[s_rep, s_sta] = 0
+            attempts[s_rep, s_sta] = 0
             nxt_time = arr[s_rep, s_sta, np.minimum(nxt[s_rep, s_sta],
                                                     arr.shape[2] - 1)]
             promoted = (nxt[s_rep, s_sta] < n_arr[s_rep, s_sta]) \
@@ -743,10 +826,42 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
 
             collision = tx_event & (n_win >= 2)
             coll = win & collision[:, None]
+            if retry_limit is not None:
+                attempts[coll] += 1
+                dropping = coll & (attempts > retry_limit)
+                coll = coll & ~dropping
             stage[coll] = np.minimum(stage[coll] + 1, max_stage)
             c_rep, c_sta = np.nonzero(coll)
             cw = cw_by_stage[stage[c_rep, c_sta]]
             rem[c_rep, c_sta] = (u[c_rep, c_sta] * (cw + 1)).astype(np.int64)
+
+            if retry_limit is not None and dropping.any():
+                # Retry limit exhausted: the packet is abandoned at
+                # the end of the busy period (its delay stays NaN) and
+                # the next queued packet — if it has arrived — is
+                # promoted there, at stage 0 with a fresh CW0 draw.
+                d_rep, d_sta = np.nonzero(dropping)
+                b_end = busy_end[d_rep]
+                served = nxt[d_rep, d_sta]
+                if track_queues:
+                    departures[d_rep, d_sta, served] = b_end
+                probe_drop = d_sta == 0
+                seq_d = probe_seq[d_rep[probe_drop], served[probe_drop]]
+                probe_left[d_rep[probe_drop][seq_d >= 0]] -= 1
+                nxt[d_rep, d_sta] += 1
+                stage[dropping] = 0
+                attempts[dropping] = 0
+                nxt_time = arr[d_rep, d_sta,
+                               np.minimum(nxt[d_rep, d_sta],
+                                          arr.shape[2] - 1)]
+                promoted = (nxt[d_rep, d_sta] < n_arr[d_rep, d_sta]) \
+                    & (nxt_time <= b_end + TIME_EPS)
+                hol[d_rep, d_sta] = promoted
+                hol_t[d_rep[promoted], d_sta[promoted]] = b_end[promoted]
+                cw0 = cw_by_stage[0]
+                rem[d_rep[promoted], d_sta[promoted]] = (
+                    u[d_rep[promoted], d_sta[promoted]]
+                    * (cw0 + 1)).astype(np.int64)
 
             # Frozen countdown: losers consumed exactly the idle slots
             # that elapsed before the winners' transmission started.
@@ -835,6 +950,7 @@ def simulate_steady_state_batch(
         seed: int = 0,
         immediate_access: bool = True,
         rts_threshold: Optional[int] = None,
+        retry_limit: Optional[int] = None,
         track_queues: bool = False) -> SteadyBatchResult:
     """Batched steady-state throughput measurement (figures 1 and 4).
 
@@ -893,11 +1009,11 @@ def simulate_steady_state_batch(
 
     _, _, bits, queues = _resolve_batch(
         probe_arr, probe_seq, probe_counts, cross_paths, n_probe,
-        seeds=seeds, size_bytes=size_bytes,
+        gens=gens, size_bytes=size_bytes,
         cross_sizes=[spec.size_bytes for spec in cross], phy=phy,
         immediate_access=immediate_access, rts_threshold=rts_threshold,
-        stop_time=duration, window=(warmup, duration),
-        track_queues=track_queues)
+        retry_limit=retry_limit, stop_time=duration,
+        window=(warmup, duration), track_queues=track_queues)
     probe_bits, fifo_bits, cross_bits = bits
     return SteadyBatchResult(
         probe_bits=probe_bits,

@@ -43,7 +43,7 @@ batch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -71,11 +71,14 @@ class VectorBatchResult:
     access_delays:
         ``(repetitions, stations, packets)`` — per-packet access delay
         ``mu_i`` (head-of-line to end of DATA), in transmission order
-        per station.
+        per station.  Packets dropped by a retry limit stay ``NaN``.
     durations:
         ``(repetitions,)`` — instant the channel finally went idle.
     successes / collisions:
         ``(repetitions,)`` — channel acquisitions of each kind.
+    drops:
+        ``(repetitions, stations)`` — packets abandoned at the retry
+        limit (``None`` when no limit was configured).
     """
 
     access_delays: np.ndarray
@@ -85,10 +88,19 @@ class VectorBatchResult:
     n_stations: int
     packets_per_station: int
     size_bytes: int
+    drops: Optional[np.ndarray] = None
 
     def pooled_access_delays(self) -> np.ndarray:
-        """Every access delay of the batch as one flat sample."""
-        return self.access_delays.reshape(-1)
+        """Every completed access delay of the batch as one flat sample."""
+        flat = self.access_delays.reshape(-1)
+        return flat[~np.isnan(flat)]
+
+    def drop_rate(self) -> np.ndarray:
+        """Per-repetition fraction of offered packets dropped."""
+        offered = self.n_stations * self.packets_per_station
+        if self.drops is None:
+            return np.zeros(len(self.durations))
+        return self.drops.sum(axis=1) / offered
 
     def throughput_bps(self) -> np.ndarray:
         """Per-repetition network-layer throughput over the full run."""
@@ -111,9 +123,15 @@ class _UniformBlocks:
     independent of every other repetition.
     """
 
-    def __init__(self, seeds: np.ndarray, width: int) -> None:
-        self._gens: List[np.random.Generator] = [
-            np.random.default_rng(int(seed)) for seed in seeds]
+    def __init__(self, seeds: np.ndarray, width: int,
+                 gens: Optional[Sequence[np.random.Generator]] = None
+                 ) -> None:
+        # ``gens`` continues already-consumed per-repetition streams
+        # (the probe kernel draws its sample paths first, like the
+        # event engine); ``seeds`` starts fresh ones.
+        self._gens: List[np.random.Generator] = (
+            list(gens) if gens is not None
+            else [np.random.default_rng(int(seed)) for seed in seeds])
         self._width = width
         self._block = width * _BUFFER_ROUNDS
         self._buf = np.empty((len(self._gens), self._block))
@@ -139,7 +157,8 @@ def simulate_saturated_batch(
         phy: Optional[PhyParams] = None,
         seed: int = 0,
         immediate_access: bool = True,
-        rts_threshold: Optional[int] = None) -> VectorBatchResult:
+        rts_threshold: Optional[int] = None,
+        retry_limit: Optional[int] = None) -> VectorBatchResult:
     """Simulate ``repetitions`` independent saturated BSS runs at once.
 
     Every station starts with ``packets_per_station`` packets queued at
@@ -151,6 +170,12 @@ def simulate_saturated_batch(
     the RTS/CTS handshake: successes pay the RTS+SIFS+CTS+SIFS
     preamble, collisions only occupy the medium for the RTS plus the
     timeout (:class:`repro.mac.timing.SlotTiming` carries the split).
+    ``retry_limit`` caps per-packet transmission attempts exactly like
+    the event medium's retry counter: a packet whose attempt count
+    exceeds the limit is abandoned at the end of the collision's busy
+    period (its delay slot stays ``NaN``), the next queued packet is
+    promoted at that instant, and the station re-enters contention at
+    backoff stage 0 with a fresh CW0 draw.
 
     Statistically equivalent to running
     :func:`repro.mac.scenario.saturated_station_specs` through the
@@ -164,6 +189,8 @@ def simulate_saturated_batch(
             f"need at least one packet per station, got {packets_per_station}")
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if retry_limit is not None and retry_limit < 0:
+        raise ValueError(f"retry limit must be >= 0, got {retry_limit}")
 
     phy = phy if phy is not None else PhyParams.dot11b()
     protected = rts_threshold is not None and size_bytes >= rts_threshold
@@ -179,11 +206,13 @@ def simulate_saturated_batch(
 
     remaining = np.zeros((reps, stations), dtype=np.int64)
     stage = np.zeros((reps, stations), dtype=np.int64)
+    attempts = np.zeros((reps, stations), dtype=np.int64)
     sent = np.zeros((reps, stations), dtype=np.int64)
     hol = np.zeros((reps, stations))
     now = np.zeros(reps)
     successes = np.zeros(reps, dtype=np.int64)
     collisions = np.zeros(reps, dtype=np.int64)
+    drops = np.zeros((reps, stations), dtype=np.int64)
     delays = np.full((reps, stations, packets), np.nan)
 
     if not immediate_access:
@@ -230,9 +259,25 @@ def simulate_saturated_batch(
         hol[rep_idx, sta_idx] = data_end[rep_idx]
         sent[rep_idx, sta_idx] += 1
         stage[solo] = 0
+        attempts[solo] = 0
 
         colliders = winners & collision[:, None]
-        stage[colliders] = np.minimum(stage[colliders] + 1, max_stage)
+        attempts[colliders] += 1
+        if retry_limit is None:
+            stage[colliders] = np.minimum(stage[colliders] + 1, max_stage)
+        else:
+            dropping = colliders & (attempts > retry_limit)
+            surviving = colliders & ~dropping
+            stage[surviving] = np.minimum(stage[surviving] + 1, max_stage)
+            # A dropped packet is abandoned at the end of the busy
+            # period: the next one is promoted there and the station
+            # re-enters contention at stage 0 (its delay stays NaN).
+            rep_d, sta_d = np.nonzero(dropping)
+            hol[rep_d, sta_d] = busy_end[rep_d]
+            sent[rep_d, sta_d] += 1
+            drops[rep_d, sta_d] += 1
+            stage[dropping] = 0
+            attempts[dropping] = 0
 
         # Frozen countdown: losers consumed exactly m idle slots.
         losers = alive & ~winners
@@ -257,4 +302,5 @@ def simulate_saturated_batch(
         n_stations=stations,
         packets_per_station=packets,
         size_bytes=size_bytes,
+        drops=drops if retry_limit is not None else None,
     )

@@ -281,13 +281,13 @@ class SimulatedWlanChannel(Channel):
         """Compile this channel's configuration into a ScenarioSpec.
 
         The batched kernel covers the paper's probe-train setting —
-        Poisson/CBR cross-traffic (mixed across stations), RTS/CTS,
-        queue traces, FIFO cross-traffic at the probe packet size; the
-        spec states exactly which properties this instance (and, when
-        given, the ``train`` it is about to carry) has, and the
-        dispatcher turns any unsupported one — an on-off generator, a
-        retry limit, a FIFO size mismatch — into a structured
-        capability mismatch.
+        Poisson/CBR/on-off cross-traffic (mixed across stations),
+        RTS/CTS, retry limits, queue traces, FIFO cross-traffic at the
+        probe packet size; the spec states exactly which properties
+        this instance (and, when given, the ``train`` it is about to
+        carry) has, and the dispatcher turns any unsupported one — a
+        trace-replay generator, a FIFO size mismatch — into a
+        structured capability mismatch.
         """
         cross_kind, cross_detail = classify_cross_stations(
             self.cross_stations)
@@ -333,10 +333,13 @@ class SimulatedWlanChannel(Channel):
         ``tests/test_probe_vector_backend.py`` pin the two); the
         per-repetition seed mapping is the executor's, so repetition
         ``r`` refers to the same random universe on either backend.
+
+        An ineligible channel raises
+        :class:`repro.backends.BackendUnavailableError` (a
+        ``ValueError``) carrying the structured capability mismatches,
+        before any kernel state is built.
         """
-        reason = self.vector_unsupported_reason()
-        if reason is not None:
-            raise ValueError(f"no vector kernel for this channel: {reason}")
+        self.resolve_backend("vector", train=train)
         cross = [cross_spec_from_generator(generator)
                  for _, generator in self.cross_stations]
         fifo = (cross_spec_from_generator(self.fifo_cross)
@@ -353,6 +356,7 @@ class SimulatedWlanChannel(Channel):
             seed=seed,
             immediate_access=self.immediate_access,
             rts_threshold=self.rts_threshold,
+            retry_limit=self.retry_limit,
             track_queues=self.log_cross_queues,
         )
 

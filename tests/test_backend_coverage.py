@@ -159,12 +159,14 @@ class TestCommittedManifest:
         assert committed == gate.registry_coverage()
 
     def test_dual_backend_floor(self):
-        """The PR's acceptance floor: all 23 experiments dual-backend,
-        zero ``reason`` entries left in the manifest."""
+        """The acceptance floor: all 25 experiments dual-backend
+        (23 from the vector-coverage PR plus ``ext-retry-limit`` and
+        ``ext-onoff``), zero ``reason`` entries left in the
+        manifest."""
         committed = gate.load_baseline(gate.DEFAULT_BASELINE)
         dual = [name for name, info in committed.items()
                 if "vector" in info["backends"]]
-        assert len(dual) == len(committed) == 23
+        assert len(dual) == len(committed) == 25
         assert not any("reason" in info for info in committed.values())
 
     def test_manifest_matches_derived_vector_experiments(self):

@@ -39,26 +39,32 @@ WLAN_TRAIN = ScenarioSpec(system="wlan", workload="train",
                           cross_traffic="poisson")
 
 
-def _retry_limited_runner(seed=0, repetitions=2):
-    """A tiny runner whose scenario no kernel can model (retry limit)."""
+TRACE_DETAIL = ("cross station 'replay': TraceGenerator has no batched "
+                "arrival sampler; run this scenario with backend='event'")
+
+
+def _trace_replay_runner(seed=0, repetitions=2):
+    """A tiny runner whose scenario no kernel can model (trace replay)."""
     from repro.analysis.results import ExperimentResult
     return ExperimentResult(
-        experiment="t-retry", title="retry-limited stub",
+        experiment="t-trace", title="trace-replay stub",
         x_label="idx", x=np.arange(repetitions, dtype=float),
         series={"value": np.full(repetitions, float(seed))},
         meta={})
 
 
-def _retry_limited_experiment():
-    """An experiment that is still event-only after this PR: a retry
-    limit has no batched kernel, so ``auto`` must fall back (and
-    forcing ``vector`` must raise) — the one mismatch the registry's
-    builtin experiments no longer exercise."""
+def _event_only_experiment():
+    """An experiment that is still event-only after this PR: trace
+    replay has no batched arrival sampler, so ``auto`` must fall back
+    (and forcing ``vector`` must raise) — the one mismatch the
+    registry's builtin experiments no longer exercise now that retry
+    limits and on-off traffic are vectorized."""
     return registry.Experiment(
-        name="t-retry", runner=_retry_limited_runner,
+        name="t-trace", runner=_trace_replay_runner,
         scalable={"repetitions": 2},
         scenario=ScenarioSpec(system="wlan", workload="train",
-                              cross_traffic="poisson", retry_limit=True))
+                              cross_traffic="other",
+                              cross_detail=TRACE_DETAIL))
 
 
 class TestScenarioSpec:
@@ -96,11 +102,11 @@ class TestResolve:
 
     def test_auto_falls_back_with_reason(self):
         spec = ScenarioSpec(system="wlan", workload="train",
-                            cross_traffic="poisson", retry_limit=True)
+                            cross_traffic="other",
+                            cross_detail=TRACE_DETAIL)
         resolution = resolve(spec, "auto")
         assert resolution.backend is EVENT
-        assert resolution.fallback == \
-            "a retry limit requires the event engine"
+        assert resolution.fallback == TRACE_DETAIL
 
     def test_event_never_records_fallback(self):
         resolution = resolve(WLAN_TRAIN, "event")
@@ -109,15 +115,16 @@ class TestResolve:
 
     def test_forced_vector_raises_structured(self):
         spec = ScenarioSpec(system="wlan", workload="train",
-                            cross_traffic="poisson", retry_limit=True)
+                            cross_traffic="other",
+                            cross_detail=TRACE_DETAIL)
         with pytest.raises(BackendUnavailableError,
-                           match="retry limit") as err:
+                           match="no batched arrival sampler") as err:
             resolve(spec, "vector")
         mismatches = err.value.mismatches["probe-train kernel"]
-        assert any(m.capability == "retry_limit" for m in mismatches)
+        assert any(m.capability == "cross_traffic" for m in mismatches)
 
     def test_rts_queue_traces_and_cbr_now_dispatch_to_kernels(self):
-        """The PR's tentpole: the former fallback reasons are gone."""
+        """PR 5's tentpole: the former fallback reasons are gone."""
         for spec in (
             ScenarioSpec(system="wlan", workload="train",
                          cross_traffic="poisson", rts_cts=True),
@@ -137,6 +144,47 @@ class TestResolve:
             ScenarioSpec(system="wlan", workload="saturated",
                          rts_cts=True), "auto")
         assert saturated_rts.kernel == "saturated-DCF kernel"
+
+    def test_retry_limit_and_onoff_now_dispatch_to_kernels(self):
+        """This PR's tentpole: the last two guarded capabilities —
+        retry-limited transmissions and on-off cross-traffic — have
+        batched kernels, so no fallback reason is recorded."""
+        for spec, kernel in (
+            (ScenarioSpec(system="wlan", workload="train",
+                          cross_traffic="poisson", retry_limit=True),
+             "probe-train kernel"),
+            (ScenarioSpec(system="wlan", workload="train",
+                          cross_traffic="onoff"), "probe-train kernel"),
+            (ScenarioSpec(system="wlan", workload="train",
+                          cross_traffic="onoff", fifo_cross="onoff",
+                          retry_limit=True), "probe-train kernel"),
+            (ScenarioSpec(system="wlan", workload="saturated",
+                          retry_limit=True), "saturated-DCF kernel"),
+            (ScenarioSpec(system="path", workload="train",
+                          cross_traffic="onoff", retry_limit=True),
+             "multihop chain kernel"),
+        ):
+            resolution = resolve(spec, "auto")
+            assert resolution.kernel == kernel, spec
+            assert resolution.fallback is None, spec
+
+    def test_forced_vector_retry_mismatch_raises_with_detail(self):
+        """Regression for the pre-kernel failure mode: forcing
+        ``vector`` on a retry-limited scenario a kernel cannot model
+        must raise the structured error with the retry detail attached
+        — never reach (and crash) the kernel.  The WLAN kernels now
+        support retry caps, so the batched Lindley recursion (which
+        does not) keeps this path honest."""
+        spec = ScenarioSpec(system="fifo", workload="train",
+                            retry_limit=True)
+        with pytest.raises(BackendUnavailableError,
+                           match="no vector kernel supports") as err:
+            resolve(spec, "vector")
+        mismatches = err.value.mismatches["batched Lindley recursion"]
+        assert [m.capability for m in mismatches] == ["retry_limit"]
+        assert mismatches[0].detail == \
+            "a retry limit requires the event engine"
+        assert resolve(spec, "auto").backend is EVENT
 
     def test_unknown_request_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
@@ -203,14 +251,31 @@ class TestChannelIntegration:
         assert mixed.scenario_spec().cross_traffic == "mixed"
         assert mixed.vector_unsupported_reason() is None
 
-    def test_onoff_cross_disqualifies_with_detail(self):
+    def test_onoff_cross_compiles_and_dispatches(self):
         from repro.traffic.generators import OnOffGenerator
         channel = SimulatedWlanChannel(
             [("burst", OnOffGenerator(4e6, 0.1, 0.1, 1500))])
         spec = channel.scenario_spec()
+        assert spec.cross_traffic == "onoff"
+        assert vector_mismatch_reason(spec) is None
+        assert channel.vector_unsupported_reason() is None
+
+    def test_retry_limit_compiles_and_dispatches(self):
+        channel = SimulatedWlanChannel(
+            [("cross", PoissonGenerator(2e6, 1500))], retry_limit=4)
+        spec = channel.scenario_spec()
+        assert spec.retry_limit
+        assert vector_mismatch_reason(spec) is None
+        assert channel.resolve_backend("auto").name == "vector"
+
+    def test_trace_cross_disqualifies_with_detail(self):
+        from repro.traffic.generators import TraceGenerator
+        channel = SimulatedWlanChannel(
+            [("replay", TraceGenerator([(0.1, 1500), (0.2, 1500)]))])
+        spec = channel.scenario_spec()
         assert spec.cross_traffic == "other"
         reason = vector_mismatch_reason(spec)
-        assert "cross station 'burst'" in reason
+        assert "cross station 'replay'" in reason
         assert channel.vector_unsupported_reason() == reason
 
     def test_fifo_size_mismatch_falls_back_instead_of_crashing(self):
@@ -284,7 +349,8 @@ class TestExecutorDelegation:
 
     def test_auto_with_ineligible_spec_maps_event(self):
         spec = ScenarioSpec(system="wlan", workload="train",
-                            cross_traffic="poisson", retry_limit=True)
+                            cross_traffic="other",
+                            cross_detail=TRACE_DETAIL)
         out = executor.run_batch(
             lambda s: ("event", s), 2, 9, backend="auto",
             vector_batch=lambda s: ("vector", s), spec=spec)
@@ -327,11 +393,11 @@ class TestRegistryCacheInteraction:
         assert kwargs[0]["backend"] == "vector"
 
     def test_forced_vector_on_ineligible_raises_structured(self):
-        experiment = _retry_limited_experiment()
+        experiment = _event_only_experiment()
         with pytest.raises(BackendUnavailableError,
                            match="supports backend") as err:
             experiment.run(scale=0.02, backend="vector")
-        assert "retry limit" in str(err.value)
+        assert "no batched arrival sampler" in str(err.value)
         assert err.value.mismatches  # structured records attached
 
     def test_fallback_reason_lands_in_meta(self, tmp_path):
@@ -340,21 +406,19 @@ class TestRegistryCacheInteraction:
         *second* auto request too — the stored payload has no
         annotation, so the hit path must re-derive it per request."""
         cache = ResultCache(root=tmp_path)
-        experiment = _retry_limited_experiment()
+        experiment = _event_only_experiment()
         report = experiment.run(scale=1.0, seed=2, backend="auto",
                                 cache=cache)
         assert report.cached is False
         assert report.result.meta["backend"] == "event"
-        assert report.result.meta["backend_fallback"] == \
-            "a retry limit requires the event engine"
+        assert report.result.meta["backend_fallback"] == TRACE_DETAIL
         # A cache hit re-annotates per-request instead of trusting the
         # stored payload.
         hit = experiment.run(scale=1.0, seed=2, backend="auto",
                              cache=cache)
         assert hit.cached is True
         assert hit.result.meta["backend"] == "event"
-        assert hit.result.meta["backend_fallback"] == \
-            "a retry limit requires the event engine"
+        assert hit.result.meta["backend_fallback"] == TRACE_DETAIL
         # ... and an explicit event request gets no fallback note.
         explicit = experiment.run(scale=1.0, seed=2, backend="event",
                                   cache=cache)
@@ -368,7 +432,7 @@ class TestRegistryCacheInteraction:
         # The vector-coverage gap is closed: every registry entry is
         # dual-backend.
         assert registry.VECTOR_EXPERIMENTS == frozenset(registry.names())
-        assert len(registry.VECTOR_EXPERIMENTS) == 23
+        assert len(registry.VECTOR_EXPERIMENTS) == 25
 
 
 class TestCliDispatch:
@@ -380,21 +444,21 @@ class TestCliDispatch:
         assert main(["run", "all", "--explain-backend"]) == 0
         out = capsys.readouterr().out
         assert "fig6" in out and "probe-train kernel" in out
-        # 23/23: every experiment resolves to a kernel, nothing falls
+        # 25/25: every experiment resolves to a kernel, nothing falls
         # back to the event engine any more.
         assert "multihop chain kernel" in out
         assert "fallback" not in out
         assert "==" not in out  # no experiment table was printed
 
     def test_explain_backend_forced_error_exits_nonzero(self, capsys):
-        experiment = _retry_limited_experiment()
+        experiment = _event_only_experiment()
         registry.register(experiment)
         try:
-            assert main(["run", "t-retry", "--backend", "vector",
+            assert main(["run", "t-trace", "--backend", "vector",
                          "--explain-backend"]) == 1
             assert "ERROR" in capsys.readouterr().out
         finally:
-            registry.unregister("t-retry")
+            registry.unregister("t-trace")
 
     def test_default_auto_records_resolved_backend(self, capsys):
         code = main(["run", "fig6", "--scale", "0.02", "--seed", "3",

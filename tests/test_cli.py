@@ -69,16 +69,15 @@ class TestCommands:
         assert "backend=vector" in out
 
     def test_run_backend_unsupported_fails_cleanly(self, capsys):
-        # A retry limit is the one protocol feature no kernel models;
-        # the registry's builtins are all dual-backend now, so pin the
+        # Trace replay is the one traffic model no kernel samples; the
+        # registry's builtins are all dual-backend now, so pin the
         # error path with a temporary event-only experiment.
         from repro.backends import ScenarioSpec
         experiment = registry.Experiment(
             name="t-event-only", runner=registry.get("fig6").runner,
             scalable={"repetitions": 4},
             scenario=ScenarioSpec(system="wlan", workload="train",
-                                  cross_traffic="poisson",
-                                  retry_limit=True))
+                                  cross_traffic="other"))
         registry.register(experiment)
         try:
             code = main(["run", "t-event-only", "--backend", "vector",

@@ -192,13 +192,18 @@ class TestPathVectorBackend:
         with pytest.raises(ValueError, match="no vector kernel"):
             channel.send_trains_batch(ProbeTrain.at_rate(4, 2e6), 2)
 
-    def test_retry_limited_wlan_hop_demotes_to_event(self):
+    def test_retry_limited_wlan_hop_rides_the_chain_kernel(self):
         path = NetworkPath([
             WlanHop([("n", PoissonGenerator(2e6, 1500))], retry_limit=4),
         ])
-        resolution = SimulatedPathChannel(path).resolve_backend("auto")
-        assert resolution.name == "event"
-        assert "retry" in resolution.fallback
+        channel = SimulatedPathChannel(path)
+        resolution = channel.resolve_backend("auto")
+        assert resolution.name == "vector"
+        assert resolution.kernel == "multihop chain kernel"
+        batch = channel.send_trains_batch(ProbeTrain.at_rate(6, 3e6, 1500),
+                                          3, seed=7)
+        assert batch.recv_times.shape == (3, 6)
+        assert np.all(np.diff(batch.recv_times, axis=1) > 0)
 
     def test_batch_rows_are_plausible_trains(self):
         channel = SimulatedPathChannel(self._path())

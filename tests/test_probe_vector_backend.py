@@ -18,6 +18,7 @@ The load-bearing guarantees:
 import numpy as np
 import pytest
 
+from helpers import seed_params
 from repro.core.dispersion import TrainBatch, output_gaps_batch
 from repro.core.estimators import (
     mean_output_rate,
@@ -31,7 +32,6 @@ from repro.sim.probe_vector import (
     PoissonCrossSpec,
     simulate_probe_train_batch,
 )
-from repro.stats.ks import ks_distance, ks_threshold
 from repro.testbed.channel import SimulatedFifoChannel, SimulatedWlanChannel
 from repro.testbed.prober import Prober, ProbeSessionConfig
 from repro.traffic.generators import CBRGenerator, PoissonGenerator
@@ -150,44 +150,44 @@ class TestEventEquivalence:
     Seeds are fixed, so these are deterministic regressions, not flaky
     statistical tests: the KS distances were measured well under the
     alpha=0.01 thresholds when the kernel was written, and a protocol
-    change in either backend pushes them over.
+    change in either backend pushes them over.  The extra master seeds
+    (``-m seed_sweep``) guard against a seed-lottery pass.
     """
 
     N, REPS = 20, 50
     RATES = (1e6, 2.5e6, 4e6)
 
+    @pytest.fixture(scope="class", params=seed_params(11, 211, 311))
+    def master_seed(self, request):
+        return request.param
+
     @pytest.fixture(scope="class", params=RATES)
-    def pair(self, request):
+    def pair(self, request, master_seed):
         cross_rate = request.param
         train = ProbeTrain.at_rate(self.N, 5e6, L)
         channel = SimulatedWlanChannel(
             [("cross", PoissonGenerator(cross_rate, L))], warmup=0.1)
-        raws = channel.send_trains(train, self.REPS, seed=11)
+        raws = channel.send_trains(train, self.REPS, seed=master_seed)
         event_delays = np.vstack([r.access_delays for r in raws])
         event_gaps = np.array(
             [(r.recv_times[-1] - r.recv_times[0]) / (self.N - 1)
              for r in raws])
-        batch = channel.send_trains_batch(train, self.REPS, seed=11)
+        batch = channel.send_trains_batch(train, self.REPS,
+                                          seed=master_seed)
         return event_delays, event_gaps, batch
 
-    def test_access_delay_distributions_match(self, pair):
+    def test_access_delay_distributions_match(self, pair, ks_assert):
         event_delays, _, batch = pair
-        a = event_delays.ravel()
-        b = batch.access_delays.ravel()
-        assert ks_distance(a, b) <= ks_threshold(len(a), len(b), alpha=0.01)
+        ks_assert(event_delays, batch.access_delays)
 
-    def test_first_packet_delay_distributions_match(self, pair):
+    def test_first_packet_delay_distributions_match(self, pair, ks_assert):
         """The transient-critical index: the very first packet."""
         event_delays, _, batch = pair
-        a = event_delays[:, 0]
-        b = batch.access_delays[:, 0]
-        assert ks_distance(a, b) <= ks_threshold(len(a), len(b), alpha=0.01)
+        ks_assert(event_delays[:, 0], batch.access_delays[:, 0])
 
-    def test_output_gap_distributions_match(self, pair):
+    def test_output_gap_distributions_match(self, pair, ks_assert):
         _, event_gaps, batch = pair
-        gaps = batch.output_gaps
-        assert ks_distance(event_gaps, gaps) <= ks_threshold(
-            len(event_gaps), len(gaps), alpha=0.01)
+        ks_assert(event_gaps, batch.output_gaps)
 
     def test_mean_metrics_close(self, pair):
         event_delays, event_gaps, batch = pair
@@ -198,27 +198,45 @@ class TestEventEquivalence:
 
 
 class TestFifoCrossEquivalence:
-    """The complete system of figure 15: FIFO + contending traffic."""
+    """The complete system of figure 15: FIFO + contending traffic.
+
+    FIFO cross-traffic couples every probe of a repetition through the
+    shared transmission queue, so the pooled delay matrix is *not* an
+    iid sample and the pooled KS threshold is anti-conservative (the
+    event engine fails it against itself at some seeds).  The pins
+    therefore compare per-repetition statistics — the rep-mean delay
+    and fixed probe indices — which are iid across repetitions.
+    """
 
     N, REPS = 20, 50
 
-    @pytest.fixture(scope="class")
-    def pair(self):
+    @pytest.fixture(scope="class", params=seed_params(21, 7, 99))
+    def pair(self, request):
+        seed = request.param
         train = ProbeTrain.at_rate(self.N, 5e6, L)
         channel = SimulatedWlanChannel(
             [("cross", PoissonGenerator(3e6, L))],
             fifo_cross=PoissonGenerator(1e6, L, flow="fifo"),
             warmup=0.1)
-        raws = channel.send_trains(train, self.REPS, seed=13)
+        raws = channel.send_trains(train, self.REPS, seed=seed)
         event_delays = np.vstack([r.access_delays for r in raws])
-        batch = channel.send_trains_batch(train, self.REPS, seed=13)
+        batch = channel.send_trains_batch(train, self.REPS, seed=seed)
         return event_delays, batch
 
-    def test_access_delay_distributions_match(self, pair):
+    def test_rep_mean_delay_distributions_match(self, pair, ks_assert):
         event_delays, batch = pair
-        a = event_delays.ravel()
-        b = batch.access_delays.ravel()
-        assert ks_distance(a, b) <= ks_threshold(len(a), len(b), alpha=0.01)
+        ks_assert(event_delays.mean(axis=1),
+                  batch.access_delays.mean(axis=1))
+
+    def test_fixed_index_delay_distributions_match(self, pair, ks_assert):
+        event_delays, batch = pair
+        for idx in (0, 10):
+            ks_assert(event_delays[:, idx], batch.access_delays[:, idx])
+
+    def test_mean_delay_close(self, pair):
+        event_delays, batch = pair
+        assert event_delays.mean() == pytest.approx(
+            batch.access_delays.mean(), rel=0.15)
 
     def test_probe_packets_only_in_result(self, pair):
         _, batch = pair
@@ -248,13 +266,23 @@ class TestChannelRouting:
                                 backend="quantum")
 
     def test_unsampleable_cross_rejected(self):
-        from repro.traffic.generators import OnOffGenerator
+        from repro.traffic.generators import TraceGenerator
         channel = SimulatedWlanChannel(
-            [("burst", OnOffGenerator(4e6, 0.1, 0.1, L))])
+            [("replay", TraceGenerator([(0.05, L), (0.1, L)]))])
         assert channel.vector_unsupported_reason() is not None
         with pytest.raises(ValueError, match="no vector kernel"):
             channel.send_trains(ProbeTrain.at_rate(4, 2e6), 2,
                                 backend="vector")
+
+    def test_onoff_cross_routes_to_kernel(self):
+        from repro.traffic.generators import OnOffGenerator
+        channel = SimulatedWlanChannel(
+            [("burst", OnOffGenerator(4e6, 0.05, 0.05, L))], warmup=0.1)
+        assert channel.vector_unsupported_reason() is None
+        batch = channel.send_trains_batch(ProbeTrain.at_rate(6, 4e6, L),
+                                          4, seed=2)
+        assert batch.recv_times.shape == (4, 6)
+        assert np.all(np.diff(batch.recv_times, axis=1) > 0)
 
     def test_cbr_cross_routes_to_kernel(self):
         channel = SimulatedWlanChannel([("cbr", CBRGenerator(2e6, L))],
@@ -278,11 +306,11 @@ class TestChannelRouting:
         assert sizes.shape == (5, 8)
         assert np.all(sizes >= 0)
 
-    def test_rts_supported_retry_limit_rejected(self):
+    def test_rts_and_retry_limit_supported(self):
         rts = SimulatedWlanChannel([], rts_threshold=1000)
         assert rts.vector_unsupported_reason() is None
         retry = SimulatedWlanChannel([], retry_limit=7)
-        assert "retry" in retry.vector_unsupported_reason()
+        assert retry.vector_unsupported_reason() is None
 
     def test_rts_adds_preamble_on_quiet_channel(self):
         """On an uncontended channel every probe gets immediate access,

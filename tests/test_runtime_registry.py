@@ -44,7 +44,7 @@ class TestRegistration:
             registry.get("no-such-experiment")
 
     def test_builtin_registry_complete(self):
-        assert len(registry.experiments()) == 23
+        assert len(registry.experiments()) == 25
         groups = {e.group for e in registry.experiments()}
         assert groups == {"figure", "baseline", "ablation", "extension"}
 
