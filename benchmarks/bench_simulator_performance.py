@@ -12,13 +12,17 @@ The bench-regression CI job runs this file at ``REPRO_BENCH_SCALE``
 """
 
 import time
+import tracemalloc
 
 import numpy as np
 
 from conftest import bench_scale
 
 from repro.analysis.saturation import simulate_saturated
-from repro.backends import ScenarioSpec, dispatch
+from repro.backends import BatchRequest, ScenarioSpec, dispatch
+from repro.core.batch import OutputGapReducer
+from repro.core.dispersion import output_gaps_batch
+from repro.runtime.executor import chunked_reps, run_batch
 from repro.mac.scenario import StationSpec, WlanScenario
 from repro.queueing.lindley import lindley_batch, lindley_recursion
 from repro.sim.engine import Simulator
@@ -502,6 +506,100 @@ def test_onoff_backend_speedup():
     assert best >= 5.0, (
         f"on-off vector path only {best:.1f}x faster across 3 attempts "
         f"(last: event {event_s:.3f}s vs vector {vector_s:.3f}s)")
+
+
+def test_chunked_probe_batch_memory(benchmark):
+    """Streaming a big probe batch must cut peak memory >= 4x.
+
+    Acceptance floor of the PR-7 streaming path: a 10^5-repetition
+    probe batch (``REPRO_BENCH_SCALE`` shrinks it, clamped at 20k —
+    enough repetitions that matrix storage, not fixed kernel state,
+    dominates the peak) reduced to its per-train output gaps.  The
+    dense run materialises every ``(repetitions, n)`` timestamp
+    matrix; the ``--chunk-reps 1000`` run folds 1000-repetition chunks
+    through :class:`repro.core.batch.OutputGapReducer` and must peak
+    below a quarter of that — while producing the bit-identical gap
+    vector.  The benchmark fixture times the chunked run, so its
+    wall-clock lands in ``baseline.json`` next to the dense kernel
+    benches.
+    """
+    repetitions = max(20_000, int(round(100_000 * bench_scale())))
+    chunk = 1000
+    train = ProbeTrain.at_rate(5, 5e6, 1500)
+
+    def batch_task(seeds):
+        return simulate_probe_train_batch(
+            train.n, train.gap, len(seeds), size_bytes=1500,
+            warmup=0.0, seeds=seeds)
+
+    def dense():
+        batch = run_batch(BatchRequest(repetitions=repetitions, seed=1,
+                                       batch_task=batch_task),
+                          backend="vector")
+        return output_gaps_batch(batch.recv_times)
+
+    def chunked():
+        return run_batch(
+            BatchRequest(repetitions=repetitions, seed=1,
+                         batch_task=batch_task, chunk_reps=chunk,
+                         reducer=OutputGapReducer),
+            backend="vector")
+
+    tracemalloc.start()
+    dense_gaps = dense()
+    _, dense_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    tracemalloc.start()
+    chunked_gaps = chunked()
+    _, chunked_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert np.array_equal(chunked_gaps, dense_gaps)
+    ratio = dense_peak / chunked_peak
+    print(f"\nchunked probe batch peak memory: "
+          f"dense {dense_peak / 1e6:.1f} MB vs chunked "
+          f"{chunked_peak / 1e6:.1f} MB ({ratio:.1f}x, "
+          f"{repetitions} repetitions, chunk {chunk})")
+    assert ratio >= 4.0, (
+        f"chunked run peaked at {chunked_peak / 1e6:.1f} MB, only "
+        f"{ratio:.1f}x below the dense {dense_peak / 1e6:.1f} MB "
+        f"({repetitions} repetitions, chunk {chunk})")
+    assert len(benchmark(chunked)) == repetitions
+
+
+def test_chunked_backend_speedup():
+    """The >= 5x vector floor must survive chunked execution.
+
+    Same workload as ``test_vector_backend_speedup`` (10 saturated
+    stations, 100 repetitions) with the vector side streamed through
+    ``chunk_reps=25`` — four kernel calls instead of one.  The fixed
+    per-call numpy dispatch quadruples, so this floor guards the chunk
+    loop's overhead staying negligible next to the kernel itself.  Not
+    scaled by ``REPRO_BENCH_SCALE`` (the ratio is what is under test).
+    """
+    stations, packets = 10, 10
+    repetitions = 100
+    expected = stations * packets
+
+    def run_event():
+        event = simulate_saturated(stations, packets, repetitions,
+                                   seed=2, backend="event")
+        assert np.all(event.successes == expected)
+
+    def run_chunked():
+        with chunked_reps(25):
+            vector = simulate_saturated(stations, packets, repetitions,
+                                        seed=2, backend="vector")
+        assert np.all(vector.successes == expected)
+
+    best, (event_s, vector_s) = _best_speedup(run_event, run_chunked)
+    print(f"\nchunked vector backend speedup: {best:.1f}x "
+          f"(last attempt: event {event_s:.3f}s, chunked vector "
+          f"{vector_s:.4f}s, {repetitions} repetitions in chunks of 25)")
+    assert best >= 5.0, (
+        f"chunked vector backend only {best:.1f}x faster across 3 "
+        f"attempts (last: event {event_s:.3f}s vs chunked "
+        f"{vector_s:.3f}s)")
 
 
 def test_backend_dispatch_throughput(benchmark):

@@ -82,7 +82,7 @@ def simulate_saturated(n_stations: int, packets_per_station: int,
     them).
     """
     # Imported lazily: repro.runtime sits above the analysis layer.
-    from repro.backends import ScenarioSpec, dispatch
+    from repro.backends import BatchRequest, ScenarioSpec, dispatch
     from repro.runtime.executor import run_batch
     spec = ScenarioSpec(system="wlan", workload="saturated",
                         rts_cts=rts_threshold is not None,
@@ -91,12 +91,18 @@ def simulate_saturated(n_stations: int, packets_per_station: int,
     event_task = functools.partial(_event_repetition, n_stations,
                                    packets_per_station, size_bytes, phy,
                                    rts_threshold, retry_limit)
-    vector_batch = functools.partial(
-        simulate_saturated_batch, n_stations, packets_per_station,
-        repetitions, size_bytes=size_bytes, phy=phy,
-        rts_threshold=rts_threshold, retry_limit=retry_limit)
-    out = run_batch(event_task, repetitions, seed, backend=backend,
-                    vector_batch=lambda s: vector_batch(seed=s), spec=spec)
+
+    def batch_task(seeds) -> VectorBatchResult:
+        """The kernel over one (possibly chunked) seed slice."""
+        return simulate_saturated_batch(
+            n_stations, packets_per_station, len(seeds),
+            size_bytes=size_bytes, phy=phy, seeds=seeds,
+            rts_threshold=rts_threshold, retry_limit=retry_limit)
+
+    out = run_batch(BatchRequest(repetitions=repetitions, seed=seed,
+                                 event_task=event_task,
+                                 batch_task=batch_task, spec=spec),
+                    backend=backend)
     if backend == "vector":
         return out
     delays, durations, successes, collisions, drops = zip(*out)

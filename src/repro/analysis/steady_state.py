@@ -26,6 +26,7 @@ from repro.mac.params import PhyParams
 from repro.mac.scenario import StationSpec, WlanScenario
 from repro.sim.probe_vector import (
     PoissonCrossSpec,
+    SteadyBatchResult,
     simulate_steady_state_batch,
 )
 from repro.traffic.generators import CBRGenerator, PoissonGenerator
@@ -105,7 +106,7 @@ def steady_state_samples(probe_rate_bps: float,
     throughput distributions with KS tests.
     """
     # Imported lazily: repro.runtime sits above the analysis layer.
-    from repro.backends import ScenarioSpec, dispatch
+    from repro.backends import BatchRequest, ScenarioSpec, dispatch
     from repro.runtime.executor import run_batch
 
     spec = ScenarioSpec(
@@ -119,24 +120,31 @@ def steady_state_samples(probe_rate_bps: float,
             probe_rate_bps, cross_rate_bps, fifo_rate_bps, phy,
             size_bytes, duration, warmup, seed=rep_seed)
 
-    def vector_batch(batch_seed: int) -> Dict[str, np.ndarray]:
-        batch = simulate_steady_state_batch(
-            probe_rate_bps, repetitions, size_bytes=size_bytes,
+    def batch_task(seeds) -> SteadyBatchResult:
+        """The steady-state kernel over one (possibly chunked) slice.
+
+        Returns the protocol-conformant :class:`SteadyBatchResult`
+        (not a dict) so chunked execution can fold slices with
+        ``concat``; the throughput dict is read off afterwards.
+        """
+        return simulate_steady_state_batch(
+            probe_rate_bps, len(seeds), size_bytes=size_bytes,
             cross=[PoissonCrossSpec(cross_rate_bps / (size_bytes * 8),
                                     size_bytes)]
             if cross_rate_bps > 0 else [],
             fifo_cross=PoissonCrossSpec(fifo_rate_bps / (size_bytes * 8),
                                         size_bytes)
             if fifo_rate_bps > 0 else None,
-            duration=duration, warmup=warmup, phy=phy, seed=batch_seed)
-        return {"probe": batch.probe_throughput_bps(),
-                "fifo": batch.fifo_throughput_bps(),
-                "cross": batch.cross_throughput_bps()}
+            duration=duration, warmup=warmup, phy=phy, seeds=seeds)
 
-    out = run_batch(event_task, repetitions, seed, backend=backend,
-                    vector_batch=vector_batch, spec=spec)
-    if isinstance(out, dict):
-        return out
+    out = run_batch(BatchRequest(repetitions=repetitions, seed=seed,
+                                 event_task=event_task,
+                                 batch_task=batch_task, spec=spec),
+                    backend=backend)
+    if isinstance(out, SteadyBatchResult):
+        return {"probe": out.probe_throughput_bps(),
+                "fifo": out.fifo_throughput_bps(),
+                "cross": out.cross_throughput_bps()}
     return {flow: np.array([sample[flow] for sample in out])
             for flow in ("probe", "fifo", "cross")}
 

@@ -17,16 +17,20 @@ it (the event backend reaches the executor through a lazy import).
 
 from repro.backends.base import (
     Backend,
+    BatchRequest,
+    CallerKernelBackend,
     EventBackend,
     FAMILIES,
     LindleyVectorBackend,
     PathVectorBackend,
     ProbeTrainVectorBackend,
     SaturatedVectorBackend,
+    coerce_request,
 )
 from repro.backends.dispatch import (
     BACKENDS,
     BackendUnavailableError,
+    CALLER_KERNEL,
     EVENT,
     REQUESTABLE,
     Resolution,
@@ -47,6 +51,9 @@ __all__ = [
     "BACKENDS",
     "Backend",
     "BackendUnavailableError",
+    "BatchRequest",
+    "CALLER_KERNEL",
+    "CallerKernelBackend",
     "Capabilities",
     "CapabilityMismatch",
     "EVENT",
@@ -60,6 +67,7 @@ __all__ = [
     "Resolution",
     "SaturatedVectorBackend",
     "ScenarioSpec",
+    "coerce_request",
     "eligible",
     "explain",
     "family_names",

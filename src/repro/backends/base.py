@@ -32,12 +32,98 @@ recorded separately in result metadata.
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Optional
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.backends.spec import Capabilities, ScenarioSpec
 
 #: The CLI-facing backend families.
 FAMILIES = ("event", "vector")
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One repetition batch, described once, executed by any backend.
+
+    The single-object replacement for the old dual-optional
+    ``run_batch(event_task=…, batch_task=…)`` signature: a request
+    names the batch (``repetitions``, ``seed``), the two task forms a
+    backend may consume, the declarative scenario the dispatcher
+    matches capabilities against, and the streaming knobs.
+
+    Attributes
+    ----------
+    repetitions / seed:
+        Batch size and the master seed the canonical per-repetition
+        seeds derive from (``SeedSequence(seed).generate_state``).
+    event_task:
+        Pure ``rep_seed -> result`` function; the event backend maps
+        it over the derived seeds.
+    batch_task:
+        ``seeds -> RepetitionBatch`` kernel entry: receives the
+        per-repetition seed slice of the chunk it must resolve (the
+        dense call passes the full seed array).  Kernels derive
+        nothing from the batch size, so any contiguous slice
+        reproduces exactly the dense run's rows.
+    spec:
+        Declarative :class:`~repro.backends.spec.ScenarioSpec` for the
+        dispatcher; ``None`` means "nothing declared".
+    chunk_reps:
+        Streaming chunk size for the vector path; ``None`` defers to
+        the ambient :func:`repro.runtime.executor.chunked_reps` scope
+        (and the ``REPRO_CHUNK_REPS`` environment variable), and a
+        value at or above ``repetitions`` runs dense.  Chunking never
+        changes results (same seeds, row-wise fold), so it stays out
+        of cache keys — an execution detail, like ``--jobs``.
+    reducer:
+        Zero-argument factory of a
+        :class:`repro.core.batch.ChunkReducer`; each chunk's batch is
+        folded into it and ``finalize()`` becomes the run's result.
+        ``None`` folds with the batch class's own ``concat``
+        (bit-identical to dense, but dense-sized).
+    legacy_scalar_seed:
+        Set by the deprecated-kwarg shim only: marks a ``batch_task``
+        that still expects the *scalar* batch seed and derives the
+        per-repetition seeds itself.  Such kernels cannot be chunked;
+        they always run dense.
+    """
+
+    repetitions: int
+    seed: int
+    event_task: Optional[Callable[[int], Any]] = None
+    batch_task: Optional[Callable[..., Any]] = None
+    spec: Optional[ScenarioSpec] = None
+    chunk_reps: Optional[int] = None
+    reducer: Optional[Callable[[], Any]] = None
+    legacy_scalar_seed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError(
+                f"repetitions must be >= 1, got {self.repetitions}")
+        if self.chunk_reps is not None and self.chunk_reps < 1:
+            raise ValueError(
+                f"chunk_reps must be >= 1, got {self.chunk_reps}")
+
+    def with_chunk_reps(self, chunk_reps: Optional[int]) -> "BatchRequest":
+        """A copy of this request with another chunk size."""
+        return replace(self, chunk_reps=chunk_reps)
+
+    def resolved_chunk_reps(self) -> Optional[int]:
+        """The effective chunk size (explicit, else the ambient scope).
+
+        ``None`` means dense.  A chunk size covering the whole batch
+        is normalised to dense — one chunk *is* the dense run.
+        """
+        chunk = self.chunk_reps
+        if chunk is None:
+            # Imported lazily: repro.runtime sits above this layer.
+            from repro.runtime.executor import active_chunk_reps
+            chunk = active_chunk_reps()
+        if chunk is None or chunk >= self.repetitions:
+            return None
+        return chunk
 
 
 class Backend(abc.ABC):
@@ -58,17 +144,21 @@ class Backend(abc.ABC):
         """Structured reasons ``spec`` does not fit (empty = eligible)."""
         return self.capabilities().mismatches(spec)
 
-    def run_batch(self, repetitions: int, seed: int,
-                  event_task: Optional[Callable[[int], Any]] = None,
-                  batch_task: Optional[Callable[[int], Any]] = None):
-        """Execute one repetition batch on this backend.
+    def run_batch(self, request: "BatchRequest", *legacy_args,
+                  **legacy_kwargs):
+        """Execute one :class:`BatchRequest` on this backend.
 
-        ``event_task`` is a pure ``seed -> result`` per-repetition
-        function; ``batch_task`` is a ``seed -> batch`` kernel that
-        derives the same per-repetition seeds internally
-        (:func:`repro.runtime.executor.derive_seeds`) and resolves
-        every repetition in one pass.  Each backend consumes exactly
-        one of the two.
+        The event backend maps ``request.event_task`` over the derived
+        per-repetition seeds; kernels hand ``request.batch_task`` the
+        per-repetition seed slices of each chunk (the whole array when
+        dense) and fold the chunk batches through the request's
+        reducer.  Each backend consumes exactly one of the two tasks.
+
+        The old ``run_batch(repetitions, seed, event_task=…,
+        batch_task=…)`` calling convention still works for one release
+        through :func:`coerce_request` (with a ``DeprecationWarning``);
+        legacy ``batch_task`` callables keep receiving the scalar
+        batch seed and always run dense.
         """
         raise NotImplementedError
 
@@ -87,36 +177,166 @@ class EventBackend(Backend):
         """Every scenario axis, every value."""
         return Capabilities()
 
-    def run_batch(self, repetitions: int, seed: int,
-                  event_task: Optional[Callable[[int], Any]] = None,
-                  batch_task: Optional[Callable[[int], Any]] = None):
-        """Map ``event_task`` over the derived per-repetition seeds.
+    def run_batch(self, request, *legacy_args, **legacy_kwargs):
+        """Map the event task over the derived per-repetition seeds.
 
         Fans out across the ambient worker pool
         (:func:`repro.runtime.executor.parallel_jobs`); results come
         back in repetition order, bit-identical for any job count.
+        The event engine is already per-repetition, so ``chunk_reps``
+        is a no-op here — peak memory never exceeds one repetition
+        plus the collected results.
         """
-        if event_task is None:
+        request = coerce_request(request, *legacy_args, **legacy_kwargs)
+        if request.event_task is None:
             raise ValueError("the event backend needs an event_task")
         # Imported lazily: repro.runtime sits above this layer.
         from repro.runtime.executor import derive_seeds, map_ordered
-        return map_ordered(event_task, derive_seeds(seed, repetitions))
+        return map_ordered(request.event_task,
+                           derive_seeds(request.seed, request.repetitions))
+
+
+def coerce_request(request, *legacy_args, **legacy_kwargs) -> BatchRequest:
+    """Normalise a ``run_batch`` call to a :class:`BatchRequest`.
+
+    The deprecated-kwarg shim: a caller still using the old
+    ``run_batch(repetitions, seed, event_task=…, batch_task=…)``
+    convention gets a ``DeprecationWarning`` and a request whose
+    ``batch_task`` is marked :attr:`BatchRequest.legacy_scalar_seed`
+    — legacy kernels expect the scalar batch seed and derive the
+    per-repetition seeds themselves, so they run dense, never chunked.
+    """
+    if isinstance(request, BatchRequest):
+        if legacy_args or legacy_kwargs:
+            raise TypeError(
+                "pass either a BatchRequest or the deprecated "
+                "(repetitions, seed, event_task=, batch_task=) "
+                "arguments, not both")
+        return request
+    warnings.warn(
+        "run_batch(repetitions, seed, event_task=..., batch_task=...) "
+        "is deprecated; pass a repro.backends.BatchRequest instead",
+        DeprecationWarning, stacklevel=3)
+    repetitions = int(request)
+    if not legacy_args:
+        raise TypeError("the deprecated calling convention needs "
+                        "(repetitions, seed, ...)")
+    seed = int(legacy_args[0])
+    extras = list(legacy_args[1:])
+    event_task = extras.pop(0) if extras \
+        else legacy_kwargs.pop("event_task", None)
+    batch_task = extras.pop(0) if extras \
+        else legacy_kwargs.pop("batch_task", None)
+    if extras or legacy_kwargs:
+        raise TypeError(f"unexpected run_batch arguments: "
+                        f"{extras or legacy_kwargs}")
+    return BatchRequest(repetitions=repetitions, seed=seed,
+                        event_task=event_task, batch_task=batch_task,
+                        legacy_scalar_seed=batch_task is not None)
 
 
 class _VectorBackend(Backend):
-    """Shared ``run_batch`` of the numpy batch kernels."""
+    """Shared chunk-capable ``run_batch`` of the numpy batch kernels."""
 
     name = "vector"
     speed_rank = 10
 
-    def run_batch(self, repetitions: int, seed: int,
-                  event_task: Optional[Callable[[int], Any]] = None,
-                  batch_task: Optional[Callable[[int], Any]] = None):
-        """Hand the whole batch to the kernel (``batch_task(seed)``)."""
-        if batch_task is None:
+    def run_batch(self, request, *legacy_args, **legacy_kwargs):
+        """Resolve the batch with the kernel, chunked when requested.
+
+        Dense (the default): one ``batch_task(seeds)`` call with the
+        full canonical per-repetition seed array.  Chunked
+        (``chunk_reps`` on the request, or the ambient
+        :func:`repro.runtime.executor.chunked_reps` scope): the seed
+        array is sliced into contiguous chunks, each resolved by its
+        own ``batch_task(seeds[lo:hi])`` call and folded into the
+        request's reducer (default: the batch class's own ``concat``).
+        The slices are taken from the *dense* derivation, so chunk
+        boundaries never change which random universe a repetition
+        index maps to — dense and chunked rows are bit-identical.
+
+        Legacy scalar-seed kernels (the deprecated shim) always run
+        dense: ``batch_task(seed)``.
+        """
+        request = coerce_request(request, *legacy_args, **legacy_kwargs)
+        task = request.batch_task
+        if task is None:
             raise ValueError("this batch has no vector kernel; "
                              "run it with backend='event'")
-        return batch_task(seed)
+        if request.legacy_scalar_seed:
+            return task(request.seed)
+        # Imported lazily: repro.runtime sits above this layer.
+        from repro.runtime.executor import derive_seeds
+        seeds = derive_seeds(request.seed, request.repetitions)
+        chunk = request.resolved_chunk_reps()
+        if chunk is None and request.reducer is None:
+            return task(seeds)
+        bounds = _chunk_bounds(request.repetitions,
+                               chunk or request.repetitions)
+        reducer = request.reducer() if request.reducer is not None \
+            else _ConcatFold()
+        for lo, hi in bounds:
+            reducer.update(task(seeds[lo:hi]), lo, hi)
+        return reducer.finalize()
+
+
+def _chunk_bounds(repetitions: int,
+                  chunk_reps: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` chunk ranges (tail chunk may be short)."""
+    return [(lo, min(lo + chunk_reps, repetitions))
+            for lo in range(0, repetitions, chunk_reps)]
+
+
+class _ConcatFold:
+    """Duck-typed default reducer: fold chunks with ``concat``.
+
+    Mirrors :class:`repro.core.batch.ConcatReducer` without importing
+    it (``repro.core`` sits above this layer); the fold goes through
+    the chunk class's own ``concat``, so any
+    :class:`repro.core.batch.RepetitionBatch`-conformant object works.
+    """
+
+    def __init__(self) -> None:
+        self._parts: List[Any] = []
+
+    def update(self, batch: Any, lo: int, hi: int) -> None:
+        """Keep one chunk."""
+        self._parts.append(batch)
+
+    def finalize(self) -> Any:
+        """``concat`` the chunks (a single chunk passes through)."""
+        if len(self._parts) == 1:
+            return self._parts[0]
+        return type(self._parts[0]).concat(self._parts)
+
+
+class CallerKernelBackend(_VectorBackend):
+    """Synthetic backend behind a forced ``vector`` with no spec.
+
+    A caller forcing ``backend='vector'`` while declaring no
+    :class:`~repro.backends.spec.ScenarioSpec` is trusted to know its
+    ``batch_task`` is a real kernel.  Routing that trust through this
+    backend (instead of bypassing the dispatcher, as the executor once
+    did) keeps the invariant that *every* run flows through a
+    :class:`repro.backends.dispatch.Resolution` — so result metadata
+    always records a backend — and gives caller-supplied kernels the
+    shared chunked execution path for free.  It never competes in
+    ``auto`` scans: the dispatcher constructs its resolution
+    explicitly and it is absent from the ``BACKENDS`` tuple.
+    """
+
+    kernel = "caller-supplied kernel"
+
+    def capabilities(self) -> Capabilities:
+        """Claims nothing — eligibility is asserted by the caller.
+
+        Never consulted in practice (this backend is not scanned), but
+        an empty claim keeps :meth:`mismatches` honest if it ever is.
+        """
+        return Capabilities(
+            systems=frozenset(), workloads=frozenset(),
+            cross_traffic=frozenset(), fifo_cross=frozenset(),
+            rts_cts=False, retry_limit=False, queue_traces=False)
 
 
 class ProbeTrainVectorBackend(_VectorBackend):

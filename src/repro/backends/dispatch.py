@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.backends.base import (
     Backend,
+    CallerKernelBackend,
     EventBackend,
     FAMILIES,
     LindleyVectorBackend,
@@ -45,6 +46,13 @@ REQUESTABLE = ("auto",) + FAMILIES
 
 #: The singleton event backend (the universal fallback).
 EVENT = EventBackend()
+
+#: The synthetic backend behind a forced ``vector`` with no spec: the
+#: caller vouches for its own kernel, but the run still flows through
+#: a :class:`Resolution` (and the shared chunked execution path) so
+#: result metadata always records a backend.  Never scanned by
+#: ``auto`` — it is deliberately absent from :data:`BACKENDS`.
+CALLER_KERNEL = CallerKernelBackend()
 
 #: Every backend, fastest-preference first; ``auto`` scans this order.
 #: The path kernel precedes the Lindley kernel so that, on a path
@@ -152,19 +160,28 @@ def _closest_reason(rejected) -> str:
     return str(mismatches[0])
 
 
-def resolve(spec: Optional[ScenarioSpec],
-            requested: str = "auto") -> Resolution:
+def resolve(spec: Optional[ScenarioSpec], requested: str = "auto",
+            *, trust_caller_kernel: bool = False) -> Resolution:
     """Pick the backend for ``spec``; see the module docstring.
 
     ``spec=None`` means "nothing declared": only the event engine is
     eligible (an undeclared scenario must never silently ride a
-    kernel), and ``auto`` records that as the fallback reason.
+    kernel), so ``auto`` records that as the fallback reason and a
+    forced ``vector`` raises.  ``trust_caller_kernel=True`` (the
+    executor's batch path sets it) changes only the last case: a
+    *forced* ``vector`` with no spec then resolves to the synthetic
+    :data:`CALLER_KERNEL` backend — the caller vouches for the kernel
+    it supplies with the batch, and routing that trust through a
+    resolution (rather than bypassing dispatch, as the executor once
+    did) keeps backend metadata recorded on every run.
     """
     if requested not in REQUESTABLE:
         raise ValueError(
             f"unknown backend {requested!r}; "
             f"expected one of {REQUESTABLE}")
     if spec is None:
+        if requested == "vector" and trust_caller_kernel:
+            return Resolution(requested, CALLER_KERNEL, None, ())
         spec = EVENT_ONLY
     rejected = _rejections(spec)
     if requested == "event":

@@ -19,7 +19,9 @@ end, never aborting the remaining experiments.  Results are cached on
 disk keyed on (experiment, kwargs, code version) — a repeated
 invocation is served from cache unless ``--no-cache`` or ``--refresh``
 says otherwise.  ``--jobs N`` shards repetitions across N worker
-processes with bit-identical output.
+processes with bit-identical output, and ``--chunk-reps N`` streams
+vector-backend batches through the kernel N repetitions at a time —
+also bit-identical, with peak memory bounded by the chunk.
 
 Backend selection defaults to ``--backend auto``: the capability
 dispatcher (:mod:`repro.backends`) picks the fastest kernel eligible
@@ -130,8 +132,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             else:
                 report = experiment.run(
                     scale=args.scale, seed=args.seed, jobs=args.jobs,
-                    backend=args.backend, cache=cache,
-                    refresh=args.refresh)
+                    backend=args.backend, chunk_reps=args.chunk_reps,
+                    cache=cache, refresh=args.refresh)
         except Exception as exc:  # aggregate, don't abort the batch
             print(f"== {name}: ERROR ==\n   {exc}\n", file=sys.stderr)
             failures[name] = f"error: {exc}"
@@ -167,7 +169,7 @@ def _profiled_run(experiment, args: argparse.Namespace) -> RunReport:
     try:
         report = experiment.run(
             scale=args.scale, seed=args.seed, jobs=1,
-            backend=args.backend)
+            backend=args.backend, chunk_reps=args.chunk_reps)
     finally:
         profiler.disable()
     print(f"== {experiment.name}: cProfile (top 25, cumulative) ==")
@@ -224,7 +226,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         try:
             report = experiment.run(
                 scale=args.scale, seed=args.seed, jobs=args.jobs,
-                backend=args.backend, overrides=overrides, cache=cache,
+                backend=args.backend, chunk_reps=args.chunk_reps,
+                overrides=overrides, cache=cache,
                 refresh=args.refresh)
         except Exception as exc:  # keep sweeping the remaining points
             print(f"== {args.experiment} [{label}]: ERROR ==\n   {exc}\n",
@@ -282,6 +285,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "(0 = one per CPU; default $REPRO_JOBS or "
                              "1; results are identical for any job "
                              "count)")
+    parser.add_argument("--chunk-reps", type=int, default=None,
+                        help="stream vector-backend batches in chunks "
+                             "of this many repetitions, folding each "
+                             "chunk into the result as it completes "
+                             "(peak memory scales with the chunk, not "
+                             "the batch; default $REPRO_CHUNK_REPS or "
+                             "dense; results are bit-identical at any "
+                             "chunk size)")
     parser.add_argument("--backend", choices=("auto", "event", "vector"),
                         default="auto",
                         help="repetition backend: 'auto' (default) "

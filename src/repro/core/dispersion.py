@@ -137,6 +137,10 @@ class TrainBatch:
     batch variant with array arithmetic instead of a per-train loop;
     the two paths produce identical values because every per-train
     quantity is the same expression evaluated row-wise.
+
+    Conforms to :class:`repro.core.batch.RepetitionBatch`: ``per_rep``
+    and ``concat`` slice and fold row-wise, so chunked execution can
+    stream train batches through the same estimator call sites.
     """
 
     send_times: np.ndarray
@@ -199,6 +203,30 @@ class TrainBatch:
                                  recv_times=self.recv_times[r],
                                  size_bytes=self.size_bytes)
                 for r in range(self.repetitions)]
+
+    def per_rep(self) -> list:
+        """The batch as single-repetition ``TrainBatch`` objects."""
+        return [TrainBatch(send_times=self.send_times[r:r + 1],
+                           recv_times=self.recv_times[r:r + 1],
+                           size_bytes=self.size_bytes)
+                for r in range(self.repetitions)]
+
+    @classmethod
+    def concat(cls, parts: Sequence["TrainBatch"]) -> "TrainBatch":
+        """Fold row-compatible batches into one, preserving row order."""
+        if len(parts) == 0:
+            raise ValueError("concat needs at least one part")
+        if len({part.n for part in parts}) != 1:
+            raise ValueError("cannot concat batches with different "
+                             "train lengths")
+        if len({part.size_bytes for part in parts}) != 1:
+            raise ValueError("cannot concat batches with different "
+                             "packet sizes")
+        return cls(
+            send_times=np.concatenate([p.send_times for p in parts]),
+            recv_times=np.concatenate([p.recv_times for p in parts]),
+            size_bytes=parts[0].size_bytes,
+        )
 
 
 def decompose_output_gap(input_gap: float, access_delays: np.ndarray,

@@ -24,6 +24,16 @@ the current scope and :meth:`repro.testbed.channel.Channel.send_trains`
 picks it up via :func:`map_ordered`.  Runner code needs no plumbing,
 and nested fan-out (a worker trying to fork its own pool) degrades
 safely to serial execution.
+
+Chunking works the same way: :func:`chunked_reps` installs an ambient
+streaming chunk size (CLI: ``--chunk-reps``; environment:
+``REPRO_CHUNK_REPS``) that the vector backends pick up through
+:meth:`repro.backends.BatchRequest.resolved_chunk_reps` — a kernel
+batch is then resolved in contiguous chunks of that many repetitions
+and folded online instead of materialising the dense matrices.  Like
+``--jobs``, the chunk size never changes results (chunks replay the
+exact seed slice of the dense derivation), so it stays out of cache
+keys.
 """
 
 from __future__ import annotations
@@ -32,11 +42,12 @@ import multiprocessing
 import os
 import warnings
 from contextlib import contextmanager
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+from typing import (Any, Callable, Iterator, List, Optional, Sequence,
+                    Tuple, TypeVar)
 
 import numpy as np
 
-from repro.backends import ScenarioSpec, dispatch
+from repro.backends import BatchRequest, ScenarioSpec, dispatch
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -50,7 +61,17 @@ REQUESTABLE = dispatch.REQUESTABLE
 #: Environment variable consulted when no ambient job count is set.
 JOBS_ENV = "REPRO_JOBS"
 
+#: Environment variable consulted when no ambient chunk size is set.
+CHUNK_ENV = "REPRO_CHUNK_REPS"
+
 _AMBIENT_JOBS: Optional[int] = None
+
+#: Sentinel distinguishing "no chunk scope installed" from an explicit
+#: ``chunked_reps(None)`` (which forces dense, overriding the
+#: environment variable).
+_CHUNK_UNSET: Any = object()
+
+_AMBIENT_CHUNK: Any = _CHUNK_UNSET
 
 # Worker-side state: the mapped callable, installed by the pool
 # initializer.  ``_IN_WORKER`` makes nested map_ordered calls serial.
@@ -113,6 +134,55 @@ def parallel_jobs(jobs: int) -> Iterator[int]:
         _AMBIENT_JOBS = previous
 
 
+def active_chunk_reps() -> Optional[int]:
+    """The streaming chunk size in effect for this scope.
+
+    ``None`` means dense (the default).  Resolution order: the
+    innermost :func:`chunked_reps` scope, then the
+    ``REPRO_CHUNK_REPS`` environment variable, then dense.  An
+    unparsable or non-positive environment value falls back to dense
+    with a warning rather than aborting mid-experiment.
+    """
+    if _AMBIENT_CHUNK is not _CHUNK_UNSET:
+        return _AMBIENT_CHUNK
+    raw = os.environ.get(CHUNK_ENV)
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+        if value < 1:
+            raise ValueError(raw)
+    except ValueError:
+        warnings.warn(f"ignoring invalid {CHUNK_ENV}={raw!r}; "
+                      "running dense", stacklevel=2)
+        return None
+    return value
+
+
+@contextmanager
+def chunked_reps(chunk_reps: Optional[int]) -> Iterator[Optional[int]]:
+    """Install an ambient streaming chunk size for the block.
+
+    >>> with chunked_reps(1000):
+    ...     result = fig6_mean_access_delay()        # doctest: +SKIP
+
+    Scopes nest; the innermost wins, and an explicit ``None`` forces
+    dense execution even under an outer chunked scope (or a
+    ``REPRO_CHUNK_REPS`` environment variable).  Chunking is an
+    execution detail like the job count: results are bit-identical to
+    a dense run at any chunk size.
+    """
+    global _AMBIENT_CHUNK
+    if chunk_reps is not None and chunk_reps < 1:
+        raise ValueError(f"chunk_reps must be >= 1, got {chunk_reps}")
+    previous = _AMBIENT_CHUNK
+    _AMBIENT_CHUNK = chunk_reps
+    try:
+        yield chunk_reps
+    finally:
+        _AMBIENT_CHUNK = previous
+
+
 def derive_seeds(seed: int, repetitions: int) -> List[int]:
     """The canonical per-repetition seeds for a batch.
 
@@ -129,42 +199,68 @@ def derive_seeds(seed: int, repetitions: int) -> List[int]:
     return [int(s) for s in state]
 
 
-def run_batch(event_task: Callable[[int], R], repetitions: int, seed: int,
-              backend: str = "event",
+def run_batch(request, repetitions: Optional[int] = None,
+              seed: Optional[int] = None, backend: str = "event",
               vector_batch: Optional[Callable[[int], T]] = None,
-              spec: Optional[ScenarioSpec] = None):
+              spec: Optional[ScenarioSpec] = None,
+              chunk_reps: Optional[int] = None):
     """Route one repetition batch through the backend dispatcher.
 
-    ``event_task`` is a pure ``seed -> result`` function; on the
-    ``event`` backend it is mapped over the derived per-repetition
-    seeds through :func:`map_ordered` (honouring the ambient job
-    count).  On the ``vector`` backend the *whole batch* is handed to
-    ``vector_batch(seed)`` — a kernel that derives the same
-    per-repetition seeds internally and resolves every repetition in
-    one vectorized pass, so no worker pool is spawned at all.
+    The first argument is a :class:`repro.backends.BatchRequest`
+    describing the batch once for every backend: the event backend
+    maps ``request.event_task`` (a pure ``rep_seed -> result``
+    function) over the derived per-repetition seeds through
+    :func:`map_ordered`; the vector backends hand
+    ``request.batch_task`` the per-repetition seed array — sliced into
+    contiguous chunks when a chunk size is in effect (the request's
+    ``chunk_reps``, this function's ``chunk_reps`` override, or the
+    ambient :func:`chunked_reps` scope), each chunk folded into the
+    request's reducer.  Dense and chunked runs are bit-identical: a
+    chunk replays exactly the seed slice of the dense derivation.
 
     ``backend="auto"`` asks :func:`repro.backends.dispatch.resolve` to
-    pick the fastest backend eligible for ``spec`` (a declarative
-    :class:`~repro.backends.ScenarioSpec`); with no spec declared,
-    ``auto`` always takes the event engine — an undescribed scenario
-    must never silently ride a kernel.
+    pick the fastest backend eligible for the request's spec (a
+    declarative :class:`~repro.backends.ScenarioSpec`); with no spec
+    declared, ``auto`` always takes the event engine — an undescribed
+    scenario must never silently ride a kernel — while a *forced*
+    ``vector`` resolves to the synthetic caller-kernel backend (the
+    caller vouches for its ``batch_task``), so every run, bypass-free,
+    carries a dispatch resolution.
+
+    The old ``run_batch(event_task, repetitions, seed, backend=…,
+    vector_batch=…, spec=…)`` convention still works for one release
+    (with a ``DeprecationWarning``); its ``vector_batch`` keeps
+    receiving the *scalar* batch seed and always runs dense.
     """
+    if isinstance(request, BatchRequest):
+        if repetitions is not None or seed is not None \
+                or vector_batch is not None or spec is not None:
+            raise TypeError(
+                "pass either a BatchRequest or the deprecated "
+                "(event_task, repetitions, seed, vector_batch=, spec=) "
+                "arguments, not both")
+    else:
+        warnings.warn(
+            "run_batch(event_task, repetitions, seed, ...) is "
+            "deprecated; pass a repro.backends.BatchRequest instead",
+            DeprecationWarning, stacklevel=2)
+        if repetitions is None or seed is None:
+            raise TypeError("the deprecated calling convention needs "
+                            "(event_task, repetitions, seed, ...)")
+        request = BatchRequest(
+            repetitions=repetitions, seed=seed, event_task=request,
+            batch_task=vector_batch, spec=spec,
+            legacy_scalar_seed=vector_batch is not None)
+    if chunk_reps is not None:
+        request = request.with_chunk_reps(chunk_reps)
     if backend not in REQUESTABLE:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {REQUESTABLE}")
-    if spec is None and backend == "vector":
-        # Forced vector without a declarative spec: the caller vouches
-        # for the kernel it supplied.
-        if vector_batch is None:
-            raise ValueError("this batch has no vector kernel; "
-                             "run it with backend='event'")
-        return vector_batch(seed)
-    resolution = dispatch.resolve(spec, backend)
+    resolution = dispatch.resolve(request.spec, backend,
+                                  trust_caller_kernel=True)
     # A vector resolution without a kernel raises inside run_batch
     # (the backend owns that error message).
-    return resolution.backend.run_batch(repetitions, seed,
-                                        event_task=event_task,
-                                        batch_task=vector_batch)
+    return resolution.backend.run_batch(request)
 
 
 def shard_bounds(n_items: int, shards: int) -> List[Tuple[int, int]]:

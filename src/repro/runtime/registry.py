@@ -29,7 +29,7 @@ from repro.backends import (
     dispatch,
 )
 from repro.runtime.cache import ResultCache
-from repro.runtime.executor import parallel_jobs
+from repro.runtime.executor import chunked_reps, parallel_jobs
 
 
 @dataclass(frozen=True)
@@ -199,6 +199,7 @@ class Experiment:
             overrides: Optional[Mapping[str, object]] = None,
             minimum: Optional[int] = None,
             backend: Optional[str] = None,
+            chunk_reps: Optional[int] = None,
             cache: Optional[ResultCache] = None,
             refresh: bool = False) -> RunReport:
         """Execute the runner (or serve its cached result).
@@ -207,11 +208,17 @@ class Experiment:
         (see :mod:`repro.runtime.executor`); the result is identical
         for any job count.  ``None`` defers to the ambient
         :func:`~repro.runtime.executor.parallel_jobs` scope and the
-        ``REPRO_JOBS`` environment variable.  ``backend`` selects the
-        repetition backend: ``event``/``vector`` force one, ``auto``
-        lets the dispatcher pick the fastest eligible kernel — the
-        *resolved* choice is what lands in the kwargs and the cache
-        key, and the result meta records it (plus the structured
+        ``REPRO_JOBS`` environment variable.  ``chunk_reps`` streams
+        vector-backend batches in chunks of that many repetitions
+        (``--chunk-reps``; ``None`` defers to the ambient
+        :func:`~repro.runtime.executor.chunked_reps` scope and
+        ``REPRO_CHUNK_REPS``) — like ``jobs`` it is an execution
+        detail: results are bit-identical at any chunk size, so it
+        never enters the kwargs or the cache key.  ``backend`` selects
+        the repetition backend: ``event``/``vector`` force one,
+        ``auto`` lets the dispatcher pick the fastest eligible kernel
+        — the *resolved* choice is what lands in the kwargs and the
+        cache key, and the result meta records it (plus the structured
         fallback reason whenever ``auto`` had to settle for the event
         engine).  With a ``cache``, a hit skips the simulation
         entirely unless ``refresh`` forces a re-run; fresh results are
@@ -235,8 +242,10 @@ class Experiment:
                     return RunReport(result=hit, kwargs=kwargs,
                                      cached=True, cache_key=key)
         scope = parallel_jobs(jobs) if jobs is not None else nullcontext()
+        chunk_scope = chunked_reps(chunk_reps) \
+            if chunk_reps is not None else nullcontext()
         start = time.perf_counter()
-        with scope:
+        with scope, chunk_scope:
             result = self.runner(**kwargs)
         elapsed = time.perf_counter() - start
         if cache is not None and key is not None:

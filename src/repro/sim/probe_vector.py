@@ -297,6 +297,24 @@ def fifo_size_mismatch_detail(probe_size: int, fifo_size: int) -> str:
             "run with backend='event'")
 
 
+def _pad_concat_rows(blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack ``inf``-padded row blocks, re-padding to the widest.
+
+    Each block's rows are valid up to some count and ``inf`` past it;
+    the stacked array pads every row to the widest block, which is
+    exactly the width a dense run over all rows would have produced —
+    so chunked and dense traces are bit-identical.
+    """
+    width = max(block.shape[1] for block in blocks)
+    rows = sum(block.shape[0] for block in blocks)
+    out = np.full((rows, width), np.inf)
+    lo = 0
+    for block in blocks:
+        out[lo:lo + block.shape[0], :block.shape[1]] = block
+        lo += block.shape[0]
+    return out
+
+
 @dataclass
 class QueueTraceBatch:
     """Arrival/departure sample paths of one station's queue, batched.
@@ -308,10 +326,34 @@ class QueueTraceBatch:
     service), exactly the right-continuous step function the event
     engine's :meth:`repro.mac.scenario.StationResult.queue_size_at`
     samples.  Rows are ``inf``-padded past each repetition's count.
+
+    Conforms to :class:`repro.core.batch.RepetitionBatch` (one
+    repetition per row) so chunked runs can fold traces row-wise.
     """
 
     arrivals: np.ndarray
     departures: np.ndarray
+
+    @property
+    def repetitions(self) -> int:
+        """Number of repetitions (rows)."""
+        return self.arrivals.shape[0]
+
+    def per_rep(self) -> List["QueueTraceBatch"]:
+        """The batch as single-repetition ``QueueTraceBatch`` objects."""
+        return [QueueTraceBatch(arrivals=self.arrivals[r:r + 1],
+                                departures=self.departures[r:r + 1])
+                for r in range(self.repetitions)]
+
+    @classmethod
+    def concat(cls, parts: Sequence["QueueTraceBatch"]
+               ) -> "QueueTraceBatch":
+        """Fold row-compatible trace batches into one (row order kept)."""
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        return cls(
+            arrivals=_pad_concat_rows([p.arrivals for p in parts]),
+            departures=_pad_concat_rows([p.departures for p in parts]))
 
     def size_at(self, times: np.ndarray) -> np.ndarray:
         """Backlog sampled at ``times`` (``(repetitions, k)``)."""
@@ -326,6 +368,29 @@ class QueueTraceBatch:
         return out
 
 
+def _concat_queue_traces(parts: Sequence[object]
+                         ) -> Optional[List[QueueTraceBatch]]:
+    """Station-wise fold of per-part queue-trace lists.
+
+    ``None`` when no part carries traces; mixing traced and untraced
+    parts (or different station counts) is a ``ValueError`` — such
+    batches did not come from the same scenario.
+    """
+    traces = [part.queue_traces for part in parts]
+    if all(trace is None for trace in traces):
+        return None
+    if any(trace is None for trace in traces):
+        raise ValueError(
+            "cannot concat batches with and without queue traces")
+    stations = {len(trace) for trace in traces}
+    if len(stations) != 1:
+        raise ValueError(
+            f"cannot concat batches with different cross-station "
+            f"counts: {sorted(stations)}")
+    return [QueueTraceBatch.concat([trace[c] for trace in traces])
+            for c in range(stations.pop())]
+
+
 @dataclass
 class ProbeBatchResult:
     """Timestamps of a whole repetition batch of probe trains.
@@ -338,6 +403,10 @@ class ProbeBatchResult:
     populated when queue tracking was requested) carries one
     :class:`QueueTraceBatch` per cross station, in declaration order —
     the batched counterpart of the event scenario's queue logs.
+
+    Conforms to :class:`repro.core.batch.RepetitionBatch`: one
+    repetition per row, ``per_rep``/``concat`` slice and fold row-wise
+    (chunked execution concatenates these).
     """
 
     send_times: np.ndarray
@@ -350,6 +419,40 @@ class ProbeBatchResult:
     def repetitions(self) -> int:
         """Number of repetitions (rows)."""
         return self.send_times.shape[0]
+
+    def per_rep(self) -> List["ProbeBatchResult"]:
+        """The batch as single-repetition ``ProbeBatchResult`` objects."""
+        return [ProbeBatchResult(
+            send_times=self.send_times[r:r + 1],
+            recv_times=self.recv_times[r:r + 1],
+            access_delays=self.access_delays[r:r + 1],
+            size_bytes=self.size_bytes,
+            queue_traces=None if self.queue_traces is None else [
+                QueueTraceBatch(arrivals=trace.arrivals[r:r + 1],
+                                departures=trace.departures[r:r + 1])
+                for trace in self.queue_traces],
+        ) for r in range(self.repetitions)]
+
+    @classmethod
+    def concat(cls, parts: Sequence["ProbeBatchResult"]
+               ) -> "ProbeBatchResult":
+        """Fold row-compatible batches into one, preserving row order."""
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        if len({part.n for part in parts}) != 1:
+            raise ValueError("cannot concat batches with different "
+                             "train lengths")
+        if len({part.size_bytes for part in parts}) != 1:
+            raise ValueError("cannot concat batches with different "
+                             "packet sizes")
+        return cls(
+            send_times=np.concatenate([p.send_times for p in parts]),
+            recv_times=np.concatenate([p.recv_times for p in parts]),
+            access_delays=np.concatenate(
+                [p.access_delays for p in parts]),
+            size_bytes=parts[0].size_bytes,
+            queue_traces=_concat_queue_traces(parts),
+        )
 
     @property
     def n(self) -> int:
@@ -445,6 +548,7 @@ def simulate_probe_train_batch(
         warmup: float = 0.25,
         start_jitter: float = 0.01,
         seed: int = 0,
+        seeds: Optional[np.ndarray] = None,
         immediate_access: bool = True,
         rts_threshold: Optional[int] = None,
         retry_limit: Optional[int] = None,
@@ -471,6 +575,11 @@ def simulate_probe_train_batch(
     A repetition stops consuming events once its last probe packet has
     departed; the statistical contract with the event backend is
     enforced by the KS tests in ``tests/test_probe_vector_backend.py``.
+
+    ``seeds`` overrides the internal per-repetition seed derivation
+    with explicit values (one per repetition).  Chunked execution
+    passes contiguous slices of the dense derivation here, which is
+    what makes a chunk's rows bit-identical to the dense run's.
     """
     if n_probe < 2:
         raise ValueError(f"a train needs at least 2 packets, got {n_probe}")
@@ -490,9 +599,13 @@ def simulate_probe_train_batch(
         horizon = warmup + start_jitter + train_span + 1.0
 
     reps = repetitions
-    # Same derivation scheme as repro.runtime.executor.derive_seeds
-    # (not imported: repro.runtime sits above the simulation layer).
-    seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+    if seeds is None:
+        # Same derivation scheme as repro.runtime.executor.derive_seeds
+        # (not imported: repro.runtime sits above the simulation layer).
+        seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+    elif len(seeds) != repetitions:
+        raise ValueError(
+            f"got {len(seeds)} seeds for {repetitions} repetitions")
     gens = [np.random.default_rng(int(s)) for s in seeds]
 
     # Per-repetition draw order mirrors the event channel: start
@@ -904,6 +1017,11 @@ class SteadyBatchResult:
     network-layer bits delivered in the measurement window
     ``(warmup, duration]`` for the probe flow, the FIFO flow sharing
     the probe queue, and each contending cross station.
+
+    Conforms to :class:`repro.core.batch.RepetitionBatch`: one
+    repetition per row, ``per_rep``/``concat`` slice and fold row-wise
+    (the streaming :class:`repro.core.batch.ThroughputReducer` builds
+    on ``concat`` after stripping queue traces).
     """
 
     probe_bits: np.ndarray
@@ -918,6 +1036,39 @@ class SteadyBatchResult:
     def repetitions(self) -> int:
         """Number of repetitions (rows)."""
         return self.probe_bits.shape[0]
+
+    def per_rep(self) -> List["SteadyBatchResult"]:
+        """The batch as single-repetition ``SteadyBatchResult`` objects."""
+        return [SteadyBatchResult(
+            probe_bits=self.probe_bits[r:r + 1],
+            fifo_bits=self.fifo_bits[r:r + 1],
+            cross_bits=self.cross_bits[r:r + 1],
+            warmup=self.warmup, duration=self.duration,
+            size_bytes=self.size_bytes,
+            queue_traces=None if self.queue_traces is None else [
+                QueueTraceBatch(arrivals=trace.arrivals[r:r + 1],
+                                departures=trace.departures[r:r + 1])
+                for trace in self.queue_traces],
+        ) for r in range(self.repetitions)]
+
+    @classmethod
+    def concat(cls, parts: Sequence["SteadyBatchResult"]
+               ) -> "SteadyBatchResult":
+        """Fold row-compatible batches into one, preserving row order."""
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        if len({(part.warmup, part.duration, part.size_bytes)
+                for part in parts}) != 1:
+            raise ValueError("cannot concat batches with different "
+                             "measurement windows or packet sizes")
+        return cls(
+            probe_bits=np.concatenate([p.probe_bits for p in parts]),
+            fifo_bits=np.concatenate([p.fifo_bits for p in parts]),
+            cross_bits=np.concatenate([p.cross_bits for p in parts]),
+            warmup=parts[0].warmup, duration=parts[0].duration,
+            size_bytes=parts[0].size_bytes,
+            queue_traces=_concat_queue_traces(parts),
+        )
 
     @property
     def window_s(self) -> float:
@@ -948,6 +1099,7 @@ def simulate_steady_state_batch(
         warmup: float = 0.5,
         phy: Optional[PhyParams] = None,
         seed: int = 0,
+        seeds: Optional[np.ndarray] = None,
         immediate_access: bool = True,
         rts_threshold: Optional[int] = None,
         retry_limit: Optional[int] = None,
@@ -969,6 +1121,10 @@ def simulate_steady_state_batch(
     The contract with the event backend is distributional, like the
     train kernel's: the per-repetition throughput samples of every
     flow match under the repo's KS thresholds.
+
+    ``seeds`` overrides the internal per-repetition seed derivation
+    with explicit values (one per repetition), as in
+    :func:`simulate_probe_train_batch` — the chunked execution hook.
     """
     if probe_rate_bps <= 0:
         raise ValueError(
@@ -994,8 +1150,12 @@ def simulate_steady_state_batch(
         raise ValueError("probe flow emits no packet before duration")
 
     reps = repetitions
-    # Same derivation scheme as repro.runtime.executor.derive_seeds.
-    seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+    if seeds is None:
+        # Same derivation scheme as repro.runtime.executor.derive_seeds.
+        seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+    elif len(seeds) != repetitions:
+        raise ValueError(
+            f"got {len(seeds)} seeds for {repetitions} repetitions")
     gens = [np.random.default_rng(int(s)) for s in seeds]
 
     probe_times = np.broadcast_to(times, (reps, n_probe)).copy()

@@ -79,6 +79,10 @@ class VectorBatchResult:
     drops:
         ``(repetitions, stations)`` — packets abandoned at the retry
         limit (``None`` when no limit was configured).
+
+    Conforms to :class:`repro.core.batch.RepetitionBatch`: one
+    repetition per leading-axis row, ``per_rep``/``concat`` slice and
+    fold row-wise (chunked execution concatenates these).
     """
 
     access_delays: np.ndarray
@@ -89,6 +93,52 @@ class VectorBatchResult:
     packets_per_station: int
     size_bytes: int
     drops: Optional[np.ndarray] = None
+
+    @property
+    def repetitions(self) -> int:
+        """Number of repetitions (leading-axis rows)."""
+        return self.access_delays.shape[0]
+
+    def per_rep(self) -> List["VectorBatchResult"]:
+        """The batch as single-repetition ``VectorBatchResult`` objects."""
+        return [VectorBatchResult(
+            access_delays=self.access_delays[r:r + 1],
+            durations=self.durations[r:r + 1],
+            successes=self.successes[r:r + 1],
+            collisions=self.collisions[r:r + 1],
+            n_stations=self.n_stations,
+            packets_per_station=self.packets_per_station,
+            size_bytes=self.size_bytes,
+            drops=None if self.drops is None else self.drops[r:r + 1],
+        ) for r in range(self.repetitions)]
+
+    @classmethod
+    def concat(cls, parts: Sequence["VectorBatchResult"]
+               ) -> "VectorBatchResult":
+        """Fold row-compatible batches into one, preserving row order."""
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        if len({(part.n_stations, part.packets_per_station,
+                 part.size_bytes) for part in parts}) != 1:
+            raise ValueError("cannot concat batches with different "
+                             "station counts, queue depths or packet "
+                             "sizes")
+        with_drops = [part.drops is not None for part in parts]
+        if any(with_drops) and not all(with_drops):
+            raise ValueError("cannot concat batches with and without "
+                             "retry-limit drop counters")
+        return cls(
+            access_delays=np.concatenate(
+                [p.access_delays for p in parts]),
+            durations=np.concatenate([p.durations for p in parts]),
+            successes=np.concatenate([p.successes for p in parts]),
+            collisions=np.concatenate([p.collisions for p in parts]),
+            n_stations=parts[0].n_stations,
+            packets_per_station=parts[0].packets_per_station,
+            size_bytes=parts[0].size_bytes,
+            drops=np.concatenate([p.drops for p in parts])
+            if all(with_drops) else None,
+        )
 
     def pooled_access_delays(self) -> np.ndarray:
         """Every completed access delay of the batch as one flat sample."""
@@ -156,6 +206,7 @@ def simulate_saturated_batch(
         size_bytes: int = 1500,
         phy: Optional[PhyParams] = None,
         seed: int = 0,
+        seeds: Optional[np.ndarray] = None,
         immediate_access: bool = True,
         rts_threshold: Optional[int] = None,
         retry_limit: Optional[int] = None) -> VectorBatchResult:
@@ -181,6 +232,11 @@ def simulate_saturated_batch(
     :func:`repro.mac.scenario.saturated_station_specs` through the
     event engine — the equivalence tests in
     ``tests/test_vector_backend.py`` enforce it with KS distances.
+
+    ``seeds`` overrides the internal per-repetition seed derivation
+    with explicit values (one per repetition).  Chunked execution
+    passes contiguous slices of the dense derivation here, which is
+    what makes a chunk's rows bit-identical to the dense run's.
     """
     if n_stations < 1:
         raise ValueError(f"need at least one station, got {n_stations}")
@@ -199,9 +255,13 @@ def simulate_saturated_batch(
     max_stage = phy.max_backoff_stage
 
     reps, stations, packets = repetitions, n_stations, packets_per_station
-    # Same derivation scheme as repro.runtime.executor.derive_seeds
-    # (not imported: repro.runtime sits above the simulation layer).
-    seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+    if seeds is None:
+        # Same derivation scheme as repro.runtime.executor.derive_seeds
+        # (not imported: repro.runtime sits above the simulation layer).
+        seeds = np.random.SeedSequence(seed).generate_state(repetitions)
+    elif len(seeds) != repetitions:
+        raise ValueError(
+            f"got {len(seeds)} seeds for {repetitions} repetitions")
     uniforms = _UniformBlocks(seeds, stations)
 
     remaining = np.zeros((reps, stations), dtype=np.int64)

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.backends import ScenarioSpec, dispatch
+from repro.core.batch import chunk_bounds, resolve_rep_seeds
 from repro.mac.params import PhyParams
 from repro.mac.scenario import ScenarioResult, StationSpec, WlanScenario
 from repro.queueing.fifo import FifoHop
@@ -119,7 +120,8 @@ class Channel(abc.ABC):
         if backend == "auto":
             backend = self.resolve_backend("auto", train=train).name
         if backend == "vector":
-            batch = self.send_trains_batch(train, repetitions, seed=seed)
+            batch = self._chunked_trains_batch(train, repetitions,
+                                               seed=seed)
             return [RawTrainResult(send_times=batch.send_times[r],
                                    recv_times=batch.recv_times[r],
                                    size_bytes=batch.size_bytes,
@@ -131,16 +133,44 @@ class Channel(abc.ABC):
                            derive_seeds(seed, repetitions))
 
     def send_trains_batch(self, train: ProbeTrain, repetitions: int,
-                          seed: int = 0) -> ProbeBatchResult:
+                          seed: int = 0,
+                          seeds: Optional[np.ndarray] = None
+                          ) -> ProbeBatchResult:
         """Resolve a whole repetition batch with the vector kernel.
 
         Channels with a batched numpy backend override this; the
         result's row ``r`` is statistically equivalent to
         ``send_train(train, derive_seeds(seed, repetitions)[r])``.
+        ``seeds`` overrides the derivation with explicit
+        per-repetition values — chunked callers pass contiguous slices
+        of the dense derivation, so chunk rows are bit-identical to
+        the dense run's.
         """
         raise ValueError(
             f"{type(self).__name__} has no vector kernel; "
             "run with backend='event'")
+
+    def _chunked_trains_batch(self, train: ProbeTrain, repetitions: int,
+                              seed: int = 0) -> ProbeBatchResult:
+        """The vector batch, honouring the ambient chunk scope.
+
+        Under :func:`repro.runtime.executor.chunked_reps` the batch is
+        resolved in contiguous chunks — each replaying the exact seed
+        slice of the dense derivation — and folded back row-wise, so
+        the result is bit-identical to the dense call at any chunk
+        size.  Without a scope (or with one covering the whole batch)
+        this is exactly :meth:`send_trains_batch`.
+        """
+        # Imported lazily: repro.runtime sits above the testbed layer.
+        from repro.runtime.executor import active_chunk_reps
+        chunk = active_chunk_reps()
+        if chunk is None or chunk >= repetitions:
+            return self.send_trains_batch(train, repetitions, seed=seed)
+        seeds = resolve_rep_seeds(seed, repetitions)
+        parts = [self.send_trains_batch(train, hi - lo, seed=seed,
+                                        seeds=seeds[lo:hi])
+                 for lo, hi in chunk_bounds(repetitions, chunk)]
+        return type(parts[0]).concat(parts)
 
     def send_trains_dense(self, train: ProbeTrain, repetitions: int,
                           seed: int = 0,
@@ -157,7 +187,8 @@ class Channel(abc.ABC):
         if backend == "auto":
             backend = self.resolve_backend("auto", train=train).name
         if backend == "vector":
-            return self.send_trains_batch(train, repetitions, seed=seed)
+            return self._chunked_trains_batch(train, repetitions,
+                                              seed=seed)
         raws = self.send_trains(train, repetitions, seed=seed,
                                 backend=backend)
         if all(raw.access_delays is not None for raw in raws):
@@ -325,7 +356,9 @@ class SimulatedWlanChannel(Channel):
         return dispatch.vector_mismatch_reason(self.scenario_spec())
 
     def send_trains_batch(self, train: ProbeTrain, repetitions: int,
-                          seed: int = 0) -> ProbeBatchResult:
+                          seed: int = 0,
+                          seeds: Optional[np.ndarray] = None
+                          ) -> ProbeBatchResult:
         """One vectorized pass over the whole repetition batch.
 
         Statistically equivalent to mapping :meth:`send_train` over
@@ -333,6 +366,8 @@ class SimulatedWlanChannel(Channel):
         ``tests/test_probe_vector_backend.py`` pin the two); the
         per-repetition seed mapping is the executor's, so repetition
         ``r`` refers to the same random universe on either backend.
+        ``seeds`` overrides the derivation (the chunked hook, see
+        :meth:`Channel.send_trains_batch`).
 
         An ineligible channel raises
         :class:`repro.backends.BackendUnavailableError` (a
@@ -354,6 +389,7 @@ class SimulatedWlanChannel(Channel):
             warmup=self.warmup,
             start_jitter=self.start_jitter,
             seed=seed,
+            seeds=seeds,
             immediate_access=self.immediate_access,
             rts_threshold=self.rts_threshold,
             retry_limit=self.retry_limit,
@@ -453,7 +489,9 @@ class SimulatedFifoChannel(Channel):
         )
 
     def send_trains_batch(self, train: ProbeTrain, repetitions: int,
-                          seed: int = 0) -> ProbeBatchResult:
+                          seed: int = 0,
+                          seeds: Optional[np.ndarray] = None
+                          ) -> ProbeBatchResult:
         """All repetitions through one batched Lindley recursion.
 
         Each repetition replays :meth:`send_train`'s exact sample path
@@ -461,13 +499,18 @@ class SimulatedFifoChannel(Channel):
         merge of probe and cross arrivals), so the departures agree
         with the event path to float rounding — the per-packet Python
         loop of :class:`repro.queueing.fifo.FifoHop` is simply replaced
-        by one ``(repetitions, n)`` cumulative-max pass.
+        by one ``(repetitions, n)`` cumulative-max pass.  ``seeds``
+        overrides the per-repetition seed derivation (the chunked
+        hook, see :meth:`Channel.send_trains_batch`).
         """
         if repetitions < 1:
             raise ValueError(
                 f"repetitions must be >= 1, got {repetitions}")
-        # Imported lazily: repro.runtime sits above the testbed layer.
-        from repro.runtime.executor import derive_seeds
+        if seeds is None:
+            seeds = resolve_rep_seeds(seed, repetitions)
+        elif len(seeds) != repetitions:
+            raise ValueError(
+                f"got {len(seeds)} seeds for {repetitions} repetitions")
         n = train.n
         probe_services = np.full(
             n, (train.size_bytes + self.hop.overhead_bytes) * 8
@@ -476,8 +519,8 @@ class SimulatedFifoChannel(Channel):
         rep_services: List[np.ndarray] = []
         rep_probe_pos: List[np.ndarray] = []
         send = np.zeros((repetitions, n))
-        for r, rep_seed in enumerate(derive_seeds(seed, repetitions)):
-            rng = np.random.default_rng(rep_seed)
+        for r, rep_seed in enumerate(seeds):
+            rng = np.random.default_rng(int(rep_seed))
             start = self.warmup + (rng.uniform(0, self.start_jitter)
                                    if self.start_jitter > 0 else 0.0)
             drain = n * train.size_bytes * 8 / self.drain_rate_floor
