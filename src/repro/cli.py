@@ -7,8 +7,10 @@ Run any of the paper's experiments from a shell::
     python -m repro run fig6 --jobs 4 --seed 7
     python -m repro run ext-saturation --backend vector
     python -m repro run fig8 --explain-backend
-    python -m repro run all --scale 0.25
+    python -m repro run all --scale 0.25 --report summary.json
     python -m repro sweep fig6 --param repetitions=100,400,1600
+    python -m repro sweep fig6 --param rate=2e6,4e6 --manifest m.jsonl
+    python -m repro sweep fig6 --param rate=2e6,4e6 --resume m.jsonl
     python -m repro cache ls
     python -m repro cache clear
 
@@ -22,6 +24,16 @@ says otherwise.  ``--jobs N`` shards repetitions across N worker
 processes with bit-identical output, and ``--chunk-reps N`` streams
 vector-backend batches through the kernel N repetitions at a time —
 also bit-identical, with peak memory bounded by the chunk.
+
+The runtime is crash-safe: ``--manifest`` journals per-point progress
+to an append-only JSONL file and ``--resume`` restarts an interrupted
+``sweep``/``run all`` from it, serving completed points bit-identically
+from the checksummed result cache and re-running only pending/failed
+ones.  ``--retries``/``--shard-timeout`` govern worker-shard
+supervision: a crashed, killed, or hung worker is retried with
+exponential backoff and finally executed in-process, with every
+recovery recorded in the result metadata — a lost worker degrades
+throughput, never correctness or completeness.
 
 Backend selection defaults to ``--backend auto``: the capability
 dispatcher (:mod:`repro.backends`) picks the fastest kernel eligible
@@ -37,14 +49,18 @@ all``) and ``sweep`` share the full flag set.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Dict, List, Optional
 
 from repro.analytic.bianchi import BianchiModel
 from repro.mac.frames import AirtimeModel
 from repro.mac.params import PhyParams
-from repro.runtime import registry
+from repro.runtime import faults, registry
 from repro.runtime.cache import ResultCache
+from repro.runtime.manifest import (Manifest, ManifestError, PointRecord,
+                                    point_id)
 from repro.runtime.registry import RunReport
 from repro.runtime.sweep import expand_grid, parse_param_spec
 
@@ -104,12 +120,157 @@ def _print_report(report: RunReport) -> None:
     print()
 
 
+def _open_manifest(args: argparse.Namespace, command: str,
+                   experiment: str) -> Optional[Manifest]:
+    """Build the progress journal the run/sweep flags ask for.
+
+    ``--resume PATH`` loads (and validates) an existing journal —
+    completed points will be skipped; ``--manifest PATH`` starts a
+    fresh one.  ``None`` means no journal was requested.
+    """
+    resume = getattr(args, "resume", None)
+    if resume is not None:
+        if getattr(args, "no_cache", False):
+            raise ManifestError(
+                "--resume serves completed points from the result "
+                "cache and cannot work with --no-cache")
+        loaded = Manifest.load(resume)
+        loaded.require(command, experiment)
+        return loaded
+    path = getattr(args, "manifest", None)
+    if path is None:
+        return None
+    return Manifest.create(
+        path, command, experiment,
+        invocation={"scale": args.scale, "seed": args.seed,
+                    "backend": args.backend,
+                    "params": list(getattr(args, "param", []) or [])})
+
+
+def _resume_hit(experiment, kwargs: Dict[str, object],
+                manifest: Optional[Manifest],
+                cache: Optional[ResultCache]) -> Optional[RunReport]:
+    """Serve a point the journal marks done, from the verified cache.
+
+    The skip is only taken when the recorded cache key still matches
+    the key derived under the *current* code version and the entry
+    passes checksum verification — a resume after a code edit, cache
+    wipe, or corruption re-runs the point instead of serving a stale
+    or damaged result.  Failed/errored/pending points always re-run.
+    """
+    if manifest is None or cache is None:
+        return None
+    record = manifest.get(point_id(experiment.name, kwargs))
+    if record is None or record.status != "done":
+        return None
+    key = cache.key_for(experiment.name, kwargs)
+    if record.cache_key != key:
+        return None
+    hit = cache.load(experiment.name, key)
+    if hit is None:
+        return None
+    return RunReport(result=hit, kwargs=kwargs, cached=True,
+                     cache_key=key)
+
+
+def _record_point(manifest: Optional[Manifest], experiment: str,
+                  kwargs: Optional[Dict[str, object]], label: str,
+                  status: str, cache_key: Optional[str] = None,
+                  error: Optional[str] = None) -> None:
+    """Append one point outcome to the journal (no-op without one).
+
+    A point that failed before its kwargs could even be resolved has
+    no stable identity; it is journalled under a label-derived id so
+    the error is recorded, and re-runs simply never match it.
+    """
+    if manifest is None:
+        return
+    pid = point_id(experiment, kwargs) if kwargs is not None \
+        else point_id(experiment, {"__label__": label})
+    manifest.record(PointRecord(point_id=pid, status=status,
+                                label=label, cache_key=cache_key,
+                                error=error))
+
+
+def _write_report(path: str, command: str, target: str,
+                  records: List[Dict[str, object]]) -> None:
+    """Emit the structured per-point summary as JSON (atomically)."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        status = str(record["status"])
+        counts[status] = counts.get(status, 0) + 1
+    payload = {"command": command, "target": target,
+               "counts": counts, "points": records}
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def _run_point(experiment, args: argparse.Namespace,
+               cache: Optional[ResultCache],
+               manifest: Optional[Manifest],
+               overrides: Optional[Dict[str, object]],
+               label: str) -> Dict[str, object]:
+    """Execute one point (or serve its resume hit); journal + record.
+
+    The returned record is the ``--report`` row: experiment, label,
+    final status (``done``/``failed``/``error``), provenance
+    (cached/resumed/cache_key/elapsed), the failed check names, any
+    shard-recovery actions the executor had to take, and the error
+    string for crashed points.
+    """
+    record: Dict[str, object] = {
+        "experiment": experiment.name, "label": label,
+        "status": "error", "cached": False, "resumed": False,
+        "cache_key": None, "elapsed_s": 0.0, "failed_checks": [],
+        "failures": [], "error": None,
+    }
+    kwargs: Optional[Dict[str, object]] = None
+    try:
+        kwargs = experiment.kwargs_for(
+            scale=args.scale, seed=args.seed, overrides=overrides,
+            backend=args.backend)
+        report = None if args.refresh else _resume_hit(
+            experiment, kwargs, manifest, cache)
+        if report is not None:
+            record["resumed"] = True
+        else:
+            report = experiment.run(
+                scale=args.scale, seed=args.seed, jobs=args.jobs,
+                backend=args.backend, chunk_reps=args.chunk_reps,
+                retries=args.retries, shard_timeout=args.shard_timeout,
+                overrides=overrides, cache=cache, refresh=args.refresh)
+    except Exception as exc:  # aggregate, don't abort the batch
+        record["error"] = str(exc)
+        _record_point(manifest, experiment.name, kwargs, label,
+                      "error", error=str(exc))
+        return record
+    _print_report(report)
+    record.update(
+        status="done" if report.result.all_checks_pass else "failed",
+        cached=report.cached, cache_key=report.cache_key,
+        elapsed_s=report.elapsed_s,
+        failed_checks=list(report.result.failed_checks),
+        failures=list(report.failures),
+        backend=report.result.meta.get("backend"))
+    if not record["resumed"]:  # the journal already says done
+        _record_point(manifest, experiment.name, kwargs, label,
+                      str(record["status"]), cache_key=report.cache_key)
+    return record
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one experiment (or all) and print its table(s).
 
     Per-experiment failures — shape-check failures *and* runner
     exceptions — are collected and summarised at the end instead of
-    aborting the remaining experiments.
+    aborting the remaining experiments.  With ``--manifest`` the
+    per-experiment outcomes are journalled as they complete, and
+    ``--resume`` skips the experiments a previous (crashed) run
+    already finished; ``--report PATH`` emits the structured summary
+    as JSON.
     """
     try:
         experiments = (registry.experiments() if args.experiment == "all"
@@ -123,25 +284,41 @@ def cmd_run(args: argparse.Namespace) -> int:
     # Profiling a cache read would be meaningless: bypass the cache so
     # the table shows the simulation itself.
     cache = None if profile else _cache_from(args)
+    try:
+        manifest = _open_manifest(args, "run", args.experiment)
+    except (ManifestError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    records: List[Dict[str, object]] = []
     failures: Dict[str, str] = {}
     for experiment in experiments:
         name = experiment.name
-        try:
-            if profile:
+        if profile:
+            try:
                 report = _profiled_run(experiment, args)
-            else:
-                report = experiment.run(
-                    scale=args.scale, seed=args.seed, jobs=args.jobs,
-                    backend=args.backend, chunk_reps=args.chunk_reps,
-                    cache=cache, refresh=args.refresh)
-        except Exception as exc:  # aggregate, don't abort the batch
-            print(f"== {name}: ERROR ==\n   {exc}\n", file=sys.stderr)
-            failures[name] = f"error: {exc}"
+            except Exception as exc:
+                print(f"== {name}: ERROR ==\n   {exc}\n",
+                      file=sys.stderr)
+                failures[name] = f"error: {exc}"
+                continue
+            _print_report(report)
+            if not report.result.all_checks_pass:
+                failures[name] = ("checks failed: " + ", ".join(
+                    report.result.failed_checks))
             continue
-        _print_report(report)
-        if not report.result.all_checks_pass:
+        record = _run_point(experiment, args, cache, manifest,
+                            overrides=None, label=name)
+        records.append(record)
+        if record["status"] == "error":
+            print(f"== {name}: ERROR ==\n   {record['error']}\n",
+                  file=sys.stderr)
+            failures[name] = f"error: {record['error']}"
+        elif record["status"] == "failed":
             failures[name] = ("checks failed: "
-                              + ", ".join(report.result.failed_checks))
+                              + ", ".join(record["failed_checks"]))
+        faults.maybe_kill_run(len(records))
+    if args.report is not None and not profile:
+        _write_report(args.report, "run", args.experiment, records)
     if failures:
         print(f"{len(failures)}/{len(experiments)} experiments failed:",
               file=sys.stderr)
@@ -206,7 +383,14 @@ def _explain_backends(experiments, requested: str) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run one experiment over a parameter grid and summarise."""
+    """Run one experiment over a parameter grid and summarise.
+
+    With ``--manifest`` every point's outcome is journalled as it
+    completes; after a crash (or Ctrl-C, or SIGKILL) re-running with
+    ``--resume MANIFEST`` skips the completed points — served
+    bit-identically from the verified result cache — and re-runs only
+    pending and failed ones.
+    """
     try:
         experiment = registry.get(args.experiment)
     except KeyError as exc:
@@ -219,48 +403,59 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     cache = _cache_from(args)
+    try:
+        manifest = _open_manifest(args, "sweep", args.experiment)
+    except (ManifestError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    records: List[Dict[str, object]] = []
     summary: List[str] = []
     failed = 0
     for overrides in points:
         label = ", ".join(f"{k}={v}" for k, v in overrides.items())
-        try:
-            report = experiment.run(
-                scale=args.scale, seed=args.seed, jobs=args.jobs,
-                backend=args.backend, chunk_reps=args.chunk_reps,
-                overrides=overrides, cache=cache,
-                refresh=args.refresh)
-        except Exception as exc:  # keep sweeping the remaining points
-            print(f"== {args.experiment} [{label}]: ERROR ==\n   {exc}\n",
-                  file=sys.stderr)
-            summary.append(f"  {label}: error: {exc}")
+        record = _run_point(experiment, args, cache, manifest,
+                            overrides=overrides, label=label)
+        records.append(record)
+        if record["status"] == "error":
+            print(f"== {args.experiment} [{label}]: ERROR ==\n"
+                  f"   {record['error']}\n", file=sys.stderr)
+            summary.append(f"  {label}: error: {record['error']}")
             failed += 1
-            continue
-        _print_report(report)
-        if report.result.all_checks_pass:
-            status = "PASS"
+        elif record["status"] == "failed":
+            summary.append(
+                f"  {label}: FAIL ("
+                + ", ".join(record["failed_checks"]) + ")")
+            failed += 1
         else:
-            status = ("FAIL ("
-                      + ", ".join(report.result.failed_checks) + ")")
-            failed += 1
-        cached = " [cached]" if report.cached else ""
-        summary.append(f"  {label}: {status}{cached}")
+            cached = " [cached]" if record["cached"] else ""
+            resumed = " [resumed]" if record["resumed"] else ""
+            summary.append(f"  {label}: PASS{cached}{resumed}")
+        faults.maybe_kill_run(len(records))
     print(f"== sweep {args.experiment}: "
           f"{len(points) - failed}/{len(points)} points pass ==")
     for line in summary:
         print(line)
+    if args.report is not None:
+        _write_report(args.report, "sweep", args.experiment, records)
     return 1 if failed else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    """``cache ls`` / ``cache clear``."""
+    """``cache ls`` / ``cache clear``.
+
+    ``ls`` never trips over damage: malformed entry files and
+    previously quarantined ones are skipped from the listing and
+    reported (count + paths) instead of raising.
+    """
     cache = ResultCache(root=args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cache entr"
               f"{'y' if removed == 1 else 'ies'} from {cache.root}")
         return 0
-    entries = cache.entries()
-    if not entries:
+    entries, malformed = cache.scan()
+    quarantined = cache.quarantined()
+    if not entries and not malformed and not quarantined:
         print(f"cache {cache.root} is empty")
         return 0
     print(f"{len(entries)} cache entr"
@@ -271,6 +466,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"  {entry.experiment:<26} {entry.key}  "
               f"{entry.size_bytes:>8} B{staleness}")
         print(f"    {rendered}")
+    if malformed:
+        print(f"{len(malformed)} malformed entr"
+              f"{'y' if len(malformed) == 1 else 'ies'} skipped "
+              "(will be quarantined and recomputed on use):")
+        for path in malformed:
+            print(f"  {path}")
+    if quarantined:
+        print(f"{len(quarantined)} quarantined entr"
+              f"{'y' if len(quarantined) == 1 else 'ies'} "
+              "(cache clear removes them):")
+        for path in quarantined:
+            print(f"  {path}")
     return 0
 
 
@@ -305,6 +512,35 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "with the structured reason on "
                              "experiments it cannot model — see "
                              "'list' for which offer it)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="attempts granted to a crashed or "
+                             "timed-out worker shard before it falls "
+                             "back to in-process execution (default "
+                             "$REPRO_RETRIES or 2; recovery is "
+                             "recorded in the result meta and can "
+                             "never change results)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per worker shard "
+                             "attempt; a shard over budget is killed "
+                             "and retried like a crash (default "
+                             "$REPRO_SHARD_TIMEOUT or unbounded)")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="journal per-point progress to this "
+                             "JSONL manifest (append-only, crash-"
+                             "safe) so an interrupted invocation can "
+                             "be resumed with --resume")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="resume from a progress manifest: "
+                             "points it marks done are served bit-"
+                             "identically from the result cache, "
+                             "only pending/failed ones re-run; "
+                             "progress keeps appending to the same "
+                             "manifest")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write the structured per-point "
+                             "success/failure/retry summary as JSON "
+                             "to PATH")
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the result cache")
     parser.add_argument("--refresh", action="store_true",

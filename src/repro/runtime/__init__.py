@@ -13,14 +13,29 @@ into declarative, schedulable units of work:
 * :mod:`repro.runtime.cache` — a content-addressed on-disk JSON cache
   keyed on (experiment, kwargs, code version);
 * :mod:`repro.runtime.sweep` — parameter-sweep parsing and grid
-  expansion for ``python -m repro sweep``.
+  expansion for ``python -m repro sweep``;
+* :mod:`repro.runtime.manifest` — append-only JSONL progress journals
+  that make ``sweep``/``run all`` resumable after a crash
+  (``--resume``);
+* :mod:`repro.runtime.faults` — the env-activated fault-injection
+  switchboard (worker crashes, cache corruption, mid-run kills) the
+  chaos tests drive every recovery contract through.
 
 The CLI (:mod:`repro.cli`) and the benchmark harness are thin clients
 of this package.
 """
 
 from repro.runtime.cache import ResultCache, code_version
-from repro.runtime.executor import active_jobs, map_ordered, parallel_jobs
+from repro.runtime.executor import (
+    RetryPolicy,
+    active_jobs,
+    active_retry_policy,
+    collect_failures,
+    map_ordered,
+    parallel_jobs,
+    retry_policy,
+)
+from repro.runtime.manifest import Manifest, ManifestError, point_id
 from repro.runtime.registry import (
     Experiment,
     RunReport,
@@ -34,10 +49,15 @@ from repro.runtime.sweep import expand_grid, parse_param_spec
 
 __all__ = [
     "Experiment",
+    "Manifest",
+    "ManifestError",
     "ResultCache",
+    "RetryPolicy",
     "RunReport",
     "active_jobs",
+    "active_retry_policy",
     "code_version",
+    "collect_failures",
     "expand_grid",
     "experiments",
     "get",
@@ -45,6 +65,8 @@ __all__ = [
     "names",
     "parallel_jobs",
     "parse_param_spec",
+    "point_id",
     "register",
+    "retry_policy",
     "unregister",
 ]

@@ -16,6 +16,17 @@ simulation.  ``python -m repro cache ls`` lists entries and ``cache
 clear`` wipes them; the cache directory defaults to ``.repro-cache``
 in the working directory and can be moved with the
 ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``.
+
+Failure semantics: entry publishes are atomic (payload written to a
+per-writer temp file, fsynced, then ``os.replace``d into place), so a
+crash mid-store can never leave a half-written entry under an entry
+name, and concurrent writers of the same key — threads or processes —
+race only on the final rename (last writer wins, every intermediate
+state is a complete entry).  Every payload carries a SHA-256 checksum
+verified on read; an entry that fails the checksum (or JSON parsing)
+is *quarantined* into ``<cache>/corrupt/`` and treated as a miss —
+on-disk corruption costs one recompute, never a crash or a wrong
+result.
 """
 
 from __future__ import annotations
@@ -25,16 +36,34 @@ import hashlib
 import json
 import os
 import pathlib
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.results import ExperimentResult, jsonable
+from repro.runtime import faults
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bump when the entry payload layout changes (part of every key).
-PAYLOAD_VERSION = 1
+PAYLOAD_VERSION = 2
+
+#: Subdirectory (under the cache root) corrupt entries are moved to.
+QUARANTINE_DIR = "corrupt"
+
+
+def payload_checksum(payload: Mapping[str, object]) -> str:
+    """SHA-256 over the payload's canonical JSON (checksum excluded).
+
+    The digest covers ``json.dumps`` of the payload *without* its
+    ``checksum`` key — and because ``dict`` order round-trips through
+    JSON, a loaded payload re-digests to the stored value exactly
+    unless some byte of the entry changed.
+    """
+    body = {key: value for key, value in payload.items()
+            if key != "checksum"}
+    return hashlib.sha256(json.dumps(body).encode()).hexdigest()
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -112,15 +141,45 @@ class ResultCache:
     def load(self, experiment: str, key: str) -> Optional[ExperimentResult]:
         """Return the cached result for ``key``, or ``None`` on miss.
 
-        Unreadable or corrupt entries count as misses (the caller will
-        recompute and overwrite them).
+        Every read is checksum-verified.  A present-but-damaged entry
+        — truncated, bit-flipped, not JSON, wrong checksum — is
+        quarantined into ``<cache>/corrupt/`` and reported as a miss,
+        so corruption costs one recompute and never a crash.
         """
         path = self.path_for(experiment, key)
         try:
-            payload = json.loads(path.read_text())
-            return ExperimentResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+            text = path.read_text()
+        except OSError:
             return None
+        try:
+            payload = json.loads(text)
+            if payload.pop("checksum", None) != payload_checksum(payload):
+                raise ValueError("checksum mismatch")
+            return ExperimentResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self.quarantine(path)
+            return None
+
+    def quarantine(self, path: pathlib.Path) -> Optional[pathlib.Path]:
+        """Move a damaged entry into the quarantine directory.
+
+        Returns the new location (``None`` if the file vanished under
+        us — some other reader already quarantined it).  Quarantined
+        files keep their name (suffixed on collision) so a post-mortem
+        can still see which key was hit.
+        """
+        target_dir = self.root / QUARANTINE_DIR
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / path.name
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = target_dir / f"{path.name}.{serial}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target
 
     def store(self, experiment: str, key: str,
               kwargs: Mapping[str, object],
@@ -137,31 +196,68 @@ class ResultCache:
             "payload_version": PAYLOAD_VERSION,
             "result": result.to_dict(),
         }
+        # The checksum key must come last: load() pops it and
+        # re-digests the remaining (order-preserved) payload.
+        payload["checksum"] = payload_checksum(payload)
         # No sort_keys here: series/check insertion order is part of
         # the result's rendered table and must survive the round trip.
         # The temp name is per-writer so concurrent stores of the same
-        # key cannot interleave; replace() makes the publish atomic.
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload))
+        # key cannot interleave; fsync-then-replace() makes the
+        # publish atomic and durable — a crash leaves either the old
+        # entry, the new entry, or an invisible *.tmp, never a torn
+        # entry.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp")
+        with open(tmp, "w") as handle:
+            handle.write(json.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
         tmp.replace(path)
+        faults.maybe_corrupt_cache_entry(path)
         return path
 
     # ------------------------------------------------------------------
 
     def entries(self) -> List[CacheEntry]:
-        """All readable entries, newest first; corrupt files skipped."""
+        """All readable entries, newest first; malformed files skipped.
+
+        (``cache ls`` pairs this with :meth:`malformed` and
+        :meth:`quarantined` so skipped files are still *reported*.)
+        """
+        return self.scan()[0]
+
+    def malformed(self) -> List[pathlib.Path]:
+        """Entry files in the cache root that fail to parse/verify."""
+        return self.scan()[1]
+
+    def scan(self) -> "Tuple[List[CacheEntry], List[pathlib.Path]]":
+        """One directory walk: ``(readable entries, malformed paths)``.
+
+        Malformed means unparsable JSON, missing fields, or a checksum
+        mismatch — anything :meth:`load` would quarantine.  The scan
+        itself never raises and never mutates the cache (listing is a
+        read-only operation; only :meth:`load` quarantines, because
+        only a *consumer* knows the entry was actually needed).
+        """
         if not self.root.is_dir():
-            return []
+            return [], []
         current = code_version()
         out: List[CacheEntry] = []
+        bad: List[pathlib.Path] = []
         paths = sorted(self.root.glob("*.json"),
                        key=lambda p: p.stat().st_mtime, reverse=True)
         for path in paths:
             try:
                 payload = json.loads(path.read_text())
+                if payload.pop("checksum", None) \
+                        != payload_checksum(payload):
+                    raise ValueError("checksum mismatch")
                 experiment = str(payload["experiment"])
                 stored_version = str(payload["code_version"])
-            except (OSError, ValueError, KeyError):
+            except OSError:
+                continue
+            except (ValueError, KeyError, TypeError, AttributeError):
+                bad.append(path)
                 continue
             key = path.stem.removeprefix(f"{experiment}-")
             out.append(CacheEntry(
@@ -170,22 +266,32 @@ class ResultCache:
                 code_version=stored_version,
                 size_bytes=path.stat().st_size,
                 stale=stored_version != current))
-        return out
+        return out, bad
+
+    def quarantined(self) -> List[pathlib.Path]:
+        """Files previously moved to the quarantine directory."""
+        quarantine = self.root / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return []
+        return sorted(quarantine.iterdir())
 
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed.
 
         Also sweeps ``*.tmp`` files an interrupted store may have left
-        behind (they are invisible to :meth:`entries`).
+        behind (they are invisible to :meth:`entries`) and the
+        quarantine directory.
         """
         if not self.root.is_dir():
             return 0
         removed = 0
-        for pattern in ("*.json", "*.tmp"):
-            for path in self.root.glob(pattern):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        targets = [path for pattern in ("*.json", "*.tmp")
+                   for path in self.root.glob(pattern)]
+        targets += self.quarantined()
+        for path in targets:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
         return removed

@@ -25,6 +25,14 @@ picks it up via :func:`map_ordered`.  Runner code needs no plumbing,
 and nested fan-out (a worker trying to fork its own pool) degrades
 safely to serial execution.
 
+Sharding is also *supervised*: each shard runs in its own worker
+process watched over a result pipe, so a worker that is killed,
+segfaults, or hangs past ``--shard-timeout`` is retried with
+exponential backoff (``--retries``) and finally executed in-process —
+a crash degrades throughput, never correctness, because shards are
+pure functions of :func:`derive_seeds`.  Recovery actions surface as
+``meta["failures"]`` through :func:`collect_failures`.
+
 Chunking works the same way: :func:`chunked_reps` installs an ambient
 streaming chunk size (CLI: ``--chunk-reps``; environment:
 ``REPRO_CHUNK_REPS``) that the vector backends pick up through
@@ -39,11 +47,15 @@ keys.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
+import sys
+import time
 import warnings
 from contextlib import contextmanager
-from typing import (Any, Callable, Iterator, List, Optional, Sequence,
-                    Tuple, TypeVar)
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterator, List, Optional,
+                    Sequence, Tuple, TypeVar)
 
 import numpy as np
 
@@ -73,9 +85,8 @@ _CHUNK_UNSET: Any = object()
 
 _AMBIENT_CHUNK: Any = _CHUNK_UNSET
 
-# Worker-side state: the mapped callable, installed by the pool
-# initializer.  ``_IN_WORKER`` makes nested map_ordered calls serial.
-_WORKER_FN: Optional[Callable] = None
+# Worker-side flag: set in shard processes so nested map_ordered
+# calls degrade to serial execution instead of forking again.
 _IN_WORKER = False
 
 
@@ -285,19 +296,6 @@ def shard_bounds(n_items: int, shards: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-def _worker_init(fn: Callable) -> None:
-    """Pool initializer: stash the mapped callable in the worker."""
-    global _WORKER_FN, _IN_WORKER
-    _WORKER_FN = fn
-    _IN_WORKER = True
-
-
-def _run_shard(items: Sequence) -> List:
-    """Apply the installed callable to one shard of items, in order."""
-    assert _WORKER_FN is not None, "pool initializer did not run"
-    return [_WORKER_FN(item) for item in items]
-
-
 def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` (no pickling of the mapped callable)."""
     methods = multiprocessing.get_all_start_methods()
@@ -305,16 +303,341 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         "fork" if "fork" in methods else None)
 
 
+# ----------------------------------------------------------------------
+# Retry policy + failure log: the fault-tolerance contract of
+# map_ordered.  A crashed/killed/hung worker never aborts the run —
+# its shard is retried with exponential backoff and, with retries
+# exhausted, executed in-process.  Every recovery step is recorded so
+# Experiment.run can surface it as ``meta["failures"]``.
+# ----------------------------------------------------------------------
+
+#: Environment variable: default shard retry count (``--retries``).
+RETRIES_ENV = "REPRO_RETRIES"
+
+#: Environment variable: default per-shard wall-clock budget in
+#: seconds (``--shard-timeout``).
+SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+
+#: Retries granted to a crashed/timed-out shard when nothing else is
+#: configured (the *first* attempt is not a retry).
+DEFAULT_RETRIES = 2
+
+#: Base of the exponential retry backoff (seconds): attempt k waits
+#: ``backoff_s * 2**(k-1)``.
+DEFAULT_BACKOFF_S = 0.1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shard-supervision knobs in effect for one :func:`map_ordered`.
+
+    ``retries`` counts *additional* attempts after the first;
+    ``shard_timeout`` is a per-attempt wall-clock budget in seconds
+    (``None`` = unbounded); ``backoff_s`` is the exponential backoff
+    base between attempts.  The policy only governs *how* shards
+    execute — because shards are pure functions of their items, no
+    retry, timeout or fallback can change the results.
+    """
+
+    retries: int = DEFAULT_RETRIES
+    shard_timeout: Optional[float] = None
+    backoff_s: float = DEFAULT_BACKOFF_S
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(
+                f"retries must be >= 0, got {self.retries}")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be > 0, got {self.shard_timeout}")
+        if self.backoff_s < 0:
+            raise ValueError(
+                f"backoff_s must be >= 0, got {self.backoff_s}")
+
+
+_AMBIENT_POLICY: Optional[RetryPolicy] = None
+
+_FAILURE_LOG: Optional[List[Dict[str, object]]] = None
+
+
+def active_retry_policy() -> RetryPolicy:
+    """The retry policy in effect for this scope.
+
+    Resolution order: the innermost :func:`retry_policy` scope, then
+    the ``REPRO_RETRIES`` / ``REPRO_SHARD_TIMEOUT`` environment
+    variables, then the defaults.  Unparsable environment values fall
+    back to the defaults with a warning rather than aborting
+    mid-experiment.
+    """
+    if _AMBIENT_POLICY is not None:
+        return _AMBIENT_POLICY
+    retries = DEFAULT_RETRIES
+    raw = os.environ.get(RETRIES_ENV)
+    if raw is not None:
+        try:
+            retries = int(raw)
+            if retries < 0:
+                raise ValueError(raw)
+        except ValueError:
+            warnings.warn(f"ignoring invalid {RETRIES_ENV}={raw!r}",
+                          stacklevel=2)
+            retries = DEFAULT_RETRIES
+    timeout: Optional[float] = None
+    raw = os.environ.get(SHARD_TIMEOUT_ENV)
+    if raw is not None:
+        try:
+            timeout = float(raw)
+            if timeout <= 0:
+                raise ValueError(raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring invalid {SHARD_TIMEOUT_ENV}={raw!r}",
+                stacklevel=2)
+            timeout = None
+    return RetryPolicy(retries=retries, shard_timeout=timeout)
+
+
+@contextmanager
+def retry_policy(retries: Optional[int] = None,
+                 shard_timeout: Optional[float] = None,
+                 backoff_s: Optional[float] = None
+                 ) -> Iterator[RetryPolicy]:
+    """Install an ambient :class:`RetryPolicy` for the block.
+
+    ``None`` arguments keep the surrounding scope's (or environment's)
+    value.  Scopes nest; the innermost wins — exactly the
+    :func:`parallel_jobs` discipline.
+    """
+    global _AMBIENT_POLICY
+    base = active_retry_policy()
+    policy = RetryPolicy(
+        retries=base.retries if retries is None else retries,
+        shard_timeout=base.shard_timeout if shard_timeout is None
+        else shard_timeout,
+        backoff_s=base.backoff_s if backoff_s is None else backoff_s)
+    previous = _AMBIENT_POLICY
+    _AMBIENT_POLICY = policy
+    try:
+        yield policy
+    finally:
+        _AMBIENT_POLICY = previous
+
+
+@contextmanager
+def collect_failures() -> Iterator[List[Dict[str, object]]]:
+    """Collect shard-failure records for the duration of the block.
+
+    :func:`map_ordered` appends one record per recovery action (retry
+    or in-process fallback) to the innermost collector;
+    :meth:`repro.runtime.registry.Experiment.run` installs one around
+    the runner and surfaces the records as ``meta["failures"]`` —
+    *after* the result is cached, so recovery provenance never
+    perturbs the cached payload (bit-identical results, annotated
+    reports).
+    """
+    global _FAILURE_LOG
+    log: List[Dict[str, object]] = []
+    previous = _FAILURE_LOG
+    _FAILURE_LOG = log
+    try:
+        yield log
+    finally:
+        _FAILURE_LOG = previous
+
+
+def _note_failure(record: Dict[str, object]) -> None:
+    """Record one recovery action (and echo it to stderr)."""
+    if _FAILURE_LOG is not None:
+        _FAILURE_LOG.append(record)
+    print(f"[executor] shard {record['shard']} "
+          f"attempt {record['attempt']}: {record['reason']} -> "
+          f"{record['action']}", file=sys.stderr)
+
+
+# ----------------------------------------------------------------------
+# Supervised shard execution
+# ----------------------------------------------------------------------
+
+def _shard_main(conn, fn: Callable, items: Sequence, shard_index: int,
+                attempt: int) -> None:
+    """Entry point of one supervised shard process.
+
+    Sends exactly one ``(kind, payload)`` message on ``conn``:
+    ``("ok", results)`` or ``("error", exception)``.  A process that
+    dies without sending (injected crash, SIGKILL, OOM) is detected by
+    the supervisor as EOF on the pipe.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    from repro.runtime import faults
+    faults.maybe_crash_worker(shard_index, attempt)
+    faults.maybe_slow_shard(shard_index)
+    try:
+        results = [fn(item) for item in items]
+    except BaseException as exc:
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            conn.send(("error", RuntimeError(
+                f"shard {shard_index} raised unpicklable "
+                f"{type(exc).__name__}: {exc}")))
+    else:
+        conn.send(("ok", results))
+    conn.close()
+
+
+class _ShardRun:
+    """Supervisor-side state of one shard (attempt counter, process)."""
+
+    def __init__(self, index: int, items: List) -> None:
+        self.index = index
+        self.items = items
+        self.attempt = 0
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.conn = None
+        self.deadline: Optional[float] = None
+        self.resume_at: Optional[float] = None
+
+    def start(self, ctx, fn: Callable,
+              policy: RetryPolicy) -> None:
+        """(Re)spawn the worker process for the current attempt."""
+        recv, send = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_shard_main,
+            args=(send, fn, self.items, self.index, self.attempt),
+            daemon=True)
+        self.process.start()
+        # Close the parent's copy of the send end: a worker dying
+        # without sending then reads as EOF instead of a hang.
+        send.close()
+        self.conn = recv
+        self.resume_at = None
+        self.deadline = (time.monotonic() + policy.shard_timeout
+                         if policy.shard_timeout is not None else None)
+
+    def retire(self) -> None:
+        """Reap a worker that delivered (or EOFed) its message."""
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+        if self.process is not None:
+            self.process.join()
+            self.process = None
+        self.deadline = None
+
+    def kill(self) -> None:
+        """Forcefully stop the worker (timeout, cleanup, interrupt)."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+        self.retire()
+
+
+def _map_supervised(fn: Callable, shards: List[List],
+                    policy: RetryPolicy) -> List:
+    """Run shards under supervision; see :func:`map_ordered`.
+
+    The loop multiplexes over the shard result pipes.  Three events
+    exist per shard: a message (result or task exception), an EOF
+    (worker died without delivering — crash), or a deadline expiry
+    (hung/slow worker, killed here).  Crashes and expiries retry with
+    exponential backoff up to ``policy.retries`` times, then fall back
+    to in-process execution; task exceptions propagate unchanged
+    (they are deterministic — a retry would fail identically).
+    """
+    ctx = _pool_context()
+    runs = [_ShardRun(index, items) for index, items in enumerate(shards)]
+    results: List[Optional[List]] = [None] * len(runs)
+    pending = {run.index for run in runs}
+
+    def fail(run: _ShardRun, reason: str) -> None:
+        run.attempt += 1
+        if run.attempt <= policy.retries:
+            delay = policy.backoff_s * (2 ** (run.attempt - 1))
+            _note_failure({"shard": run.index, "attempt": run.attempt,
+                           "reason": reason, "action": "retry",
+                           "backoff_s": delay})
+            run.resume_at = time.monotonic() + delay
+        else:
+            _note_failure({"shard": run.index, "attempt": run.attempt,
+                           "reason": reason,
+                           "action": "in-process fallback"})
+            results[run.index] = [fn(item) for item in run.items]
+            pending.discard(run.index)
+
+    try:
+        for run in runs:
+            run.start(ctx, fn, policy)
+        while pending:
+            now = time.monotonic()
+            for run in runs:
+                if run.index in pending and run.process is None \
+                        and run.resume_at is not None \
+                        and now >= run.resume_at:
+                    run.start(ctx, fn, policy)
+            live = [run for run in runs
+                    if run.index in pending and run.conn is not None]
+            wakeups = [run.deadline for run in live
+                       if run.deadline is not None]
+            wakeups += [run.resume_at for run in runs
+                        if run.index in pending and run.resume_at
+                        is not None]
+            timeout = max(0.0, min(wakeups) - now) if wakeups else None
+            if not live:
+                # Every pending shard is backing off; nothing to poll.
+                time.sleep(timeout if timeout is not None else 0)
+                continue
+            ready = multiprocessing.connection.wait(
+                [run.conn for run in live], timeout)
+            now = time.monotonic()
+            for run in live:
+                if run.conn in ready:
+                    try:
+                        kind, payload = run.conn.recv()
+                    except (EOFError, OSError):
+                        exitcode = run.process.exitcode \
+                            if run.process is not None else None
+                        run.retire()
+                        fail(run, "worker crashed "
+                                  f"(exit code {exitcode})")
+                        continue
+                    run.retire()
+                    if kind == "ok":
+                        results[run.index] = payload
+                        pending.discard(run.index)
+                    else:
+                        raise payload
+                elif run.deadline is not None and now >= run.deadline:
+                    run.kill()
+                    fail(run, "shard timeout after "
+                              f"{policy.shard_timeout}s")
+    finally:
+        # Raised exception or KeyboardInterrupt: never leave orphaned
+        # worker processes behind.
+        for run in runs:
+            run.kill()
+    return [result for shard in results for result in shard]
+
+
 def map_ordered(fn: Callable[[T], R], items: Sequence[T],
                 jobs: Optional[int] = None) -> List[R]:
     """``[fn(item) for item in items]``, fanned across processes.
 
     Items are split into contiguous shards (one per job) and executed
-    by worker processes; the returned list preserves item order
-    exactly, so callers observe serial semantics.  With ``jobs=None``
-    the ambient :func:`parallel_jobs` scope decides; a job count of 1
-    (or a single item, or a call from inside a worker) short-circuits
-    to a plain loop with zero multiprocessing overhead.
+    by supervised worker processes; the returned list preserves item
+    order exactly, so callers observe serial semantics.  With
+    ``jobs=None`` the ambient :func:`parallel_jobs` scope decides; a
+    job count of 1 (or a single item, or a call from inside a worker)
+    short-circuits to a plain loop with zero multiprocessing overhead.
+
+    Supervision (the ambient :func:`retry_policy` scope): a worker
+    that dies without delivering its shard — killed, segfaulted,
+    injected crash — or blows its per-shard wall-clock budget is
+    retried with exponential backoff, then executed in-process once
+    retries are exhausted, with every recovery step recorded through
+    :func:`collect_failures`.  Exceptions *raised by ``fn``* are
+    deterministic and propagate immediately, unchanged.  Because each
+    shard is a pure function of its items, no recovery path can
+    change the returned values.
 
     ``fn`` runs in forked children where available, so it may close
     over arbitrary unpicklable state; only ``items`` and the results
@@ -325,8 +648,4 @@ def map_ordered(fn: Callable[[T], R], items: Sequence[T],
     if jobs <= 1 or _IN_WORKER:
         return [fn(item) for item in items]
     shards = [items[lo:hi] for lo, hi in shard_bounds(len(items), jobs)]
-    ctx = _pool_context()
-    with ctx.Pool(processes=len(shards), initializer=_worker_init,
-                  initargs=(fn,)) as pool:
-        shard_results = pool.map(_run_shard, shards, chunksize=1)
-    return [result for shard in shard_results for result in shard]
+    return _map_supervised(fn, shards, active_retry_policy())

@@ -29,7 +29,8 @@ from repro.backends import (
     dispatch,
 )
 from repro.runtime.cache import ResultCache
-from repro.runtime.executor import chunked_reps, parallel_jobs
+from repro.runtime.executor import (chunked_reps, collect_failures,
+                                    parallel_jobs, retry_policy)
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,12 @@ class RunReport:
     cached: bool = False
     cache_key: Optional[str] = None
     elapsed_s: float = 0.0
+    #: Shard-recovery records (retries, in-process fallbacks) the
+    #: executor logged while computing this result; empty for cache
+    #: hits and failure-free runs.  Mirrored into
+    #: ``result.meta["failures"]`` *after* caching, so recovery
+    #: provenance never enters the stored payload.
+    failures: Tuple[Dict[str, object], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -200,6 +207,8 @@ class Experiment:
             minimum: Optional[int] = None,
             backend: Optional[str] = None,
             chunk_reps: Optional[int] = None,
+            retries: Optional[int] = None,
+            shard_timeout: Optional[float] = None,
             cache: Optional[ResultCache] = None,
             refresh: bool = False) -> RunReport:
         """Execute the runner (or serve its cached result).
@@ -224,6 +233,19 @@ class Experiment:
         entirely unless ``refresh`` forces a re-run; fresh results are
         stored back (annotation stays out of the stored payload — it
         describes the request, not the result).
+
+        ``retries`` and ``shard_timeout`` set the executor's
+        fault-tolerance policy for this run (``--retries`` /
+        ``--shard-timeout``; ``None`` defers to the ambient
+        :func:`~repro.runtime.executor.retry_policy` scope and the
+        ``REPRO_RETRIES`` / ``REPRO_SHARD_TIMEOUT`` environment
+        variables): a crashed or hung worker shard is retried with
+        exponential backoff and finally executed in-process — like
+        ``jobs``, pure-recovery knobs that can never change the
+        result.  Any recovery actions taken are reported as
+        ``report.failures`` and mirrored into
+        ``result.meta["failures"]`` after the pristine payload is
+        cached.
         """
         resolution: Optional[Resolution] = None
         if backend == "auto":
@@ -244,15 +266,26 @@ class Experiment:
         scope = parallel_jobs(jobs) if jobs is not None else nullcontext()
         chunk_scope = chunked_reps(chunk_reps) \
             if chunk_reps is not None else nullcontext()
+        fault_scope = retry_policy(retries=retries,
+                                   shard_timeout=shard_timeout) \
+            if retries is not None or shard_timeout is not None \
+            else nullcontext()
         start = time.perf_counter()
-        with scope, chunk_scope:
+        with scope, chunk_scope, fault_scope, \
+                collect_failures() as failures:
             result = self.runner(**kwargs)
         elapsed = time.perf_counter() - start
         if cache is not None and key is not None:
             cache.store(self.name, key, kwargs, result)
+        # Annotations happen after the store so the cached payload
+        # stays pristine (bit-identical whether or not workers had to
+        # be retried on this particular run).
         self._annotate_backend(result, kwargs, resolution)
+        if failures:
+            result.meta["failures"] = list(failures)
         return RunReport(result=result, kwargs=kwargs, cached=False,
-                         cache_key=key, elapsed_s=elapsed)
+                         cache_key=key, elapsed_s=elapsed,
+                         failures=tuple(failures))
 
     def _annotate_backend(self, result: ExperimentResult,
                           kwargs: Mapping[str, object],

@@ -9,6 +9,7 @@ several of them into the Cartesian grid of override dicts.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Dict, List, Sequence, Tuple, Union
 
 Value = Union[int, float, str]
@@ -18,7 +19,11 @@ def parse_value(text: str) -> Value:
     """Interpret one sweep value: int if possible, else float, else str.
 
     Scientific notation (``5e6``) parses as float, which is what every
-    rate-style kwarg expects.
+    rate-style kwarg expects.  Non-finite spellings (``nan``, ``inf``,
+    ``-infinity`` ...) are rejected outright: a NaN smuggled into
+    runner kwargs poisons every downstream statistic *and* the cache
+    key (NaN != NaN breaks content-addressing), so it must fail at the
+    parse, with the offending text in the message.
     """
     text = text.strip()
     try:
@@ -26,9 +31,14 @@ def parse_value(text: str) -> Value:
     except ValueError:
         pass
     try:
-        return float(text)
+        value = float(text)
     except ValueError:
         return text
+    if not math.isfinite(value):
+        raise ValueError(
+            f"non-finite sweep value {text!r}; sweep parameters must "
+            "be finite numbers (or plain strings)")
+    return value
 
 
 def parse_param_spec(spec: str) -> Tuple[str, List[Value]]:

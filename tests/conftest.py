@@ -22,16 +22,26 @@ from repro.mac.scenario import StationSpec, WlanScenario
 from repro.traffic.generators import CBRGenerator, PoissonGenerator
 
 
+#: Markers whose tests only run when the invocation selects them
+#: (dedicated CI jobs), keeping tier-1 fast.
+_GATED_MARKERS = {
+    "seed_sweep": "extra master seed; runs in the seed_sweep CI job "
+                  "(pytest -m seed_sweep)",
+    "chaos": "fault-injection end-to-end; runs in the chaos CI job "
+             "(pytest -m chaos)",
+}
+
+
 def pytest_collection_modifyitems(config, items):
-    """Skip seed-sweep repeats unless the run asks for the marker."""
-    if "seed_sweep" in (config.getoption("-m") or ""):
-        return
-    skip = pytest.mark.skip(
-        reason="extra master seed; runs in the seed_sweep CI job "
-               "(pytest -m seed_sweep)")
-    for item in items:
-        if "seed_sweep" in item.keywords:
-            item.add_marker(skip)
+    """Skip gated markers unless the run asks for them by name."""
+    expression = config.getoption("-m") or ""
+    for marker, reason in _GATED_MARKERS.items():
+        if marker in expression:
+            continue
+        skip = pytest.mark.skip(reason=reason)
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

@@ -1,9 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.runtime import registry
+from repro.runtime.cache import ResultCache
+from repro.runtime.manifest import Manifest
 
 
 @pytest.fixture(autouse=True)
@@ -187,3 +191,137 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestCrashSafety:
+    """Manifests, --resume, --report, and damage-tolerant cache ls."""
+
+    def _sweep(self, *extra):
+        return ["sweep", "fig6", "--param", "repetitions=4,6",
+                "--seed", "2", *extra]
+
+    def test_sweep_writes_manifest(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        code = main(self._sweep("--manifest", str(path)))
+        assert code in (0, 1)
+        capsys.readouterr()
+        manifest = Manifest.load(path)
+        manifest.require("sweep", "fig6")
+        assert len(manifest.records) == 2
+        assert all(r.status in ("done", "failed")
+                   for r in manifest.records.values())
+
+    def test_resume_skips_completed_points(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        main(self._sweep("--manifest", str(path)))
+        first = capsys.readouterr().out
+        code = main(self._sweep("--resume", str(path)))
+        second = capsys.readouterr().out
+        assert code in (0, 1)
+        assert second.count("[resumed]") == 2
+        # Resumed output matches the original, provenance lines aside.
+        strip = lambda text: [
+            line.replace(" [cached]", "").replace(" [resumed]", "")
+            for line in text.splitlines()
+            if not line.startswith("   [")]
+        assert strip(first) == strip(second)
+
+    def test_resume_does_not_duplicate_journal_lines(self, tmp_path,
+                                                     capsys):
+        path = tmp_path / "m.jsonl"
+        main(self._sweep("--manifest", str(path)))
+        lines_after_run = path.read_text().count("\n")
+        main(self._sweep("--resume", str(path)))
+        capsys.readouterr()
+        assert path.read_text().count("\n") == lines_after_run
+
+    def test_resume_refuses_no_cache(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        main(self._sweep("--manifest", str(path)))
+        capsys.readouterr()
+        code = main(self._sweep("--resume", str(path), "--no-cache"))
+        assert code == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_resume_refuses_wrong_experiment(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        main(self._sweep("--manifest", str(path)))
+        capsys.readouterr()
+        code = main(["sweep", "fig7", "--param", "repetitions=4",
+                     "--resume", str(path)])
+        assert code == 2
+        assert "refusing to resume" in capsys.readouterr().err
+
+    def test_resume_missing_manifest_fails_cleanly(self, tmp_path,
+                                                   capsys):
+        code = main(self._sweep("--resume",
+                                str(tmp_path / "nowhere.jsonl")))
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_sweep_report_json(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(self._sweep("--report", str(report_path)))
+        capsys.readouterr()
+        assert code in (0, 1)
+        report = json.loads(report_path.read_text())
+        assert report["command"] == "sweep"
+        assert report["target"] == "fig6"
+        assert len(report["points"]) == 2
+        point = report["points"][0]
+        assert point["experiment"] == "fig6"
+        assert point["label"] == "repetitions=4"
+        assert point["status"] in ("done", "failed")
+        assert point["cache_key"]
+        assert sum(report["counts"].values()) == 2
+
+    def test_run_all_report_counts_errors(self, tmp_path, capsys,
+                                          monkeypatch):
+        def boom(**kwargs):
+            raise RuntimeError("boom")
+
+        experiments = [
+            registry.Experiment(name="t-ok",
+                                runner=registry.get("fig6").runner,
+                                scalable={"repetitions": 4}),
+            registry.Experiment(name="t-boom", runner=boom,
+                                scalable={}, seed_kwarg=None),
+        ]
+        monkeypatch.setattr(registry, "_EXPERIMENTS",
+                            {e.name: e for e in experiments})
+        report_path = tmp_path / "report.json"
+        code = main(["run", "all", "--no-cache",
+                     "--report", str(report_path)])
+        capsys.readouterr()
+        assert code == 1
+        report = json.loads(report_path.read_text())
+        assert report["command"] == "run"
+        statuses = {p["experiment"]: p["status"]
+                    for p in report["points"]}
+        assert statuses["t-boom"] == "error"
+        errors = {p["experiment"]: p["error"] for p in report["points"]}
+        assert "boom" in errors["t-boom"]
+        assert report["counts"]["error"] == 1
+
+    def test_cache_ls_reports_malformed_and_quarantined(
+            self, tmp_path, capsys):
+        argv = ["run", "fig6", "--scale", "0.02", "--seed", "5"]
+        main(argv)
+        capsys.readouterr()
+        cache = ResultCache()
+        [entry] = cache.entries()
+        entry.path.write_text("{corrupt")
+        assert main(["cache", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "1 malformed entry skipped" in out
+        assert entry.path.name in out
+        # Re-running quarantines the damaged file and recomputes.
+        main(argv)
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "malformed" not in out
+        assert "1 quarantined entry" in out
+        assert main(["cache", "clear"]) == 0
+        capsys.readouterr()
+        assert cache.quarantined() == []

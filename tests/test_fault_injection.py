@@ -1,0 +1,171 @@
+"""Chaos tests: fault injection through the real CLI.
+
+Each test here drives ``python -m repro`` in a subprocess with a
+``REPRO_FAULTS`` clause active and asserts the declared recovery
+contract (see ``repro.runtime.faults``):
+
+* a crashed worker is retried and the run's cached result is
+  byte-identical to an undisturbed run;
+* a corrupted cache entry is quarantined and recomputed, and
+  ``cache ls`` reports the damage;
+* a torn manifest tail (mid-crash append) does not poison
+  ``--resume``;
+* a sweep SIGKILLed mid-flight and restarted with ``--resume``
+  produces byte-identical cache contents to an uninterrupted sweep,
+  re-executing only the incomplete points.
+
+All tests are ``chaos``-marked: tier-1 skips them, the CI chaos job
+runs them with ``pytest -m chaos``.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.chaos
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+SWEEP = ["sweep", "fig6", "--param", "repetitions=4,6,8", "--seed", "2"]
+
+
+def run_cli(args, cache_dir, env_extra=None, timeout=600):
+    """Run ``python -m repro`` against an isolated cache directory."""
+    env = dict(os.environ, PYTHONPATH=str(SRC),
+               REPRO_CACHE_DIR=str(cache_dir))
+    env.pop("REPRO_FAULTS", None)
+    env.update(env_extra or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env, capture_output=True, text=True, timeout=timeout)
+
+
+def cache_bytes(cache_dir):
+    """Map entry filename -> raw bytes for every cache entry."""
+    root = pathlib.Path(cache_dir)
+    return {path.name: path.read_bytes()
+            for path in root.glob("*.json")} if root.exists() else {}
+
+
+class TestWorkerCrashRetry:
+    def test_crashed_worker_retried_result_identical(self, tmp_path):
+        # backend=event so repetitions shard across worker processes
+        # (the vector backend never leaves the parent process).
+        argv = ["run", "fig6", "--scale", "0.05", "--seed", "3",
+                "--backend", "event", "--retries", "2"]
+        clean = run_cli(argv, tmp_path / "clean",
+                        env_extra={"REPRO_JOBS": "2"})
+        assert clean.returncode == 0, clean.stderr
+        faulty = run_cli(argv, tmp_path / "faulty",
+                         env_extra={"REPRO_JOBS": "2",
+                                    "REPRO_FAULTS": "crash-shard=0"})
+        assert faulty.returncode == 0, faulty.stderr
+        assert "shard 0" in faulty.stderr and "retry" in faulty.stderr
+        assert str(23) in faulty.stderr  # the injected exit code
+        # The recovered run cached byte-identical results.
+        clean_entries = cache_bytes(tmp_path / "clean")
+        faulty_entries = cache_bytes(tmp_path / "faulty")
+        assert clean_entries  # sanity: something was stored
+        assert faulty_entries == clean_entries
+
+    def test_persistent_crash_finishes_in_process(self, tmp_path):
+        argv = ["run", "fig6", "--scale", "0.05", "--seed", "3",
+                "--backend", "event", "--retries", "1"]
+        proc = run_cli(
+            argv, tmp_path / "cache",
+            env_extra={"REPRO_JOBS": "2",
+                       "REPRO_FAULTS": "crash-shard=0:always"})
+        assert proc.returncode == 0, proc.stderr
+        assert "in-process fallback" in proc.stderr
+
+
+class TestCacheCorruptionQuarantine:
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        argv = ["run", "fig6", "--scale", "0.05", "--seed", "3"]
+        # First run publishes a corrupted entry (bit flipped on disk).
+        first = run_cli(argv, cache_dir,
+                        env_extra={"REPRO_FAULTS": "cache-bitflip=1"})
+        assert first.returncode == 0, first.stderr
+        # Second run must treat it as a miss, quarantine, recompute.
+        second = run_cli(argv, cache_dir)
+        assert second.returncode == 0, second.stderr
+        assert "cache hit" not in second.stdout
+        corrupt = list((cache_dir / "corrupt").glob("*"))
+        assert len(corrupt) == 1
+        # The recomputed entry matches an undisturbed run's bytes.
+        clean = run_cli(argv, tmp_path / "clean")
+        assert clean.returncode == 0, clean.stderr
+        assert cache_bytes(cache_dir) == cache_bytes(tmp_path / "clean")
+        # ... and cache ls reports the quarantined file, exit 0.
+        listing = run_cli(["cache", "ls"], cache_dir)
+        assert listing.returncode == 0, listing.stderr
+        assert "1 quarantined entry" in listing.stdout
+        # A third run is a plain cache hit.
+        third = run_cli(argv, cache_dir)
+        assert "cache hit" in third.stdout
+
+
+class TestTornJournalRecovery:
+    def test_resume_survives_torn_manifest_tail(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        manifest = tmp_path / "m.jsonl"
+        full = run_cli(SWEEP + ["--manifest", str(manifest)], cache_dir)
+        assert full.returncode == 0, full.stderr
+        # Simulate a crash mid-append: a torn, newline-less fragment.
+        with open(manifest, "a") as handle:
+            handle.write('{"kind": "point", "point_id": "t, TORN')
+        resumed = run_cli(SWEEP + ["--resume", str(manifest)],
+                          cache_dir)
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout.count("[resumed]") == 3
+
+
+class TestKillAndResume:
+    def test_sigkilled_sweep_resumes_byte_identical(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        manifest = tmp_path / "m.jsonl"
+        report = tmp_path / "report.json"
+
+        killed = run_cli(
+            SWEEP + ["--manifest", str(manifest)], cache_dir,
+            env_extra={"REPRO_FAULTS": "kill-after-points=1"})
+        assert killed.returncode == -signal.SIGKILL
+        journal = [json.loads(line) for line in
+                   manifest.read_text().splitlines()]
+        assert [r["status"] for r in journal if r["kind"] == "point"] \
+            == ["done"]
+
+        resumed = run_cli(
+            SWEEP + ["--resume", str(manifest),
+                     "--report", str(report)], cache_dir)
+        assert resumed.returncode == 0, resumed.stderr
+        # Only the completed point is served from the journal; the
+        # two incomplete ones are (re)computed.
+        assert resumed.stdout.count("[resumed]") == 1
+        assert resumed.stdout.count("computed in") == 2
+        payload = json.loads(report.read_text())
+        assert payload["counts"] == {"done": 3}
+
+        # Byte-identical cache contents vs an uninterrupted sweep.
+        clean = run_cli(SWEEP, tmp_path / "clean")
+        assert clean.returncode == 0, clean.stderr
+        assert cache_bytes(cache_dir) == cache_bytes(tmp_path / "clean")
+
+        # No partially-written cache entries survive the SIGKILL:
+        # every entry on disk parses and passes its checksum.
+        listing = run_cli(["cache", "ls"], cache_dir)
+        assert listing.returncode == 0
+        assert "malformed" not in listing.stdout
+        assert "quarantined" not in listing.stdout
+
+        # A second resume is pure cache/journal service: nothing runs.
+        again = run_cli(SWEEP + ["--resume", str(manifest)], cache_dir)
+        assert again.returncode == 0, again.stderr
+        assert again.stdout.count("[resumed]") == 3
+        assert "computed in" not in again.stdout

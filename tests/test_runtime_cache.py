@@ -1,16 +1,21 @@
 """Tests for the on-disk result cache (repro.runtime.cache)."""
 
+import concurrent.futures
 import json
+import multiprocessing
+import sys
 
 import numpy as np
 import pytest
 
 from repro.analysis.results import ExperimentResult
+from repro.runtime import faults
 from repro.runtime.cache import (
     ResultCache,
     canonical_kwargs,
     code_version,
     default_cache_dir,
+    payload_checksum,
 )
 
 
@@ -149,6 +154,130 @@ class TestHitMissInvalidation:
         orphan.write_text("interrupted store")
         assert cache.clear() == 2
         assert not orphan.exists()
+
+
+def _make_result(tag="toy"):
+    return ExperimentResult(
+        experiment=tag, title="Toy", x_label="x",
+        x=np.array([1.0, 2.0]), series={"y": np.array([3.0, 4.0])},
+        meta={"tag": tag})
+
+
+def _racing_store(root):
+    """One concurrent writer: store the same key as everyone else."""
+    cache = ResultCache(root=root)
+    key = cache.key_for("race", {"n": 1})
+    cache.store("race", key, {"n": 1}, _make_result("race"))
+
+
+class TestChecksumAndQuarantine:
+    def test_stored_payload_carries_checksum(self, cache, result):
+        key = cache.key_for("toy", {})
+        path = cache.store("toy", key, {}, result)
+        payload = json.loads(path.read_text())
+        checksum = payload.pop("checksum")
+        assert checksum == payload_checksum(payload)
+
+    def test_bit_flip_quarantines_and_misses(self, cache, result):
+        key = cache.key_for("toy", {})
+        path = cache.store("toy", key, {}, result)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x40
+        path.write_bytes(bytes(raw))
+        assert cache.load("toy", key) is None
+        assert not path.exists()
+        assert len(cache.quarantined()) == 1
+
+    def test_truncation_quarantines_and_misses(self, cache, result):
+        key = cache.key_for("toy", {})
+        path = cache.store("toy", key, {}, result)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) // 2])
+        assert cache.load("toy", key) is None
+        assert len(cache.quarantined()) == 1
+
+    def test_recompute_after_quarantine(self, cache, result):
+        key = cache.key_for("toy", {})
+        path = cache.store("toy", key, {}, result)
+        path.write_text("{")
+        assert cache.load("toy", key) is None
+        cache.store("toy", key, {}, result)  # the recompute
+        hit = cache.load("toy", key)
+        assert hit is not None
+        assert hit.table() == result.table()
+        assert len(cache.quarantined()) == 1
+
+    def test_scan_reports_malformed_without_mutating(self, cache,
+                                                     result):
+        good_key = cache.key_for("toy", {"n": 1})
+        cache.store("toy", good_key, {"n": 1}, result)
+        bad_key = cache.key_for("toy", {"n": 2})
+        bad_path = cache.store("toy", bad_key, {"n": 2}, result)
+        bad_path.write_text("{corrupt")
+        entries, malformed = cache.scan()
+        assert len(entries) == 1
+        assert malformed == [bad_path]
+        assert bad_path.exists()  # scan never quarantines
+        assert cache.quarantined() == []
+
+    def test_clear_removes_quarantined_entries(self, cache, result):
+        key = cache.key_for("toy", {})
+        path = cache.store("toy", key, {}, result)
+        path.write_text("{")
+        cache.load("toy", key)
+        assert len(cache.quarantined()) == 1
+        assert cache.clear() == 1
+        assert cache.quarantined() == []
+
+    def test_injected_bitflip_round_trips_through_quarantine(
+            self, cache, result):
+        key = cache.key_for("toy", {})
+        with faults.injected("cache-bitflip=1"):
+            cache.store("toy", key, {}, result)
+        assert cache.load("toy", key) is None
+        assert len(cache.quarantined()) == 1
+
+    def test_injected_truncation_round_trips_through_quarantine(
+            self, cache, result):
+        key = cache.key_for("toy", {})
+        with faults.injected("cache-truncate=1"):
+            cache.store("toy", key, {}, result)
+        assert cache.load("toy", key) is None
+        assert len(cache.quarantined()) == 1
+
+
+class TestConcurrentWriters:
+    """Racing writers of the same key: last rename wins, entry valid."""
+
+    def _assert_single_valid_entry(self, root):
+        cache = ResultCache(root=root)
+        key = cache.key_for("race", {"n": 1})
+        hit = cache.load("race", key)
+        assert hit is not None
+        assert hit.meta["tag"] == "race"
+        entries, malformed = cache.scan()
+        assert len(entries) == 1
+        assert malformed == []
+        assert list(root.glob("*.tmp")) == []
+
+    def test_threads(self, tmp_path):
+        root = tmp_path / "cache"
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            list(pool.map(lambda _: _racing_store(root), range(16)))
+        self._assert_single_valid_entry(root)
+
+    def test_processes(self, tmp_path):
+        root = tmp_path / "cache"
+        ctx = multiprocessing.get_context(
+            "fork" if sys.platform != "win32" else None)
+        procs = [ctx.Process(target=_racing_store, args=(root,))
+                 for _ in range(6)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        self._assert_single_valid_entry(root)
 
 
 class TestDefaults:

@@ -1,16 +1,25 @@
 """Tests for repetition sharding (repro.runtime.executor)."""
 
 import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
 
 import numpy as np
 import pytest
 
-from repro.runtime import executor
+from repro.runtime import executor, faults
 from repro.runtime.executor import (
+    RetryPolicy,
     active_jobs,
+    active_retry_policy,
+    collect_failures,
     map_ordered,
     parallel_jobs,
     resolve_jobs,
+    retry_policy,
     shard_bounds,
 )
 from repro.testbed.channel import SimulatedFifoChannel, SimulatedWlanChannel
@@ -84,6 +93,149 @@ class TestMapOrdered:
 
         with pytest.raises(RuntimeError, match="bad item"):
             map_ordered(explode, [1, 2, 3], jobs=2)
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = active_retry_policy()
+        assert policy.retries == executor.DEFAULT_RETRIES
+        assert policy.shard_timeout is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(shard_timeout=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-0.1)
+
+    def test_scope_nests_and_restores(self):
+        with retry_policy(retries=5):
+            assert active_retry_policy().retries == 5
+            with retry_policy(shard_timeout=2.0):
+                # Inner scope keeps the outer retries.
+                assert active_retry_policy().retries == 5
+                assert active_retry_policy().shard_timeout == 2.0
+            assert active_retry_policy().shard_timeout is None
+        assert active_retry_policy().retries == executor.DEFAULT_RETRIES
+
+    def test_environment_defaults(self, monkeypatch):
+        monkeypatch.setenv(executor.RETRIES_ENV, "7")
+        monkeypatch.setenv(executor.SHARD_TIMEOUT_ENV, "1.5")
+        policy = active_retry_policy()
+        assert policy.retries == 7
+        assert policy.shard_timeout == 1.5
+
+    def test_invalid_environment_warns_and_defaults(self, monkeypatch):
+        monkeypatch.setenv(executor.RETRIES_ENV, "many")
+        monkeypatch.setenv(executor.SHARD_TIMEOUT_ENV, "-3")
+        with pytest.warns(UserWarning):
+            policy = active_retry_policy()
+        assert policy.retries == executor.DEFAULT_RETRIES
+        assert policy.shard_timeout is None
+
+
+class TestSupervision:
+    """Crashed/hung workers degrade throughput, never correctness."""
+
+    def test_injected_crash_is_retried(self):
+        with faults.injected("crash-shard=0"), \
+                retry_policy(retries=2, backoff_s=0.01), \
+                collect_failures() as log:
+            out = map_ordered(lambda x: x + 1, list(range(10)), jobs=3)
+        assert out == [x + 1 for x in range(10)]
+        assert len(log) == 1
+        assert log[0]["shard"] == 0
+        assert log[0]["action"] == "retry"
+        assert "crashed" in log[0]["reason"]
+
+    def test_persistent_crash_falls_back_in_process(self):
+        with faults.injected("crash-shard=1:always"), \
+                retry_policy(retries=1, backoff_s=0.01), \
+                collect_failures() as log:
+            out = map_ordered(lambda x: x * x, list(range(9)), jobs=3)
+        assert out == [x * x for x in range(9)]
+        assert [record["action"] for record in log] == \
+            ["retry", "in-process fallback"]
+
+    def test_hung_shard_is_killed_and_recovered(self):
+        with faults.injected("slow-shard=0:30"), \
+                retry_policy(retries=0, shard_timeout=0.3,
+                             backoff_s=0.01), \
+                collect_failures() as log:
+            start = time.monotonic()
+            out = map_ordered(lambda x: -x, list(range(6)), jobs=2)
+            elapsed = time.monotonic() - start
+        assert out == [-x for x in range(6)]
+        assert elapsed < 10  # never waited out the 30 s sleep
+        assert log[0]["action"] == "in-process fallback"
+        assert "timeout" in log[0]["reason"]
+
+    def test_results_identical_with_and_without_faults(self):
+        clean = map_ordered(lambda x: x * 3, list(range(17)), jobs=4)
+        with faults.injected("crash-shard=2"), \
+                retry_policy(retries=1, backoff_s=0.01):
+            faulty = map_ordered(lambda x: x * 3, list(range(17)),
+                                 jobs=4)
+        assert faulty == clean == [x * 3 for x in range(17)]
+
+    def test_task_exceptions_are_not_retried(self):
+        """Deterministic task errors propagate on the first attempt."""
+        def explode(x):
+            raise ValueError(f"bad item {x}")
+
+        with retry_policy(retries=5, backoff_s=0.01), \
+                collect_failures() as log:
+            with pytest.raises(ValueError, match="bad item"):
+                map_ordered(explode, [1, 2, 3], jobs=2)
+        assert log == []
+
+    def test_no_failure_records_on_clean_runs(self):
+        with collect_failures() as log:
+            map_ordered(lambda x: x, list(range(8)), jobs=2)
+        assert log == []
+
+    def test_interrupt_leaves_no_orphaned_workers(self, tmp_path):
+        """Ctrl-C mid-run must reap every worker process."""
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        script = textwrap.dedent("""
+            import time
+            from repro.runtime.executor import map_ordered
+
+            def slow(x):
+                time.sleep(60)
+                return x
+
+            print("READY", flush=True)
+            map_ordered(slow, list(range(4)), jobs=4)
+        """)
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script], env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            start_new_session=True)
+        try:
+            assert proc.stdout.readline().strip() == b"READY"
+            time.sleep(1.0)  # let the workers spawn and block
+            os.kill(proc.pid, signal.SIGINT)
+            proc.wait(timeout=15)
+            # The leader is gone; nothing else may survive in its
+            # process group (workers are its direct children).
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    os.killpg(proc.pid, 0)
+                except ProcessLookupError:
+                    break  # group empty: every worker was reaped
+                time.sleep(0.1)
+            else:
+                pytest.fail("worker processes survived the interrupt")
+        finally:
+            proc.stdout.close()
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
 
 
 class TestShardedSendTrains:

@@ -20,6 +20,16 @@ class TestParseValue:
     def test_strips_whitespace(self):
         assert parse_value("  7 ") == 7
 
+    @pytest.mark.parametrize(
+        "text", ["nan", "NaN", "inf", "-inf", "Infinity", "1e999"])
+    def test_non_finite_rejected(self, text):
+        with pytest.raises(ValueError, match="non-finite"):
+            parse_value(text)
+
+    def test_non_finite_rejected_in_param_spec(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            parse_param_spec("rate_bps=1e6,nan")
+
 
 class TestParseParamSpec:
     def test_basic(self):
