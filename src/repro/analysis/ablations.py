@@ -71,20 +71,25 @@ def ablation_bianchi_calibration(station_counts: Sequence[int] = (1, 2, 3, 4, 5)
     simulated = np.zeros(len(counts))
     predicted = np.zeros(len(counts))
     offered_bps = 9e6
-    if backend == "vector":
+    if backend != "event":
+        from repro.sim.jit import tier_scope, warm_kernels
         from repro.sim.probe_vector import (
             CbrCrossSpec,
             simulate_steady_state_batch,
         )
+        if backend == "jit":
+            warm_kernels()
         pps = offered_bps / (size_bytes * 8)
-        for k, n in enumerate(counts):
-            batch = simulate_steady_state_batch(
-                offered_bps, repetitions, size_bytes=size_bytes,
-                cross=[CbrCrossSpec(pps, size_bytes)] * (n - 1),
-                duration=duration, warmup=warmup, phy=phy, seed=seed + k)
-            simulated[k] = float(np.mean(batch.probe_throughput_bps()
-                                         + batch.cross_throughput_bps()))
-            predicted[k] = bianchi.solve(n).total_throughput_bps
+        with tier_scope(backend):
+            for k, n in enumerate(counts):
+                batch = simulate_steady_state_batch(
+                    offered_bps, repetitions, size_bytes=size_bytes,
+                    cross=[CbrCrossSpec(pps, size_bytes)] * (n - 1),
+                    duration=duration, warmup=warmup, phy=phy,
+                    seed=seed + k)
+                simulated[k] = float(np.mean(batch.probe_throughput_bps()
+                                             + batch.cross_throughput_bps()))
+                predicted[k] = bianchi.solve(n).total_throughput_bps
     else:
         scenario = WlanScenario(phy)
         for k, n in enumerate(counts):

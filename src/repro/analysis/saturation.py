@@ -103,7 +103,7 @@ def simulate_saturated(n_stations: int, packets_per_station: int,
                                  event_task=event_task,
                                  batch_task=batch_task, spec=spec),
                     backend=backend)
-    if backend == "vector":
+    if backend != "event":
         return out
     delays, durations, successes, collisions, drops = zip(*out)
     return VectorBatchResult(

@@ -78,9 +78,14 @@ def collect_delay_matrix(
         resolved = backend
         if backend == "auto":
             resolved = channel.resolve_backend("auto", train=train).name
-        if resolved == "vector":
-            batch = channel.send_trains_batch(train, repetitions,
-                                              seed=seed)
+        if resolved in ("vector", "jit"):
+            from repro.sim.jit import tier_scope, warm_kernels
+            if resolved == "jit":
+                channel.resolve_backend("jit", train=train)
+                warm_kernels()
+            with tier_scope(resolved):
+                batch = channel.send_trains_batch(train, repetitions,
+                                                  seed=seed)
             queue_sizes = {
                 name: batch.queue_traces[k].size_at(batch.send_times)
                 for k, (name, _) in enumerate(cross_stations)}

@@ -21,9 +21,13 @@ from repro.backends.base import (
     CallerKernelBackend,
     EventBackend,
     FAMILIES,
+    KERNEL_FAMILIES,
+    LindleyJitBackend,
     LindleyVectorBackend,
     PathVectorBackend,
+    ProbeTrainJitBackend,
     ProbeTrainVectorBackend,
+    SaturatedJitBackend,
     SaturatedVectorBackend,
     coerce_request,
 )
@@ -60,11 +64,15 @@ __all__ = [
     "EVENT_ONLY",
     "EventBackend",
     "FAMILIES",
+    "KERNEL_FAMILIES",
+    "LindleyJitBackend",
     "LindleyVectorBackend",
     "PathVectorBackend",
+    "ProbeTrainJitBackend",
     "ProbeTrainVectorBackend",
     "REQUESTABLE",
     "Resolution",
+    "SaturatedJitBackend",
     "SaturatedVectorBackend",
     "ScenarioSpec",
     "coerce_request",

@@ -27,6 +27,14 @@ Five backends exist:
 The four kernels share the CLI family name ``vector``; the dispatcher
 picks among them per scenario, which is why the kernel label is
 recorded separately in result metadata.
+
+On top of the numpy tier sits the optional ``jit`` family
+(:class:`ProbeTrainJitBackend`, :class:`SaturatedJitBackend`,
+:class:`LindleyJitBackend`): the same kernels with their hot cores
+routed to the numba-compiled twins in :mod:`repro.sim.jit`.  Jit
+backends rank ahead of the numpy tier (``speed_rank 5`` vs ``10``) but
+declare an :meth:`Backend.unavailable_reason` when numba is missing,
+so ``auto`` degrades to the numpy tier without user action.
 """
 
 from __future__ import annotations
@@ -39,7 +47,12 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.backends.spec import Capabilities, ScenarioSpec
 
 #: The CLI-facing backend families.
-FAMILIES = ("event", "vector")
+FAMILIES = ("event", "vector", "jit")
+
+#: The batch-kernel families (everything but the event engine); the
+#: dispatcher treats a forced kernel family the same way — capability
+#: scan first, then dependency availability.
+KERNEL_FAMILIES = ("vector", "jit")
 
 
 @dataclass(frozen=True)
@@ -143,6 +156,17 @@ class Backend(abc.ABC):
     def mismatches(self, spec: ScenarioSpec):
         """Structured reasons ``spec`` does not fit (empty = eligible)."""
         return self.capabilities().mismatches(spec)
+
+    def unavailable_reason(self) -> Optional[str]:
+        """Why this backend cannot run *here* (``None`` = it can).
+
+        Capability mismatches are about the scenario; this is about the
+        environment — a missing optional dependency.  ``auto`` skips
+        unavailable backends (recording the reason as degradation
+        metadata), a forced family raises
+        :class:`repro.backends.dispatch.BackendUnavailableError`.
+        """
+        return None
 
     def run_batch(self, request: "BatchRequest", *legacy_args,
                   **legacy_kwargs):
@@ -427,3 +451,53 @@ class PathVectorBackend(_VectorBackend):
             fifo_cross=frozenset(
                 {"none", "poisson", "cbr", "onoff", "mixed"}),
             rts_cts=True, retry_limit=True, queue_traces=False)
+
+
+class _JitBackend(_VectorBackend):
+    """Shared ``run_batch`` of the numba-accelerated kernel tier.
+
+    A jit backend *is* its numpy counterpart with the hot core routed
+    to the compiled twins in :mod:`repro.sim.jit` — same entry points,
+    same seed discipline, same chunked execution; results are
+    bit-identical (the compiled cores replicate the numpy arithmetic
+    operation for operation).  The tier ranks ahead of the numpy
+    kernels but declares itself unavailable without numba; kernels are
+    warmed (compiled on tiny inputs) before the batch so compilation
+    cost never lands inside a measured window.
+    """
+
+    name = "jit"
+    speed_rank = 5
+
+    def unavailable_reason(self) -> Optional[str]:
+        """``"numba not installed"`` when the compiled tier cannot run."""
+        # Imported lazily: keeps this layer import-light and lets tests
+        # flip availability via sys.modules monkeypatching.
+        from repro.sim import jit
+        return jit.unavailable_reason()
+
+    def run_batch(self, request, *legacy_args, **legacy_kwargs):
+        """Run the numpy kernel's batch path on the jit tier."""
+        from repro.sim import jit
+        jit.warm_kernels()
+        with jit.kernel_tier("jit"):
+            return super().run_batch(request, *legacy_args,
+                                     **legacy_kwargs)
+
+
+class ProbeTrainJitBackend(_JitBackend, ProbeTrainVectorBackend):
+    """The probe-train kernel with its event loop compiled."""
+
+    kernel = "probe-train kernel (jit)"
+
+
+class SaturatedJitBackend(_JitBackend, SaturatedVectorBackend):
+    """The saturated-DCF kernel with its round loop compiled."""
+
+    kernel = "saturated-DCF kernel (jit)"
+
+
+class LindleyJitBackend(_JitBackend, LindleyVectorBackend):
+    """The batched Lindley recursion with its solve compiled."""
+
+    kernel = "batched Lindley recursion (jit)"

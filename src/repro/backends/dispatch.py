@@ -1,23 +1,28 @@
 """Capability-matching backend dispatcher.
 
 Given a :class:`repro.backends.spec.ScenarioSpec` and a requested
-backend (``auto``, ``event`` or ``vector``), :func:`resolve` picks the
-concrete :class:`repro.backends.base.Backend` that will execute the
-batch:
+backend (``auto``, ``event``, ``vector`` or ``jit``), :func:`resolve`
+picks the concrete :class:`repro.backends.base.Backend` that will
+execute the batch:
 
-* ``auto`` — the fastest eligible backend (kernels outrank the event
-  engine); when every kernel is ineligible the event engine wins and
-  the *reason* is recorded as :attr:`Resolution.fallback` instead of
-  being swallowed;
-* ``event`` / ``vector`` — force the family; forcing ``vector`` on an
-  ineligible scenario raises :class:`BackendUnavailableError` carrying
-  the structured :class:`~repro.backends.spec.CapabilityMismatch`
-  records.
+* ``auto`` — the fastest eligible *and available* backend (the jit
+  tier outranks the numpy kernels, which outrank the event engine);
+  when every kernel is ineligible the event engine wins and the
+  *reason* is recorded as :attr:`Resolution.fallback` instead of being
+  swallowed, and when a faster tier is merely unavailable (numba
+  missing) the pick degrades to the numpy tier with the reason
+  recorded as :attr:`Resolution.degraded`;
+* ``event`` / ``vector`` / ``jit`` — force the family; forcing a
+  kernel family on an ineligible scenario raises
+  :class:`BackendUnavailableError` carrying the structured
+  :class:`~repro.backends.spec.CapabilityMismatch` records, and
+  forcing ``jit`` without numba raises it with a dependency mismatch
+  ("numba not installed").
 
-Resolution is a pure function of ``(spec, requested)`` — no clocks, no
-environment, no ambient job count — so ``auto`` picks the same backend
-under any ``--jobs`` value and on every worker, which the result-cache
-key relies on.
+Resolution is a pure function of ``(spec, requested)`` and the
+installed optional dependencies — no clocks, no ambient job count — so
+``auto`` picks the same backend under any ``--jobs`` value and on
+every worker, which the result-cache key relies on.
 """
 
 from __future__ import annotations
@@ -30,9 +35,13 @@ from repro.backends.base import (
     CallerKernelBackend,
     EventBackend,
     FAMILIES,
+    KERNEL_FAMILIES,
+    LindleyJitBackend,
     LindleyVectorBackend,
     PathVectorBackend,
+    ProbeTrainJitBackend,
     ProbeTrainVectorBackend,
+    SaturatedJitBackend,
     SaturatedVectorBackend,
 )
 from repro.backends.spec import (
@@ -54,16 +63,22 @@ EVENT = EventBackend()
 #: ``auto`` — it is deliberately absent from :data:`BACKENDS`.
 CALLER_KERNEL = CallerKernelBackend()
 
-#: Every backend, fastest-preference first; ``auto`` scans this order.
-#: The path kernel precedes the Lindley kernel so that, on a path
-#: scenario some hop disqualifies, the nearest-miss tie break
-#: (:func:`_closest_reason`) surfaces the hop's own detail sentence
-#: rather than the Lindley kernel's generic system mismatch.
+#: Every backend; ``auto`` scans these sorted by speed rank (the jit
+#: tier first, then the numpy kernels, then the event engine).  The
+#: declaration order matters twice: the path kernel precedes the
+#: Lindley kernel so that, on a path scenario some hop disqualifies,
+#: the nearest-miss tie break (:func:`_closest_reason`) surfaces the
+#: hop's own detail sentence rather than the Lindley kernel's generic
+#: system mismatch — and the jit twins sit *after* the numpy kernels
+#: so the same tie break keeps preferring the numpy kernels' labels.
 BACKENDS: Tuple[Backend, ...] = (
     ProbeTrainVectorBackend(),
     SaturatedVectorBackend(),
     PathVectorBackend(),
     LindleyVectorBackend(),
+    ProbeTrainJitBackend(),
+    SaturatedJitBackend(),
+    LindleyJitBackend(),
     EVENT,
 )
 
@@ -93,6 +108,11 @@ class Resolution:
     fallback: Optional[str]
     #: Kernel label -> structured mismatches of every rejected kernel.
     rejected: Tuple[Tuple[str, Tuple[CapabilityMismatch, ...]], ...]
+    #: Why ``auto`` skipped a faster-but-unavailable tier for this
+    #: pick (e.g. the jit tier without numba); ``None`` when the
+    #: fastest capable backend was also available.  Distinct from
+    #: ``fallback``, which means "no kernel at all".
+    degraded: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -109,18 +129,29 @@ class Resolution:
         line = f"{self.requested} -> {self.name} ({self.kernel})"
         if self.fallback:
             line += f"  [fallback: {self.fallback}]"
+        if self.degraded:
+            line += f"  [degraded: {self.degraded}]"
         return line
 
 
-def eligible(spec: ScenarioSpec) -> List[Backend]:
+def eligible(spec: ScenarioSpec, *,
+             assume_available: bool = False) -> List[Backend]:
     """Backends that can run ``spec``, fastest-preference first.
 
     Ordered by :attr:`Backend.speed_rank` (stable, so declaration
     order breaks ties) — this ordering is what ``auto`` picks from.
+    ``assume_available=True`` keeps backends whose optional dependency
+    is missing: capability questions ("could this scenario ride the
+    jit tier?") must answer the same on every machine, so coverage
+    manifests and :func:`family_names` never depend on what happens to
+    be installed here.
     """
-    return sorted(
-        (backend for backend in BACKENDS if not backend.mismatches(spec)),
-        key=lambda backend: backend.speed_rank)
+    found = [backend for backend in BACKENDS
+             if not backend.mismatches(spec)]
+    if not assume_available:
+        found = [backend for backend in found
+                 if backend.unavailable_reason() is None]
+    return sorted(found, key=lambda backend: backend.speed_rank)
 
 
 def family_names(spec: ScenarioSpec) -> Tuple[str, ...]:
@@ -128,9 +159,12 @@ def family_names(spec: ScenarioSpec) -> Tuple[str, ...]:
 
     This is what :attr:`repro.runtime.registry.Experiment.backends`
     derives its value from — the hand-maintained frozenset it replaced
-    listed exactly these names.
+    listed exactly these names.  Capability-only (missing optional
+    dependencies do not shrink it): the answer is a property of the
+    scenario, not of the machine.
     """
-    names = {backend.name for backend in eligible(spec)}
+    names = {backend.name
+             for backend in eligible(spec, assume_available=True)}
     return tuple(f for f in FAMILIES if f in names)
 
 
@@ -186,30 +220,54 @@ def resolve(spec: Optional[ScenarioSpec], requested: str = "auto",
     rejected = _rejections(spec)
     if requested == "event":
         return Resolution(requested, EVENT, None, rejected)
-    candidates = [backend for backend in eligible(spec)
-                  if backend.name == "vector"]
-    if requested == "vector":
-        if not candidates:
+    if requested in KERNEL_FAMILIES:
+        capable = [backend
+                   for backend in eligible(spec, assume_available=True)
+                   if backend.name == requested]
+        if not capable:
             reason = _closest_reason(rejected)
             raise BackendUnavailableError(
-                f"no vector kernel supports this scenario: {reason}",
+                f"no {requested} kernel supports this scenario: {reason}",
                 dict(rejected))
-        return Resolution(requested, candidates[0], None, rejected)
-    # auto: fastest eligible kernel, else the event engine + reason.
-    if candidates:
-        return Resolution(requested, candidates[0], None, rejected)
+        ready = [backend for backend in capable
+                 if backend.unavailable_reason() is None]
+        if not ready:
+            # Capable but not runnable here: a missing optional
+            # dependency, reported as a structured mismatch rather
+            # than leaking an ImportError from the kernel.
+            reason = capable[0].unavailable_reason()
+            unavailable = {backend.kernel: (CapabilityMismatch(
+                "dependency", "numba", "not installed", reason),)
+                for backend in capable}
+            raise BackendUnavailableError(
+                f"the {requested} backend cannot run here: {reason}",
+                unavailable)
+        return Resolution(requested, ready[0], None, rejected)
+    # auto: fastest capable-and-available kernel, else event + reason;
+    # a capable-but-unavailable faster tier is recorded as degradation.
+    capable = [backend
+               for backend in eligible(spec, assume_available=True)
+               if backend is not EVENT]
+    ready = [backend for backend in capable
+             if backend.unavailable_reason() is None]
+    if ready:
+        degraded = None
+        if capable[0] is not ready[0]:
+            degraded = (f"{capable[0].kernel} skipped: "
+                        f"{capable[0].unavailable_reason()}")
+        return Resolution(requested, ready[0], None, rejected, degraded)
     return Resolution(requested, EVENT, _closest_reason(rejected), rejected)
 
 
 def vector_mismatch_reason(spec: ScenarioSpec) -> Optional[str]:
-    """Why no vector kernel runs ``spec`` (``None`` when one does).
+    """Why no batch kernel runs ``spec`` (``None`` when one does).
 
     The structured replacement for the channel layer's old string
     matching: the returned sentence is ``str()`` of the nearest
     kernel's first :class:`CapabilityMismatch`.
     """
     resolution = resolve(spec, "auto")
-    if resolution.name == "vector":
+    if resolution.name in KERNEL_FAMILIES:
         return None
     return resolution.fallback
 

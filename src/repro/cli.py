@@ -37,13 +37,18 @@ throughput, never correctness or completeness.
 
 Backend selection defaults to ``--backend auto``: the capability
 dispatcher (:mod:`repro.backends`) picks the fastest kernel eligible
-for each experiment's declared scenario and records the resolved
-backend (plus any fallback reason) in the result metadata and the
-cache key.  ``--backend event`` / ``--backend vector`` force a family
-(forcing ``vector`` on an ineligible experiment fails with the
-structured reason); ``run EXPERIMENT --explain-backend`` prints the
-dispatch decision without running anything.  ``run`` (including ``run
-all``) and ``sweep`` share the full flag set.
+for each experiment's declared scenario — the numba-compiled ``jit``
+tier when numba is importable, the numpy ``vector`` tier otherwise —
+and records the resolved backend (plus any fallback or degradation
+reason) in the result metadata and the cache key.  ``--backend
+event`` / ``--backend vector`` / ``--backend jit`` force a family
+(forcing a kernel tier on an ineligible experiment — or ``jit``
+without numba installed — fails with the structured reason); ``run
+EXPERIMENT --explain-backend`` prints the dispatch decision without
+running anything.  ``run`` (including ``run all``) and ``sweep``
+share the full flag set.  ``run EXPERIMENT --profile`` prints the
+top-25 cumulative cProfile rows, and ``--profile-json PATH`` emits
+the same table as structured JSON.
 """
 
 from __future__ import annotations
@@ -280,7 +285,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     if getattr(args, "explain_backend", False):
         return _explain_backends(experiments, args.backend)
-    profile = getattr(args, "profile", False)
+    profile_json = getattr(args, "profile_json", None)
+    profile = getattr(args, "profile", False) or profile_json is not None
     # Profiling a cache read would be meaningless: bypass the cache so
     # the table shows the simulation itself.
     cache = None if profile else _cache_from(args)
@@ -291,11 +297,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     records: List[Dict[str, object]] = []
     failures: Dict[str, str] = {}
+    profiles: List[Dict[str, object]] = []
     for experiment in experiments:
         name = experiment.name
         if profile:
             try:
-                report = _profiled_run(experiment, args)
+                report = _profiled_run(experiment, args, profiles)
             except Exception as exc:
                 print(f"== {name}: ERROR ==\n   {exc}\n",
                       file=sys.stderr)
@@ -317,6 +324,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             failures[name] = ("checks failed: "
                               + ", ".join(record["failed_checks"]))
         faults.maybe_kill_run(len(records))
+    if profile_json is not None:
+        _write_profile_json(profile_json, args.experiment, profiles)
     if args.report is not None and not profile:
         _write_report(args.report, "run", args.experiment, records)
     if failures:
@@ -328,7 +337,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _profiled_run(experiment, args: argparse.Namespace) -> RunReport:
+#: Entries kept in the printed hot-spot table and the JSON snapshot.
+_PROFILE_TOP_N = 25
+
+
+def _profiled_run(experiment, args: argparse.Namespace,
+                  profiles: List[Dict[str, object]]) -> RunReport:
     """Run one experiment under cProfile and print the hot-spot table.
 
     The table (top 25 entries by cumulative time) goes to stdout right
@@ -336,7 +350,8 @@ def _profiled_run(experiment, args: argparse.Namespace) -> RunReport:
     from measured hot paths instead of guesses.  Repetitions stay in
     this process (``jobs`` is forced to 1): the profiler cannot see
     into worker processes, and a sharded profile would show only pool
-    bookkeeping.
+    bookkeeping.  The same top-25 rows are appended to ``profiles`` in
+    structured form for ``--profile-json``.
     """
     import cProfile
     import pstats
@@ -349,10 +364,45 @@ def _profiled_run(experiment, args: argparse.Namespace) -> RunReport:
             backend=args.backend, chunk_reps=args.chunk_reps)
     finally:
         profiler.disable()
-    print(f"== {experiment.name}: cProfile (top 25, cumulative) ==")
+    print(f"== {experiment.name}: cProfile (top {_PROFILE_TOP_N}, "
+          "cumulative) ==")
     stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.sort_stats("cumulative").print_stats(25)
+    stats.sort_stats("cumulative").print_stats(_PROFILE_TOP_N)
+    entries: List[Dict[str, object]] = []
+    for func in (stats.fcn_list or list(stats.stats))[:_PROFILE_TOP_N]:
+        filename, line, name = func
+        primitive, ncalls, tottime, cumtime, _callers = stats.stats[func]
+        entries.append({
+            "file": filename, "line": line, "function": name,
+            "ncalls": ncalls, "primitive_calls": primitive,
+            "tottime_s": tottime, "cumtime_s": cumtime,
+        })
+    profiles.append({
+        "experiment": experiment.name,
+        "backend": report.result.meta.get("backend"),
+        "total_calls": stats.total_calls,
+        "total_time_s": stats.total_tt,
+        "entries": entries,
+    })
     return report
+
+
+def _write_profile_json(path: str, target: str,
+                        profiles: List[Dict[str, object]]) -> None:
+    """Emit the structured profile snapshot as JSON (atomically).
+
+    One record per profiled experiment, each carrying the same top-N
+    cumulative rows the printed table shows — file, line, function,
+    call counts, tottime and cumtime — so perf dashboards and diffing
+    scripts consume the profile without scraping stdout.
+    """
+    payload = {"target": target, "sort": "cumulative",
+               "top": _PROFILE_TOP_N, "profiles": profiles}
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, path)
 
 
 def _explain_backends(experiments, requested: str) -> int:
@@ -500,7 +550,8 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "the batch; default $REPRO_CHUNK_REPS or "
                              "dense; results are bit-identical at any "
                              "chunk size)")
-    parser.add_argument("--backend", choices=("auto", "event", "vector"),
+    parser.add_argument("--backend",
+                        choices=("auto", "event", "vector", "jit"),
                         default="auto",
                         help="repetition backend: 'auto' (default) "
                              "lets the capability dispatcher pick the "
@@ -511,7 +562,10 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "forces the numpy batch kernel (fails "
                              "with the structured reason on "
                              "experiments it cannot model — see "
-                             "'list' for which offer it)")
+                             "'list' for which offer it); 'jit' "
+                             "forces the numba-compiled kernel tier "
+                             "(fails with the structured reason when "
+                             "numba is not installed)")
     parser.add_argument("--retries", type=int, default=None,
                         help="attempts granted to a crashed or "
                              "timed-out worker shard before it falls "
@@ -576,6 +630,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(implies --no-cache and --jobs 1, so the "
                           "profile measures the simulation in this "
                           "process)")
+    run.add_argument("--profile-json", default=None, metavar="PATH",
+                     help="write the same top-25 cumulative profile "
+                          "rows as structured JSON to PATH (implies "
+                          "--profile)")
     _add_run_options(run)
     run.set_defaults(func=cmd_run)
     sweep = sub.add_parser(

@@ -37,6 +37,17 @@ def _lindley_cummax(arrivals: np.ndarray,
     """
     if arrivals.shape[-1] == 0:
         return arrivals.astype(float), arrivals.astype(float)
+    from repro.sim import jit as _jit
+    if _jit.active_tier() == "jit":
+        shape = arrivals.shape
+        arr = np.ascontiguousarray(
+            arrivals.reshape(-1, shape[-1]), dtype=float)
+        srv = np.ascontiguousarray(
+            services.reshape(-1, shape[-1]), dtype=float)
+        starts = np.empty_like(arr)
+        departures = np.empty_like(arr)
+        _jit._lindley_core(arr, srv, starts, departures)
+        return starts.reshape(shape), departures.reshape(shape)
     cum = np.cumsum(services, axis=-1)
     offset = arrivals - cum + services
     departures = cum + np.maximum.accumulate(offset, axis=-1)

@@ -65,7 +65,7 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: Repetition backends an experiment can route batches to.
-BACKENDS = ("event", "vector")
+BACKENDS = ("event", "vector", "jit")
 
 #: Backend choices a caller may request (concrete backends + ``auto``).
 REQUESTABLE = dispatch.REQUESTABLE

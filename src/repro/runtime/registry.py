@@ -150,6 +150,12 @@ class Experiment:
             backend = self.resolve_backend("auto").name
         elif backend is not None and backend not in self.backends:
             raise self._unsupported_backend_error(backend)
+        elif backend is not None and backend != "event":
+            # A capability-supported kernel family may still be
+            # unavailable in this environment (jit without numba);
+            # surface the structured dependency error now rather than
+            # an ImportError from inside the kernel.
+            self.resolve_backend(backend)
         floor = self.min_scaled if minimum is None else minimum
         kwargs: Dict[str, object] = {
             key: max(floor, int(round(value * scale)))
@@ -177,6 +183,8 @@ class Experiment:
                 kwargs["backend"] = self.resolve_backend("auto").name
             elif chosen not in self.backends:
                 raise self._unsupported_backend_error(chosen)
+            elif chosen != "event":
+                self.resolve_backend(chosen)
         return kwargs
 
     def _unsupported_backend_error(self, backend) -> ValueError:
@@ -294,14 +302,19 @@ class Experiment:
 
         ``meta["backend"]`` always names the backend that produced the
         result; ``meta["backend_fallback"]`` carries the structured
-        reason whenever an ``auto`` request fell back to the event
-        engine — instead of the reason being silently swallowed.
+        reason whenever an ``auto`` request settled for something
+        slower than the fastest capable tier — fell back to the event
+        engine, or degraded from an unavailable jit tier to the numpy
+        kernels — instead of the reason being silently swallowed.
         """
         final = kwargs.get("backend", "event")
         result.meta.setdefault("backend", final)
         if resolution is not None and resolution.fallback \
                 and final == "event":
             result.meta["backend_fallback"] = resolution.fallback
+        elif resolution is not None and resolution.degraded \
+                and final == resolution.name:
+            result.meta["backend_fallback"] = resolution.degraded
 
 
 # ----------------------------------------------------------------------

@@ -74,6 +74,7 @@ import numpy as np
 from repro.mac.frames import AirtimeModel
 from repro.mac.params import PhyParams
 from repro.mac.timing import TIME_EPS, cw_table
+from repro.sim import jit as _jit
 from repro.sim.delay_model import cbr_arrival_paths, onoff_arrival_paths
 from repro.sim.vector import _UniformBlocks
 
@@ -793,6 +794,17 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
         arr[:, 1 + c, :times.shape[1]] = times
         n_arr[:, 1 + c] = counts
 
+    if _jit.active_tier() == "jit":
+        return _resolve_jit_batch(
+            arr, n_arr, probe_seq, gens=gens, n_probe=n_probe,
+            slot=slot, sifs=sifs, difs=difs, ack_air=ack_air,
+            data_air=data_air, preamble=preamble,
+            contention_air=contention_air, exchange_air=exchange_air,
+            sizes=sizes, cw_by_stage=cw_by_stage, max_stage=max_stage,
+            immediate_access=immediate_access, retry_limit=retry_limit,
+            stop_time=stop_time, window=window,
+            track_queues=track_queues, n_cross=len(cross_paths))
+
     # The backoff uniforms continue each repetition's private stream
     # where the jitter and sample-path draws left off — the event
     # engine's draw order (paths first, then contention randomness from
@@ -1004,6 +1016,91 @@ def _resolve_batch(probe_arr: np.ndarray, probe_seq: np.ndarray,
         queues = [QueueTraceBatch(arrivals=arr[:, 1 + c, :],
                                   departures=departures[:, 1 + c, :])
                   for c in range(len(cross_paths))]
+    return recv, delays, bits, queues
+
+
+def _resolve_jit_batch(arr: np.ndarray, n_arr: np.ndarray,
+                       probe_seq: np.ndarray, *,
+                       gens: Sequence[np.random.Generator], n_probe: int,
+                       slot: float, sifs: float, difs: float,
+                       ack_air: float, data_air: np.ndarray,
+                       preamble: np.ndarray, contention_air: np.ndarray,
+                       exchange_air: np.ndarray, sizes: Sequence[int],
+                       cw_by_stage: np.ndarray, max_stage: int,
+                       immediate_access: bool, retry_limit: Optional[int],
+                       stop_time: Optional[float],
+                       window: Optional[Tuple[float, float]],
+                       track_queues: bool, n_cross: int
+                       ) -> Tuple[np.ndarray, np.ndarray,
+                                  Optional[Tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray]],
+                                  Optional[List[QueueTraceBatch]]]:
+    """Resolve the batch one repetition at a time on the jit tier.
+
+    Repetition ``r``'s backoff uniforms continue its private generator
+    where the sample-path draws left off, pre-drawn as one
+    ``(rows, n_stations)`` buffer; ``Generator.random`` is
+    prefix-consistent across call boundaries, so row ``k`` equals the
+    block-buffered draw the numpy loop hands that repetition at event
+    ``k`` — the compiled core's results are bit-identical.  When a
+    trajectory outlives the buffer estimate, the generator state is
+    rewound and the repetition replayed with a doubled buffer.
+    """
+    reps, n_stations, _ = arr.shape
+    recv = np.full((reps, n_probe), np.nan)
+    delays = np.full((reps, n_probe), np.nan)
+    departures = np.full(arr.shape, np.inf) if track_queues else None
+    # Per-repetition delivered bits, flows packed [probe, fifo, cross...]
+    bits_rows = np.zeros((reps, n_stations + 1))
+    size_bits = np.array(sizes, dtype=float) * 8
+    has_window = window is not None
+    w0, w1 = window if has_window else (0.0, 0.0)
+    has_stop = stop_time is not None
+    stop = float(stop_time) if has_stop else 0.0
+    limit = -1 if retry_limit is None else int(retry_limit)
+    cw = np.ascontiguousarray(cw_by_stage, dtype=np.int64)
+    data_air = np.ascontiguousarray(data_air, dtype=float)
+    preamble = np.ascontiguousarray(preamble, dtype=float)
+    contention_air = np.ascontiguousarray(contention_air, dtype=float)
+    exchange_air = np.ascontiguousarray(exchange_air, dtype=float)
+    max_events = 64 + 8 * int(n_arr.sum(axis=1).max())
+    dummy_dep = np.empty((1, 1))
+    for r in range(reps):
+        gen = gens[r]
+        state = gen.bit_generator.state
+        est = min(max_events, 64 + 8 * int(n_arr[r].sum()))
+        seq_r = np.ascontiguousarray(probe_seq[r], dtype=np.int64)
+        dep_r = departures[r] if track_queues else dummy_dep
+        while True:
+            buf = gen.random(est * n_stations).reshape(est, n_stations)
+            status = _jit._probe_rep_core(
+                arr[r], n_arr[r], seq_r, buf, slot, sifs, difs,
+                ack_air, TIME_EPS, data_air, preamble, contention_air,
+                exchange_air, size_bits, cw, max_stage,
+                immediate_access, limit, has_stop, stop, has_window,
+                w0, w1, track_queues, n_probe, max_events,
+                recv[r], delays[r], bits_rows[r], dep_r)
+            if status != _jit.NEED_DRAWS or est >= max_events:
+                break
+            recv[r].fill(np.nan)
+            delays[r].fill(np.nan)
+            bits_rows[r].fill(0.0)
+            if track_queues:
+                dep_r.fill(np.inf)
+            gen.bit_generator.state = state
+            est = min(max_events, est * 2)
+        if status != _jit.OK:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"probe batch did not complete within {max_events} events")
+    bits = None
+    if has_window:
+        bits = (bits_rows[:, 0].copy(), bits_rows[:, 1].copy(),
+                bits_rows[:, 2:].copy())
+    queues = None
+    if track_queues:
+        queues = [QueueTraceBatch(arrivals=arr[:, 1 + c, :],
+                                  departures=departures[:, 1 + c, :])
+                  for c in range(n_cross)]
     return recv, delays, bits, queues
 
 

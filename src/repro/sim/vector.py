@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.mac.params import PhyParams
 from repro.mac.timing import SlotTiming, cw_table
+from repro.sim import jit as _jit
 
 #: Sentinel counter for stations that drained their queue and left
 #: contention; any real counter is smaller.
@@ -262,6 +263,10 @@ def simulate_saturated_batch(
     elif len(seeds) != repetitions:
         raise ValueError(
             f"got {len(seeds)} seeds for {repetitions} repetitions")
+    if _jit.active_tier() == "jit":
+        return _saturated_jit_batch(
+            seeds, stations, packets, size_bytes, timing, cw_by_stage,
+            max_stage, immediate_access, retry_limit)
     uniforms = _UniformBlocks(seeds, stations)
 
     remaining = np.zeros((reps, stations), dtype=np.int64)
@@ -357,6 +362,68 @@ def simulate_saturated_batch(
     return VectorBatchResult(
         access_delays=delays,
         durations=now,
+        successes=successes,
+        collisions=collisions,
+        n_stations=stations,
+        packets_per_station=packets,
+        size_bytes=size_bytes,
+        drops=drops if retry_limit is not None else None,
+    )
+
+
+def _saturated_jit_batch(seeds: np.ndarray, stations: int, packets: int,
+                         size_bytes: int, timing: SlotTiming,
+                         cw_by_stage: np.ndarray, max_stage: int,
+                         immediate_access: bool,
+                         retry_limit: Optional[int]) -> VectorBatchResult:
+    """Resolve the batch one repetition at a time on the jit tier.
+
+    Repetition ``r`` pre-draws its uniform stream as one
+    ``(rows, stations)`` buffer; because ``Generator.random`` is
+    prefix-consistent across call boundaries, row ``k`` equals the
+    block-buffered draw the numpy kernel hands that repetition at round
+    ``k`` — so the compiled core's results are bit-identical.  When a
+    trajectory outlives the buffer estimate, the generator state is
+    rewound and the repetition replayed with a doubled buffer, which
+    keeps the replay deterministic.
+    """
+    reps = len(seeds)
+    delays = np.full((reps, stations, packets), np.nan)
+    drops = np.zeros((reps, stations), dtype=np.int64)
+    durations = np.zeros(reps)
+    successes = np.zeros(reps, dtype=np.int64)
+    collisions = np.zeros(reps, dtype=np.int64)
+    cw = np.ascontiguousarray(cw_by_stage, dtype=np.int64)
+    limit = -1 if retry_limit is None else int(retry_limit)
+    max_rounds = 200 + 50 * stations * packets
+    cap = max_rounds + 1  # initial-counter row + one row per round
+    for r in range(reps):
+        gen = np.random.default_rng(int(seeds[r]))
+        state = gen.bit_generator.state
+        est = min(cap, 64 + 8 * stations * packets)
+        while True:
+            buf = gen.random(est * stations).reshape(est, stations)
+            now, suc, col, status = _jit._saturated_rep_core(
+                buf, packets, timing.slot, timing.difs,
+                timing.rts_preamble, timing.data_airtime,
+                timing.success_busy, timing.collision_busy, cw,
+                max_stage, immediate_access, limit, max_rounds,
+                delays[r], drops[r])
+            if status != _jit.NEED_DRAWS or est >= cap:
+                break
+            delays[r].fill(np.nan)
+            drops[r].fill(0)
+            gen.bit_generator.state = state
+            est = min(cap, est * 2)
+        if status != _jit.OK:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"saturated batch did not drain within {max_rounds} rounds")
+        durations[r] = now
+        successes[r] = suc
+        collisions[r] = col
+    return VectorBatchResult(
+        access_delays=delays,
+        durations=durations,
         successes=successes,
         collisions=collisions,
         n_stations=stations,

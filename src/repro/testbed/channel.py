@@ -107,21 +107,32 @@ class Channel(abc.ABC):
         resolves the whole batch in one numpy pass instead
         (:meth:`send_trains_batch`) — statistically equivalent, no
         worker pool at all; channels without a vector kernel raise
-        ``ValueError``.  ``backend="auto"`` lets the dispatcher pick
-        the fastest backend this channel is eligible for.
+        ``ValueError``.  ``backend="jit"`` runs the same batch path
+        with the kernel's hot core compiled (bit-identical to
+        ``vector``; raises
+        :class:`repro.backends.BackendUnavailableError` without
+        numba).  ``backend="auto"`` lets the dispatcher pick the
+        fastest backend this channel is eligible for.
         """
         if repetitions < 1:
             raise ValueError(
                 f"repetitions must be >= 1, got {repetitions}")
         if backend not in dispatch.REQUESTABLE:
             raise ValueError(
-                f"unknown backend {backend!r}; expected 'event' or "
-                "'vector' (or 'auto')")
+                f"unknown backend {backend!r}; expected one of "
+                f"{dispatch.REQUESTABLE}")
         if backend == "auto":
             backend = self.resolve_backend("auto", train=train).name
-        if backend == "vector":
-            batch = self._chunked_trains_batch(train, repetitions,
-                                               seed=seed)
+        if backend in ("vector", "jit"):
+            from repro.sim.jit import tier_scope, warm_kernels
+            if backend == "jit":
+                # Validates both capability and numba availability
+                # (raises BackendUnavailableError with the reason).
+                self.resolve_backend("jit", train=train)
+                warm_kernels()
+            with tier_scope(backend):
+                batch = self._chunked_trains_batch(train, repetitions,
+                                                   seed=seed)
             return [RawTrainResult(send_times=batch.send_times[r],
                                    recv_times=batch.recv_times[r],
                                    size_bytes=batch.size_bytes,
@@ -186,9 +197,14 @@ class Channel(abc.ABC):
         """
         if backend == "auto":
             backend = self.resolve_backend("auto", train=train).name
-        if backend == "vector":
-            return self._chunked_trains_batch(train, repetitions,
-                                              seed=seed)
+        if backend in ("vector", "jit"):
+            from repro.sim.jit import tier_scope, warm_kernels
+            if backend == "jit":
+                self.resolve_backend("jit", train=train)
+                warm_kernels()
+            with tier_scope(backend):
+                return self._chunked_trains_batch(train, repetitions,
+                                                  seed=seed)
         raws = self.send_trains(train, repetitions, seed=seed,
                                 backend=backend)
         if all(raw.access_delays is not None for raw in raws):

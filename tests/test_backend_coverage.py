@@ -76,14 +76,18 @@ class TestRegistryCoverage:
                 assert info["reason"], name
 
     def test_kernels_match_dispatcher(self):
+        """The manifest names the fastest capable kernel — the jit
+        twin for jit-capable experiments (availability ignored), the
+        vector kernel for the path study that has no jit twin."""
         current = gate.registry_coverage()
-        assert current["ext-saturation"]["kernel"] == "saturated-DCF kernel"
-        assert current["eq1"]["kernel"] == "batched Lindley recursion"
-        assert current["fig6"]["kernel"] == "probe-train kernel"
-        # The four formerly event-only experiments now name kernels.
-        assert current["fig8"]["kernel"] == "probe-train kernel"
-        assert current["ablation-rts"]["kernel"] == "probe-train kernel"
-        assert current["ablation-bianchi"]["kernel"] == "probe-train kernel"
+        assert current["ext-saturation"]["kernel"] == \
+            "saturated-DCF kernel (jit)"
+        assert current["eq1"]["kernel"] == "batched Lindley recursion (jit)"
+        assert current["fig6"]["kernel"] == "probe-train kernel (jit)"
+        assert current["fig8"]["kernel"] == "probe-train kernel (jit)"
+        assert current["ablation-rts"]["kernel"] == "probe-train kernel (jit)"
+        assert current["ablation-bianchi"]["kernel"] == \
+            "probe-train kernel (jit)"
         assert current["ext-multihop"]["kernel"] == "multihop chain kernel"
 
 
@@ -117,7 +121,7 @@ class TestMain:
         flat = {name: info["backends"] for name, info in current.items()}
         path = manifest(flat)
         loaded = gate.load_baseline(path)
-        assert loaded["fig6"]["backends"] == ["event", "vector"]
+        assert loaded["fig6"]["backends"] == ["event", "vector", "jit"]
         assert gate.compare(current, loaded) == []
 
 
@@ -162,12 +166,16 @@ class TestCommittedManifest:
         """The acceptance floor: all 25 experiments dual-backend
         (23 from the vector-coverage PR plus ``ext-retry-limit`` and
         ``ext-onoff``), zero ``reason`` entries left in the
-        manifest."""
+        manifest, and every experiment except the multi-hop path
+        (whose kernel has no jit twin) also offers the jit tier."""
         committed = gate.load_baseline(gate.DEFAULT_BASELINE)
         dual = [name for name, info in committed.items()
                 if "vector" in info["backends"]]
         assert len(dual) == len(committed) == 25
         assert not any("reason" in info for info in committed.values())
+        jit = {name for name, info in committed.items()
+               if "jit" in info["backends"]}
+        assert jit == set(committed) - {"ext-multihop"}
 
     def test_manifest_matches_derived_vector_experiments(self):
         committed = gate.load_baseline(gate.DEFAULT_BASELINE)

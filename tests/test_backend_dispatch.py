@@ -205,7 +205,7 @@ class TestResolve:
                        "auto").kernel == "saturated-DCF kernel"
 
     def test_family_names(self):
-        assert family_names(WLAN_TRAIN) == ("event", "vector")
+        assert family_names(WLAN_TRAIN) == ("event", "vector", "jit")
         assert family_names(ScenarioSpec(system="other",
                                          workload="other",
                                          cross_traffic="other")) \

@@ -112,6 +112,45 @@ class TestCommands:
         # The profiled run bypasses the cache entirely.
         assert "cache hit" not in out and "stored as" not in out
 
+    def test_run_profile_json_writes_structured_table(self, tmp_path,
+                                                      capsys):
+        """``--profile-json`` (which implies ``--profile``) emits the
+        same top-25 cumulative rows as machine-readable JSON."""
+        path = tmp_path / "profile.json"
+        code = main(["run", "fig6", "--profile-json", str(path),
+                     "--scale", "0.02", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "cProfile (top 25, cumulative)" in out
+        payload = json.loads(path.read_text())
+        assert payload["target"] == "fig6"
+        assert payload["sort"] == "cumulative"
+        assert payload["top"] == 25
+        (profile,) = payload["profiles"]
+        assert profile["experiment"] == "fig6"
+        assert profile["total_calls"] > 0
+        assert 0 < len(profile["entries"]) <= 25
+        entry = profile["entries"][0]
+        assert set(entry) == {"file", "line", "function", "ncalls",
+                              "primitive_calls", "tottime_s",
+                              "cumtime_s"}
+        # Sorted by cumulative time, descending.
+        cumtimes = [e["cumtime_s"] for e in profile["entries"]]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+    def test_run_backend_jit_without_numba_fails_cleanly(self, capsys,
+                                                         monkeypatch):
+        import sys as _sys
+
+        from repro.sim import jit
+        monkeypatch.setattr(jit, "_FORCE_AVAILABLE", None)
+        monkeypatch.setitem(_sys.modules, "numba", None)
+        code = main(["run", "ext-saturation", "--backend", "jit",
+                     "--scale", "0.05", "--no-cache"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "numba not installed" in captured.err
+
     def test_run_backend_rejects_unknown_choice(self):
         with pytest.raises(SystemExit):
             main(["run", "fig6", "--backend", "quantum"])

@@ -53,7 +53,14 @@ class TestRegistration:
                  if e.backends != ("event",)}
         assert multi == set(registry.VECTOR_EXPERIMENTS)
         for name in sorted(multi):
-            assert registry.get(name).backends == ("event", "vector")
+            backends = registry.get(name).backends
+            # Every kernel-capable experiment offers the jit tier too,
+            # except the multi-hop path (no jit twin for the path
+            # kernel).
+            if name == "ext-multihop":
+                assert backends == ("event", "vector")
+            else:
+                assert backends == ("event", "vector", "jit")
         # The vector-coverage gap is closed: the queue-trace, RTS,
         # CBR-saturation and multi-hop-path experiments joined the
         # probe-train family, so every registry entry is dual-backend.
@@ -67,7 +74,7 @@ class TestRegistration:
         """The registry never hand-maintains backend lists: stripping
         the scenario strips the vector backend."""
         fig6 = registry.get("fig6")
-        assert fig6.backends == ("event", "vector")
+        assert fig6.backends == ("event", "vector", "jit")
         bare = Experiment(name="bare", runner=fig6.runner,
                           scalable=dict(fig6.scalable))
         assert bare.backends == ("event",)

@@ -44,19 +44,26 @@ def registry_coverage() -> Dict[str, Dict]:
     """Dispatcher-derived coverage of the live registry.
 
     ``experiment name -> {"backends": [...], "kernel": ...}`` for
-    dual-backend experiments (which concrete kernel ``auto`` picks) or
-    ``{"backends": [...], "reason": ...}`` for event-only ones (the
-    structured reason every kernel was rejected).
+    kernel-capable experiments (the fastest kernel ``auto`` picks when
+    every optional dependency is installed) or ``{"backends": [...],
+    "reason": ...}`` for event-only ones (the structured reason every
+    kernel was rejected).  Capability-only: the derivation ignores
+    which optional dependencies (numba) happen to be importable here,
+    so the manifest — and therefore the gate — is identical in numba
+    and numba-free environments.
     """
+    from repro.backends import dispatch
     from repro.runtime import registry
     out: Dict[str, Dict] = {}
     for experiment in registry.experiments():
         entry: Dict[str, object] = {"backends": list(experiment.backends)}
-        resolution = experiment.resolve_backend("auto")
-        if resolution.name == "vector":
-            entry["kernel"] = resolution.kernel
+        if len(experiment.backends) > 1:
+            kernels = [backend for backend in dispatch.eligible(
+                           experiment.scenario, assume_available=True)
+                       if backend.name != "event"]
+            entry["kernel"] = kernels[0].kernel
         else:
-            entry["reason"] = resolution.fallback
+            entry["reason"] = experiment.resolve_backend("auto").fallback
         out[experiment.name] = entry
     return out
 

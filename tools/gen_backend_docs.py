@@ -62,22 +62,26 @@ def render_matrix(coverage: Dict[str, Dict]) -> str:
     """The coverage table as a markdown block (markers included)."""
     lines = [
         BEGIN_MARK,
-        "| Experiment | `event` | `vector` | Vector kernel / why event-only |",
-        "|---|:-:|:-:|---|",
+        "| Experiment | `event` | `vector` | `jit` "
+        "| Fastest kernel / why event-only |",
+        "|---|:-:|:-:|:-:|---|",
     ]
-    dual = 0
+    dual = jit = 0
     for name, entry in coverage.items():
         has_vector = "vector" in entry["backends"]
+        has_jit = "jit" in entry["backends"]
         dual += has_vector
-        if has_vector:
+        jit += has_jit
+        if has_vector or has_jit:
             note = entry.get("kernel", "")
         else:
             note = f"event-only: {entry.get('reason', '')}"
         lines.append(f"| `{name}` | ✓ | {'✓' if has_vector else '—'} "
-                     f"| {note} |")
+                     f"| {'✓' if has_jit else '—'} | {note} |")
     lines.append("")
     lines.append(f"**{dual} of {len(coverage)} experiments are "
-                 "dual-backend.** The matrix is generated from "
+                 f"dual-backend; {jit} also offer the numba jit "
+                 "tier.** The matrix is generated from "
                  "`benchmarks/results/backend_coverage.json` — edit "
                  "nothing here by hand; refresh with "
                  "`python tools/check_backend_coverage.py --refresh`.")
