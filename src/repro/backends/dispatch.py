@@ -259,6 +259,39 @@ def resolve(spec: Optional[ScenarioSpec], requested: str = "auto",
     return Resolution(requested, EVENT, _closest_reason(rejected), rejected)
 
 
+def fusion_key(resolution: Resolution) -> Tuple[str, str]:
+    """The cross-point fusion key of one dispatch decision.
+
+    Two sweep points may share an execution group exactly when their
+    resolutions name the same backend family *and* concrete kernel —
+    the pair the sweep planner groups grid points by.
+    """
+    return (resolution.name, resolution.kernel)
+
+
+def group_by_resolution(spec: Optional[ScenarioSpec],
+                        requests) -> Dict[Tuple[str, str], List[int]]:
+    """Group request indices by their resolved ``(family, kernel)``.
+
+    ``requests`` is a sequence of requested backend names (one per
+    sweep point, say); each *distinct* request is resolved exactly
+    once — resolution is a pure function of ``(spec, requested)``, so
+    re-resolving per point would be pure overhead on a dense grid —
+    and the result maps each fusion key to the indices it covers.
+    A request no backend can satisfy raises
+    :class:`BackendUnavailableError`, exactly like :func:`resolve`.
+    """
+    memo: Dict[str, Tuple[str, str]] = {}
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for index, requested in enumerate(requests):
+        key = memo.get(requested)
+        if key is None:
+            key = fusion_key(resolve(spec, requested))
+            memo[requested] = key
+        groups.setdefault(key, []).append(index)
+    return groups
+
+
 def vector_mismatch_reason(spec: ScenarioSpec) -> Optional[str]:
     """Why no batch kernel runs ``spec`` (``None`` when one does).
 

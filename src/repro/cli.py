@@ -11,8 +11,11 @@ Run any of the paper's experiments from a shell::
     python -m repro sweep fig6 --param repetitions=100,400,1600
     python -m repro sweep fig6 --param rate=2e6,4e6 --manifest m.jsonl
     python -m repro sweep fig6 --param rate=2e6,4e6 --resume m.jsonl
+    python -m repro sweep ext-saturation --param n_stations=5,10,20,35 \\
+        --store atlas/ --adapt 16 --metric throughput_mbps
     python -m repro cache ls
     python -m repro cache clear
+    python -m repro cache stats --store atlas/
 
 ``run`` prints the experiment's series table (the same rows the paper's
 figure plots) and exits non-zero if any qualitative shape check fails
@@ -49,6 +52,16 @@ running anything.  ``run`` (including ``run all``) and ``sweep``
 share the full flag set.  ``run EXPERIMENT --profile`` prints the
 top-25 cumulative cProfile rows, and ``--profile-json PATH`` emits
 the same table as structured JSON.
+
+``sweep --store DIR`` engages the fused sweep engine for dense
+parameter atlases: grid points are grouped by resolved backend/kernel
+and executed in fused windows (one worker fan-out per window instead
+of one per point), with results appended to a chunked columnar store
+— parquet when pyarrow is importable, compressed npz otherwise.
+Payloads are bit-identical to standalone ``run`` invocations.
+``--adapt N`` follows the coarse grid with curvature-guided
+refinement waves, and ``cache stats`` reports disk usage for the JSON
+cache and any ``--store`` directories in one JSON document.
 """
 
 from __future__ import annotations
@@ -64,10 +77,14 @@ from repro.mac.frames import AirtimeModel
 from repro.mac.params import PhyParams
 from repro.runtime import faults, registry
 from repro.runtime.cache import ResultCache
+from repro.runtime.executor import chunked_reps, retry_policy
 from repro.runtime.manifest import (Manifest, ManifestError, PointRecord,
                                     point_id)
 from repro.runtime.registry import RunReport
-from repro.runtime.sweep import expand_grid, parse_param_spec
+from repro.runtime.store import StoreError, SweepStore
+from repro.runtime.sweep import (SweepPlan, expand_grid, grid_size,
+                                 parse_param_spec, run_adaptive,
+                                 run_plan)
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -198,14 +215,22 @@ def _record_point(manifest: Optional[Manifest], experiment: str,
 
 
 def _write_report(path: str, command: str, target: str,
-                  records: List[Dict[str, object]]) -> None:
-    """Emit the structured per-point summary as JSON (atomically)."""
+                  records: List[Dict[str, object]],
+                  extras: Optional[Dict[str, object]] = None) -> None:
+    """Emit the structured per-point summary as JSON (atomically).
+
+    ``extras`` merges additional top-level keys into the payload —
+    the fused sweep engine adds ``store_path``, ``fused_groups`` and
+    ``refinement_waves`` so CI assertions read one file.
+    """
     counts: Dict[str, int] = {}
     for record in records:
         status = str(record["status"])
         counts[status] = counts.get(status, 0) + 1
     payload = {"command": command, "target": target,
                "counts": counts, "points": records}
+    if extras:
+        payload.update(extras)
     tmp = f"{path}.{os.getpid()}.tmp"
     with open(tmp, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -440,6 +465,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ``--resume MANIFEST`` skips the completed points — served
     bit-identically from the verified result cache — and re-runs only
     pending and failed ones.
+
+    ``--store DIR`` switches to the fused sweep engine: grid points
+    are grouped by resolved backend/kernel and executed in fused
+    windows, with results landing in an append-only columnar store
+    instead of one JSON cache entry per point — the path that makes
+    10^5-point parameter atlases affordable.  ``--adapt N`` (fused
+    only) follows the coarse grid with curvature-guided refinement
+    waves along the one multi-valued ``--param`` axis, scoring points
+    by ``--metric`` (a series name; default the first series).
     """
     try:
         experiment = registry.get(args.experiment)
@@ -448,10 +482,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     try:
         specs = [parse_param_spec(spec) for spec in args.param]
-        points = expand_grid(specs)
+        total = grid_size(specs)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.adapt is not None and args.store is None:
+        print("--adapt requires --store (refinement waves read the "
+              "response curve back from the columnar store)",
+              file=sys.stderr)
+        return 2
+    if args.store is not None:
+        return _cmd_sweep_fused(args, experiment, specs, total)
     cache = _cache_from(args)
     try:
         manifest = _open_manifest(args, "sweep", args.experiment)
@@ -461,7 +502,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     records: List[Dict[str, object]] = []
     summary: List[str] = []
     failed = 0
-    for overrides in points:
+    for overrides in expand_grid(specs):
         label = ", ".join(f"{k}={v}" for k, v in overrides.items())
         record = _run_point(experiment, args, cache, manifest,
                             overrides=overrides, label=label)
@@ -482,7 +523,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             summary.append(f"  {label}: PASS{cached}{resumed}")
         faults.maybe_kill_run(len(records))
     print(f"== sweep {args.experiment}: "
-          f"{len(points) - failed}/{len(points)} points pass ==")
+          f"{total - failed}/{total} points pass ==")
     for line in summary:
         print(line)
     if args.report is not None:
@@ -490,14 +531,160 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_sweep_fused(args: argparse.Namespace, experiment,
+                     specs, total: int) -> int:
+    """The ``sweep --store`` engine: plan, fuse, store, refine.
+
+    Progress prints one line per fused window (per-point lines only
+    for failures — a dense atlas must not print a million rows); the
+    journal defaults to ``<store>/manifest.jsonl`` when neither
+    ``--manifest`` nor ``--resume`` names one, so every fused sweep is
+    resumable by construction.
+    """
+    try:
+        if args.resume is not None:
+            store = SweepStore.open(args.store)
+            manifest = Manifest.load(args.resume)
+            manifest.require("sweep", args.experiment)
+        else:
+            store = SweepStore.create(
+                args.store, args.experiment,
+                params=[name for name, _ in specs])
+            manifest = Manifest.create(
+                args.manifest or os.path.join(args.store,
+                                              "manifest.jsonl"),
+                "sweep", args.experiment,
+                invocation={"scale": args.scale, "seed": args.seed,
+                            "backend": args.backend,
+                            "params": list(args.param),
+                            "store": str(args.store)})
+    except (StoreError, ManifestError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    chunk_scope = chunked_reps(args.chunk_reps) \
+        if args.chunk_reps is not None else None
+    fault_scope = retry_policy(retries=args.retries,
+                               shard_timeout=args.shard_timeout) \
+        if args.retries is not None or args.shard_timeout is not None \
+        else None
+    records: List[Dict[str, object]] = []
+    group_counts: Dict[str, int] = {}
+    waves: Dict[int, Dict[str, object]] = {}
+    failed = resumed = 0
+    try:
+        if args.adapt is not None:
+            outcome_stream = run_adaptive(
+                experiment, specs, adapt=args.adapt,
+                metric=args.metric, scale=args.scale, seed=args.seed,
+                backend=args.backend, jobs=args.jobs, store=store,
+                manifest=manifest, refresh=args.refresh)
+        else:
+            plan = SweepPlan(experiment, expand_grid(specs),
+                             scale=args.scale, seed=args.seed,
+                             backend=args.backend)
+            outcome_stream = run_plan(
+                plan, jobs=args.jobs, store=store, manifest=manifest,
+                refresh=args.refresh)
+        if chunk_scope is not None:
+            chunk_scope.__enter__()
+        if fault_scope is not None:
+            fault_scope.__enter__()
+        try:
+            for window in outcome_stream:
+                wave_note = f"[wave {window.wave}] " \
+                    if args.adapt is not None else ""
+                print(f"{wave_note}[{window.group}] "
+                      f"{len(window.outcomes)} points "
+                      f"({window.resumed} resumed) "
+                      f"in {window.elapsed_s:.2f}s")
+                group_counts[window.group] = \
+                    group_counts.get(window.group, 0) \
+                    + len(window.outcomes)
+                wave = waves.setdefault(
+                    window.wave, {"wave": window.wave, "points": 0,
+                                  "resumed": 0, "values": []})
+                wave["points"] += len(window.outcomes)
+                wave["resumed"] += window.resumed
+                resumed += window.resumed
+                for outcome in window.outcomes:
+                    if window.wave > 0:
+                        wave["values"].extend(
+                            value for value
+                            in outcome["overrides"].values()
+                            if isinstance(value, float))
+                    if outcome["status"] == "error":
+                        print(f"  {outcome['label']}: ERROR: "
+                              f"{outcome['error']}", file=sys.stderr)
+                        failed += 1
+                    elif outcome["status"] == "failed":
+                        print(f"  {outcome['label']}: FAIL ("
+                              + ", ".join(outcome["failed_checks"])
+                              + ")")
+                        failed += 1
+                    records.append({
+                        "experiment": args.experiment,
+                        "label": outcome["label"],
+                        "status": outcome["status"],
+                        "resumed": bool(outcome.get("resumed")),
+                        "point_id": outcome["point_id"],
+                        "elapsed_s": outcome["elapsed_s"],
+                        "failed_checks": outcome["failed_checks"],
+                        "error": outcome["error"] or None,
+                        "backend": outcome["backend"],
+                        "wave": window.wave,
+                        "group": window.group,
+                    })
+        finally:
+            if fault_scope is not None:
+                fault_scope.__exit__(None, None, None)
+            if chunk_scope is not None:
+                chunk_scope.__exit__(None, None, None)
+            store.close()
+    except (ManifestError, StoreError, ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    done = len(records) - failed
+    print(f"== sweep {args.experiment}: {done}/{len(records)} points "
+          f"pass ({resumed} resumed"
+          + (f", {len(records) - total} refined" if args.adapt
+             is not None else "") + ") ==")
+    print(f"   [store {store.root}: {store.stats()['points']} points, "
+          f"{store.format}]")
+    if args.report is not None:
+        _write_report(
+            args.report, "sweep", args.experiment, records,
+            extras={
+                "store_path": str(store.root),
+                "store": store.stats(),
+                "fused_groups": group_counts,
+                "refinement_waves": [
+                    waves[wave] for wave in sorted(waves)],
+            })
+    return 1 if failed else 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
-    """``cache ls`` / ``cache clear``.
+    """``cache ls`` / ``cache clear`` / ``cache stats``.
 
     ``ls`` never trips over damage: malformed entry files and
     previously quarantined ones are skipped from the listing and
-    reported (count + paths) instead of raising.
+    reported (count + paths) instead of raising.  ``stats`` prints one
+    JSON document covering the JSON result cache and any columnar
+    sweep stores named with ``--store`` (repeatable).
     """
     cache = ResultCache(root=args.cache_dir)
+    if args.action == "stats":
+        payload: Dict[str, object] = {"cache": cache.stats()}
+        stores = []
+        for root in args.store or []:
+            try:
+                stores.append(SweepStore.open(root).stats())
+            except StoreError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+        payload["stores"] = stores
+        print(json.dumps(payload, indent=2))
+        return 0
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cache entr"
@@ -643,14 +830,39 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=V1,V2,...",
                        help="sweep values for one runner kwarg "
                             "(repeatable; grid = Cartesian product)")
+    sweep.add_argument("--store", default=None, metavar="DIR",
+                       help="run the fused sweep engine: group grid "
+                            "points by resolved backend/kernel, "
+                            "execute them as fused batches, and "
+                            "append results to a columnar store at "
+                            "DIR (parquet when pyarrow is installed, "
+                            "compressed npz otherwise); with --resume "
+                            "the store is reopened and completed "
+                            "points are skipped")
+    sweep.add_argument("--adapt", type=int, default=None, metavar="N",
+                       help="after the coarse grid, add up to N "
+                            "refinement points where the response "
+                            "curve bends hardest (largest second "
+                            "difference of --metric along the one "
+                            "multi-valued --param axis); requires "
+                            "--store")
+    sweep.add_argument("--metric", default=None, metavar="SERIES",
+                       help="result series scored by --adapt (mean of "
+                            "the named series; default: the "
+                            "experiment's first series)")
     _add_run_options(sweep)
     sweep.set_defaults(func=cmd_sweep)
     cache = sub.add_parser("cache", help="inspect the result cache")
-    cache.add_argument("action", choices=("ls", "clear"),
-                       help="list entries or delete them all")
+    cache.add_argument("action", choices=("ls", "clear", "stats"),
+                       help="list entries, delete them all, or print "
+                            "JSON usage stats")
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory (default $REPRO_CACHE_DIR "
                             "or ./.repro-cache)")
+    cache.add_argument("--store", action="append", default=None,
+                       metavar="DIR",
+                       help="also report this columnar sweep store in "
+                            "'cache stats' (repeatable)")
     cache.set_defaults(func=cmd_cache)
     return parser
 

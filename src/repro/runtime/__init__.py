@@ -12,8 +12,12 @@ into declarative, schedulable units of work:
   would use;
 * :mod:`repro.runtime.cache` — a content-addressed on-disk JSON cache
   keyed on (experiment, kwargs, code version);
-* :mod:`repro.runtime.sweep` — parameter-sweep parsing and grid
-  expansion for ``python -m repro sweep``;
+* :mod:`repro.runtime.sweep` — parameter-sweep parsing, streaming
+  grid expansion, the batch-fused :class:`SweepPlan` engine and
+  adaptive refinement for ``python -m repro sweep``;
+* :mod:`repro.runtime.store` — the append-only chunked columnar
+  result store dense sweeps sink into (parquet when pyarrow is
+  importable, compressed ``.npz`` otherwise);
 * :mod:`repro.runtime.manifest` — append-only JSONL progress journals
   that make ``sweep``/``run all`` resumable after a crash
   (``--resume``);
@@ -31,6 +35,7 @@ from repro.runtime.executor import (
     active_jobs,
     active_retry_policy,
     collect_failures,
+    map_batched,
     map_ordered,
     parallel_jobs,
     retry_policy,
@@ -45,7 +50,16 @@ from repro.runtime.registry import (
     register,
     unregister,
 )
-from repro.runtime.sweep import expand_grid, parse_param_spec
+from repro.runtime.store import StoreError, SweepStore
+from repro.runtime.sweep import (
+    SweepPlan,
+    WindowOutcome,
+    expand_grid,
+    grid_size,
+    parse_param_spec,
+    run_adaptive,
+    run_plan,
+)
 
 __all__ = [
     "Experiment",
@@ -54,6 +68,10 @@ __all__ = [
     "ResultCache",
     "RetryPolicy",
     "RunReport",
+    "StoreError",
+    "SweepPlan",
+    "SweepStore",
+    "WindowOutcome",
     "active_jobs",
     "active_retry_policy",
     "code_version",
@@ -61,6 +79,8 @@ __all__ = [
     "expand_grid",
     "experiments",
     "get",
+    "grid_size",
+    "map_batched",
     "map_ordered",
     "names",
     "parallel_jobs",
@@ -68,5 +88,7 @@ __all__ = [
     "point_id",
     "register",
     "retry_policy",
+    "run_adaptive",
+    "run_plan",
     "unregister",
 ]

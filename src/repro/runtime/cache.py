@@ -268,6 +268,24 @@ class ResultCache:
                 stale=stored_version != current))
         return out, bad
 
+    def stats(self) -> Dict[str, object]:
+        """Entry counts and disk usage (``repro cache stats``).
+
+        One structured summary for the JSON cache, shaped to sit next
+        to :meth:`repro.runtime.store.SweepStore.stats` so the two
+        sinks report disk usage through one CLI surface.
+        """
+        entries, malformed = self.scan()
+        quarantined = self.quarantined()
+        return {
+            "path": str(self.root),
+            "entries": len(entries),
+            "stale_entries": sum(1 for entry in entries if entry.stale),
+            "size_bytes": sum(entry.size_bytes for entry in entries),
+            "malformed": len(malformed),
+            "quarantined": len(quarantined),
+        }
+
     def quarantined(self) -> List[pathlib.Path]:
         """Files previously moved to the quarantine directory."""
         quarantine = self.root / QUARANTINE_DIR

@@ -649,3 +649,41 @@ def map_ordered(fn: Callable[[T], R], items: Sequence[T],
         return [fn(item) for item in items]
     shards = [items[lo:hi] for lo, hi in shard_bounds(len(items), jobs)]
     return _map_supervised(fn, shards, active_retry_policy())
+
+
+#: Items per :func:`map_batched` window when the caller does not say:
+#: large enough to amortise one supervised fan-out over hundreds of
+#: items, small enough to keep window-level progress responsive.
+DEFAULT_BATCH_WINDOW = 512
+
+
+def map_batched(fn: Callable[[T], R], items,
+                jobs: Optional[int] = None,
+                window: Optional[int] = None
+                ) -> Iterator[Tuple[List[T], List[R]]]:
+    """Fused windowed fan-out: yield ``(window_items, results)`` pairs.
+
+    The streaming complement of :func:`map_ordered` for cross-item
+    batch fusion (the sweep engine's execution primitive): ``items``
+    may be any iterable — including a multi-million-point generator —
+    and is consumed ``window`` items at a time, each window executed
+    through one :func:`map_ordered` fan-out.  The caller pays one
+    supervised process fan-out per *window* instead of per item, and
+    regains control between windows to flush stores, journal progress
+    or print status.  Order within and across windows matches the
+    input exactly, and because each window rides :func:`map_ordered`,
+    the results are identical for any job count and the full
+    crash-retry supervision applies per window.
+    """
+    if window is None:
+        window = DEFAULT_BATCH_WINDOW
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    batch: List[T] = []
+    for item in items:
+        batch.append(item)
+        if len(batch) >= window:
+            yield batch, map_ordered(fn, batch, jobs=jobs)
+            batch = []
+    if batch:
+        yield batch, map_ordered(fn, batch, jobs=jobs)

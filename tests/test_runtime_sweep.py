@@ -1,8 +1,11 @@
 """Tests for sweep parsing and grid expansion (repro.runtime.sweep)."""
 
+import types
+
 import pytest
 
-from repro.runtime.sweep import expand_grid, parse_param_spec, parse_value
+from repro.runtime.sweep import (expand_grid, grid_size, parse_param_spec,
+                                 parse_value)
 
 
 class TestParseValue:
@@ -53,15 +56,23 @@ class TestParseParamSpec:
 
 class TestExpandGrid:
     def test_single_param(self):
-        grid = expand_grid([("repetitions", [100, 400])])
+        grid = list(expand_grid([("repetitions", [100, 400])]))
         assert grid == [{"repetitions": 100}, {"repetitions": 400}]
 
     def test_cartesian_product_last_param_fastest(self):
-        grid = expand_grid([("a", [1, 2]), ("b", ["x", "y"])])
+        grid = list(expand_grid([("a", [1, 2]), ("b", ["x", "y"])]))
         assert grid == [
             {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
             {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
         ]
+
+    def test_is_a_generator(self):
+        # A 10^18-point atlas must be *plannable* without 10^18 dicts
+        # in memory: expansion streams, and the count comes from
+        # arithmetic, not materialisation.
+        grid = expand_grid([("a", list(range(10)))] )
+        assert isinstance(grid, types.GeneratorType)
+        assert next(grid) == {"a": 0}
 
     def test_duplicate_param_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):
@@ -70,3 +81,24 @@ class TestExpandGrid:
     def test_empty_values_rejected(self):
         with pytest.raises(ValueError, match="no values"):
             expand_grid([("a", [])])
+
+    def test_validation_is_eager(self):
+        # The ValueError must fire at the call, not at first next() —
+        # the CLI reports malformed specs before any work starts.
+        with pytest.raises(ValueError, match="duplicate"):
+            expand_grid([("a", [1]), ("a", [2])])  # never iterated
+
+
+class TestGridSize:
+    def test_counts_without_expanding(self):
+        specs = [("a", list(range(1000))), ("b", list(range(1000))),
+                 ("c", list(range(1000)))]
+        assert grid_size(specs) == 10 ** 9
+
+    def test_matches_expansion(self):
+        specs = [("a", [1, 2, 3]), ("b", ["x", "y"])]
+        assert grid_size(specs) == len(list(expand_grid(specs)))
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError, match="no values"):
+            grid_size([("a", [])])
